@@ -1,0 +1,82 @@
+// Ablation: pruning the central signature blocks.
+//
+// Section III-C3 claims the central CS coefficients represent the least
+// insightful sensors and "can be potentially eliminated with minimal loss
+// of information". This benchmark prunes an increasing share of central
+// blocks from CS-40 signatures on the Fault and Application segments and
+// tracks the ML score. Expected: flat scores up to substantial pruning.
+//
+// Usage: ablation_pruning [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+#include "harness/experiment.hpp"
+#include "hpcoda/generator.hpp"
+
+namespace {
+
+using namespace csm;
+
+// CS-40 with `pruned` central blocks removed before flattening.
+class PrunedCsMethod final : public core::SignatureMethod {
+ public:
+  PrunedCsMethod(std::shared_ptr<const core::CsPipeline> pipeline,
+                 std::size_t pruned)
+      : pipeline_(std::move(pipeline)), pruned_(pruned) {}
+
+  std::string name() const override {
+    return "CS-40-p" + std::to_string(pruned_);
+  }
+  std::size_t signature_length(std::size_t) const override {
+    return 2 * (40 - pruned_);
+  }
+  std::vector<double> compute(const common::Matrix& window) const override {
+    return pipeline_->transform_window(window).pruned_center(pruned_)
+        .flatten();
+  }
+
+ private:
+  std::shared_ptr<const core::CsPipeline> pipeline_;
+  std::size_t pruned_;
+};
+
+harness::MethodSpec pruned_method(std::size_t pruned) {
+  return harness::MethodSpec{
+      "CS-40-p" + std::to_string(pruned),
+      [pruned](const hpcoda::ComponentBlock& block) {
+        auto pipeline = std::make_shared<const core::CsPipeline>(
+            core::train(block.sensors), core::CsOptions{40, false});
+        return std::make_unique<PrunedCsMethod>(std::move(pipeline), pruned);
+      }};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcoda::GeneratorConfig config;
+  if (argc > 1) config.scale = std::atof(argv[1]);
+
+  std::cout << "Ablation: central-block pruning of CS-40 signatures "
+               "(scale=" << config.scale << ")\n\n";
+  std::printf("%-16s %-10s %9s %10s\n", "Segment", "Pruned", "SigSize",
+              "MLScore");
+
+  const auto models = harness::random_forest_factories();
+  const hpcoda::Segment segments[] = {hpcoda::make_fault_segment(config),
+                                      hpcoda::make_application_segment(config)};
+  for (const hpcoda::Segment& segment : segments) {
+    for (std::size_t pruned : {std::size_t{0}, std::size_t{10},
+                               std::size_t{20}, std::size_t{30}}) {
+      const harness::MethodEvaluation eval =
+          harness::evaluate_method(segment, pruned_method(pruned), models);
+      std::printf("%-16s %2zu/40      %9zu %10.4f\n", eval.segment.c_str(),
+                  pruned, eval.signature_size, eval.ml_score);
+      std::fflush(stdout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3 reproduction: testing times (a), signature sizes (b) and ML
+// scores (c) for Tuncer / Bodik / Lan / CS-{5,10,20,40,All} on the four
+// primary HPC-ODA segments, with random forests (50 estimators) under
+// 5-fold stratified cross-validation.
+//
+// Expected shapes (paper): Tuncer slowest and most accurate baseline; CS
+// matches baseline ML scores with signatures up to ~10x smaller and lower
+// generation times; Fault needs many blocks, Infrastructure is accurate
+// even at CS-5.
+//
+// Usage: fig3_ml_performance [scale] [repeats]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "hpcoda/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  hpcoda::GeneratorConfig config;
+  if (argc > 1) config.scale = std::atof(argv[1]);
+  std::size_t repeats = 1;
+  if (argc > 2) repeats = static_cast<std::size_t>(std::atoi(argv[2]));
+
+  std::cout << "Figure 3: signature methods on the HPC-ODA segments "
+               "(scale=" << config.scale << ", repeats=" << repeats
+            << ", RF 50 trees, 5-fold CV)\n\n";
+  std::printf("%-16s %-8s %9s %8s %10s %10s %9s\n", "Segment", "Method",
+              "SigSize", "Samples", "GenTime", "CVTime", "MLScore");
+
+  const auto methods = harness::standard_methods();
+  const auto models = harness::random_forest_factories();
+  for (const hpcoda::Segment& segment :
+       hpcoda::make_primary_segments(config)) {
+    for (const harness::MethodSpec& method : methods) {
+      const harness::MethodEvaluation eval =
+          harness::evaluate_method(segment, method, models, 5, repeats);
+      std::printf("%-16s %-8s %9zu %8zu %9.2fs %9.2fs %9.4f\n",
+                  eval.segment.c_str(), eval.method.c_str(),
+                  eval.signature_size, eval.n_samples,
+                  eval.generation_seconds, eval.cv_seconds, eval.ml_score);
+      std::fflush(stdout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

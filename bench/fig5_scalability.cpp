@@ -1,0 +1,125 @@
+// Figure 5 reproduction (google-benchmark): time to compute one signature
+// as a function of the aggregation window wl (n fixed at 100) and of the
+// number of dimensions n (wl fixed at 100), for every method.
+//
+// Expected shapes (paper): all methods linear in n; CS and Lan linear in
+// wl while Tuncer/Bodik grow as O(wl log wl) from per-sensor percentile
+// sorting; CS roughly an order of magnitude faster than Tuncer/Bodik at
+// the high end; the CS block count barely matters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/bodik.hpp"
+#include "baselines/lan.hpp"
+#include "baselines/tuncer.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+
+namespace {
+
+using namespace csm;
+
+common::Matrix random_window(std::size_t n, std::size_t wl,
+                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix m(n, wl);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < wl; ++c) m(r, c) = rng.uniform();
+  }
+  return m;
+}
+
+// Identity-ordering CS model: Fig. 5 excludes the training stage, and a
+// random matrix has no correlation structure worth learning.
+std::shared_ptr<const core::CsPipeline> make_cs(const common::Matrix& window,
+                                                std::size_t blocks) {
+  return std::make_shared<const core::CsPipeline>(
+      core::train_with_strategy(window, core::OrderingStrategy::kIdentity),
+      core::CsOptions{blocks, false});
+}
+
+void run_method(benchmark::State& state, const core::SignatureMethod& method,
+                const common::Matrix& window) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.compute(window));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// --- Sweep over the aggregation window wl, n = 100 (Fig. 5a). -------------
+
+void BM_Tuncer_Window(benchmark::State& state) {
+  const auto window =
+      random_window(100, static_cast<std::size_t>(state.range(0)), 1);
+  run_method(state, baselines::TuncerMethod(), window);
+}
+void BM_Bodik_Window(benchmark::State& state) {
+  const auto window =
+      random_window(100, static_cast<std::size_t>(state.range(0)), 2);
+  run_method(state, baselines::BodikMethod(), window);
+}
+void BM_Lan_Window(benchmark::State& state) {
+  const auto window =
+      random_window(100, static_cast<std::size_t>(state.range(0)), 3);
+  run_method(state, baselines::LanMethod(), window);
+}
+void BM_CS_Window(benchmark::State& state) {
+  const auto window =
+      random_window(100, static_cast<std::size_t>(state.range(0)), 4);
+  const auto blocks = static_cast<std::size_t>(state.range(1));
+  const core::CsSignatureMethod method(make_cs(window, blocks));
+  run_method(state, method, window);
+}
+
+// --- Sweep over the number of dimensions n, wl = 100 (Fig. 5b). -----------
+
+void BM_Tuncer_Dims(benchmark::State& state) {
+  const auto window =
+      random_window(static_cast<std::size_t>(state.range(0)), 100, 5);
+  run_method(state, baselines::TuncerMethod(), window);
+}
+void BM_Bodik_Dims(benchmark::State& state) {
+  const auto window =
+      random_window(static_cast<std::size_t>(state.range(0)), 100, 6);
+  run_method(state, baselines::BodikMethod(), window);
+}
+void BM_Lan_Dims(benchmark::State& state) {
+  const auto window =
+      random_window(static_cast<std::size_t>(state.range(0)), 100, 7);
+  run_method(state, baselines::LanMethod(), window);
+}
+void BM_CS_Dims(benchmark::State& state) {
+  const auto window =
+      random_window(static_cast<std::size_t>(state.range(0)), 100, 8);
+  const auto blocks = static_cast<std::size_t>(state.range(1));
+  const core::CsSignatureMethod method(make_cs(window, blocks));
+  run_method(state, method, window);
+}
+
+constexpr std::int64_t kSweep[] = {10, 100, 1000, 4000, 10000};
+
+void window_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t wl : kSweep) b->Arg(wl);
+  b->Unit(benchmark::kMicrosecond);
+}
+void cs_window_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t blocks : {5, 20, 0}) {  // 0 = CS-All.
+    for (std::int64_t wl : kSweep) b->Args({wl, blocks});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Tuncer_Window)->Apply(window_args);
+BENCHMARK(BM_Bodik_Window)->Apply(window_args);
+BENCHMARK(BM_Lan_Window)->Apply(window_args);
+BENCHMARK(BM_CS_Window)->Apply(cs_window_args);
+BENCHMARK(BM_Tuncer_Dims)->Apply(window_args);
+BENCHMARK(BM_Bodik_Dims)->Apply(window_args);
+BENCHMARK(BM_Lan_Dims)->Apply(window_args);
+BENCHMARK(BM_CS_Dims)->Apply(cs_window_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Power prediction (the paper's Power use case): predict a compute node's
+// mean power draw over the next ~300ms from fine-grained (100ms) CS
+// signatures — the input an energy-aware runtime would use to pick CPU
+// frequencies.
+//
+// Usage: power_prediction [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "hpcoda/generator.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  hpcoda::GeneratorConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+
+  std::cout << "Generating the Power segment (1 node x 47 sensors @100ms)"
+               "...\n";
+  const hpcoda::Segment seg = hpcoda::make_power_segment(config);
+
+  // Compare a handful of signature resolutions on the same task.
+  std::printf("\n%-8s %9s %9s %9s\n", "Method", "SigSize", "1-NRMSE",
+              "CVTime");
+  for (std::size_t blocks : {std::size_t{5}, std::size_t{10}, std::size_t{20},
+                             std::size_t{0}}) {
+    const harness::MethodEvaluation eval = harness::evaluate_method(
+        seg, harness::make_cs_method(blocks),
+        harness::random_forest_factories());
+    std::printf("%-8s %9zu %9.4f %8.2fs\n", eval.method.c_str(),
+                eval.signature_size, eval.ml_score, eval.cv_seconds);
+  }
+
+  // Show a few actual vs predicted values with the CS-10 model.
+  data::Dataset ds = harness::build_dataset(seg, harness::make_cs_method(10));
+  common::Rng rng(3);
+  ds.shuffle(rng);
+  const std::size_t split = ds.size() * 4 / 5;
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < split; ++i) train_idx.push_back(i);
+  for (std::size_t i = split; i < ds.size(); ++i) test_idx.push_back(i);
+  const data::Dataset train = ds.subset(train_idx);
+  const data::Dataset test = ds.subset(test_idx);
+
+  ml::RandomForestRegressor forest;
+  forest.fit(train.features, train.targets);
+  std::cout << "\nSample predictions (Watts):\n";
+  std::printf("%10s %10s %8s\n", "actual", "predicted", "error");
+  for (std::size_t i = 0; i < 8 && i < test.size(); ++i) {
+    const double actual = test.targets[i];
+    const double predicted = forest.predict_one(test.features.row(i));
+    std::printf("%10.1f %10.1f %7.1f%%\n", actual, predicted,
+                100.0 * (predicted - actual) / actual);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Visual exploration (the paper's Visualizability requirement): render the
+// raw, sorted and signature views of fault-injected monitoring data as
+// terminal heatmaps, showing how the CS sorting stage surfaces structure
+// that raw sensor ordering hides.
+//
+// Usage: visualize_signatures [scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+#include "harness/experiment.hpp"
+#include "harness/heatmap.hpp"
+#include "hpcoda/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  hpcoda::GeneratorConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  const hpcoda::Segment seg = hpcoda::make_fault_segment(config);
+  const common::Matrix& sensors = seg.blocks.front().sensors;
+  std::cout << "Fault segment: " << sensors.rows() << " sensors, "
+            << sensors.cols() << " samples, " << seg.runs.size()
+            << " runs (healthy + 8 fault types)\n\n";
+
+  const core::CsModel model = core::train(sensors);
+  const core::CsPipeline pipeline(model, core::CsOptions{32, false});
+
+  // Raw view: normalise rows but keep the original ordering.
+  const core::CsPipeline raw_view(
+      core::train_with_strategy(sensors, core::OrderingStrategy::kIdentity),
+      core::CsOptions{});
+  std::cout << "--- Raw normalised sensor matrix (hard to read) ---\n"
+            << harness::ascii_heatmap(raw_view.sorted(sensors), 18, 76);
+
+  std::cout << "\n--- After the CS sorting stage (correlated groups pop) "
+               "---\n"
+            << harness::ascii_heatmap(pipeline.sorted(sensors), 18, 76);
+
+  const auto sigs = pipeline.transform(sensors, seg.window);
+  const auto [re, im] = core::signature_heatmaps(sigs);
+  std::cout << "\n--- CS signatures over time, real channel (32 blocks) "
+               "---\n"
+            << harness::ascii_heatmap(re, 16, 76)
+            << "\n--- Imaginary channel (derivatives; fault onsets flash) "
+               "---\n"
+            << harness::ascii_heatmap(im, 16, 76);
+
+  std::cout << "\nEach column is one signature; solid vertical structure "
+               "changes mark run/fault boundaries.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "baselines/bodik.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace csm::baselines {
+
+std::vector<double> BodikMethod::compute(const common::Matrix& window) const {
+  if (window.empty()) throw std::invalid_argument("Bodik: empty window");
+  static constexpr std::array<double, 7> kQs = {5.0,  25.0, 35.0, 50.0,
+                                                65.0, 75.0, 95.0};
+  std::vector<double> out;
+  out.reserve(signature_length(window.rows()));
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const auto row = window.row(r);
+    out.push_back(stats::min(row));
+    out.push_back(stats::max(row));
+    const std::vector<double> ps = stats::percentiles(row, kQs);
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+}  // namespace csm::baselines

@@ -1,0 +1,23 @@
+// Bodik et al. baseline (Section III-B, [16]).
+//
+// Characterises the distribution of each sensor's window data with nine
+// quantile-style indicators: minimum, maximum and the
+// 5th/25th/35th/50th/65th/75th/95th percentiles. Signature length l = n * 9.
+#pragma once
+
+#include "core/signature_method.hpp"
+
+namespace csm::baselines {
+
+class BodikMethod final : public core::SignatureMethod {
+ public:
+  static constexpr std::size_t kFeaturesPerSensor = 9;
+
+  std::string name() const override { return "Bodik"; }
+  std::size_t signature_length(std::size_t n_sensors) const override {
+    return n_sensors * kFeaturesPerSensor;
+  }
+  std::vector<double> compute(const common::Matrix& window) const override;
+};
+
+}  // namespace csm::baselines

@@ -1,0 +1,39 @@
+#include "baselines/lan.hpp"
+
+#include <stdexcept>
+
+namespace csm::baselines {
+
+LanMethod::LanMethod(std::size_t wr) : wr_(wr) {
+  if (wr_ == 0) throw std::invalid_argument("Lan: zero wr");
+}
+
+std::vector<double> mean_filter_resample(std::span<const double> x,
+                                         std::size_t target) {
+  if (x.empty() || target == 0) {
+    throw std::invalid_argument("mean_filter_resample: empty input or target");
+  }
+  std::vector<double> out(target);
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t begin = i * n / target;
+    const std::size_t end = ((i + 1) * n + target - 1) / target;
+    double acc = 0.0;
+    for (std::size_t k = begin; k < end; ++k) acc += x[k];
+    out[i] = acc / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+std::vector<double> LanMethod::compute(const common::Matrix& window) const {
+  if (window.empty()) throw std::invalid_argument("Lan: empty window");
+  std::vector<double> out;
+  out.reserve(signature_length(window.rows()));
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const std::vector<double> sub = mean_filter_resample(window.row(r), wr_);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace csm::baselines

@@ -1,0 +1,115 @@
+#include "baselines/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/descriptive.hpp"
+#include "stats/eigen.hpp"
+#include "stats/finite_diff.hpp"
+
+namespace csm::baselines {
+
+PcaModel PcaModel::fit(const common::Matrix& s, std::size_t components) {
+  if (s.empty()) throw std::invalid_argument("PcaModel::fit: empty matrix");
+  if (components == 0) {
+    throw std::invalid_argument("PcaModel::fit: zero components");
+  }
+  const std::size_t n = s.rows();
+  const std::size_t k = std::min(components, n);
+
+  PcaModel model;
+  model.means_.resize(n);
+  model.inv_std_.resize(n);
+  common::Matrix standardized(n, s.cols());
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = s.row(r);
+    model.means_[r] = stats::mean(row);
+    const double sd = stats::stddev(row);
+    model.inv_std_[r] = sd > 1e-12 ? 1.0 / sd : 0.0;
+    auto dst = standardized.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      dst[c] = (row[c] - model.means_[r]) * model.inv_std_[r];
+    }
+  }
+
+  const stats::EigenDecomposition eig =
+      stats::jacobi_eigen(stats::covariance_matrix(standardized));
+  model.components_ = eig.vectors.sub_rows(0, k);
+  model.explained_.assign(eig.values.begin(),
+                          eig.values.begin() + static_cast<std::ptrdiff_t>(k));
+  return model;
+}
+
+namespace {
+
+std::vector<double> project_impl(const common::Matrix& components,
+                                 std::span<const double> x,
+                                 std::span<const double> means,
+                                 std::span<const double> inv_std,
+                                 bool subtract_mean) {
+  if (x.size() != means.size()) {
+    throw std::invalid_argument("PcaModel::project: wrong vector length");
+  }
+  std::vector<double> out(components.rows(), 0.0);
+  for (std::size_t c = 0; c < components.rows(); ++c) {
+    const auto component = components.row(c);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double centered = subtract_mean ? x[i] - means[i] : x[i];
+      acc += component[i] * centered * inv_std[i];
+    }
+    out[c] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> PcaModel::project(std::span<const double> x) const {
+  return project_impl(components_, x, means_, inv_std_, true);
+}
+
+std::vector<double> PcaModel::project_centered(
+    std::span<const double> x) const {
+  return project_impl(components_, x, means_, inv_std_, false);
+}
+
+PcaMethod::PcaMethod(PcaModel model, std::string display_name)
+    : model_(std::move(model)), name_(std::move(display_name)) {
+  if (model_.n_sensors() == 0) {
+    throw std::invalid_argument("PcaMethod: untrained model");
+  }
+  if (name_.empty()) {
+    name_ = "PCA-" + std::to_string(model_.n_components());
+  }
+}
+
+std::size_t PcaMethod::signature_length(std::size_t /*n_sensors*/) const {
+  return 2 * model_.n_components();
+}
+
+std::vector<double> PcaMethod::compute(const common::Matrix& window) const {
+  if (window.rows() != model_.n_sensors()) {
+    throw std::invalid_argument("PcaMethod: sensor count mismatch");
+  }
+  // Window mean vector and mean backward-derivative vector per sensor.
+  std::vector<double> mean_vec(window.rows());
+  std::vector<double> diff_vec(window.rows());
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const auto row = window.row(r);
+    mean_vec[r] = stats::mean(row);
+    // Mean of backward differences = (last - first) / wl.
+    diff_vec[r] =
+        row.size() > 1
+            ? (row.back() - row.front()) / static_cast<double>(row.size())
+            : 0.0;
+  }
+  std::vector<double> out = model_.project(mean_vec);
+  // Derivatives are naturally centred at zero, so skip mean subtraction.
+  const std::vector<double> diff_proj = model_.project_centered(diff_vec);
+  out.insert(out.end(), diff_proj.begin(), diff_proj.end());
+  return out;
+}
+
+}  // namespace csm::baselines

@@ -1,0 +1,65 @@
+// PCA comparator (Section I-A related work).
+//
+// Classic dimensionality reduction applied to monitoring data: a model is
+// trained on historical data — per-sensor standardisation plus the top-k
+// eigenvectors of the sensor covariance matrix — and each window is reduced
+// to the projections of its mean vector (and of its mean first-order
+// derivative vector) onto those components. The signature length 2k mirrors
+// a CS-k signature exactly, making the two directly comparable. The paper
+// cites evidence [15] that variance-dominant components miss fault-critical
+// indicators; the ablation_pca benchmark tests that with this class.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/signature_method.hpp"
+
+namespace csm::baselines {
+
+/// Trained PCA signature model.
+class PcaModel {
+ public:
+  PcaModel() = default;
+
+  /// Trains on historical data (rows = sensors): standardises each sensor
+  /// row and extracts the top `components` covariance eigenvectors.
+  /// Throws std::invalid_argument if `s` is empty or components == 0.
+  static PcaModel fit(const common::Matrix& s, std::size_t components);
+
+  std::size_t n_sensors() const noexcept { return means_.size(); }
+  std::size_t n_components() const noexcept { return components_.rows(); }
+  const std::vector<double>& explained_variance() const noexcept {
+    return explained_;
+  }
+
+  /// Projects an n-vector (standardised internally) onto the components.
+  std::vector<double> project(std::span<const double> x) const;
+
+  /// Projects without mean subtraction (per-sensor scaling only) — for
+  /// quantities such as derivatives that are already centred at zero.
+  std::vector<double> project_centered(std::span<const double> x) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_std_;
+  common::Matrix components_;  ///< k x n, row = unit eigenvector.
+  std::vector<double> explained_;
+};
+
+/// SignatureMethod adapter: signature = [projected window mean,
+/// projected window mean-derivative], length 2k.
+class PcaMethod final : public core::SignatureMethod {
+ public:
+  PcaMethod(PcaModel model, std::string display_name = {});
+
+  std::string name() const override { return name_; }
+  std::size_t signature_length(std::size_t n_sensors) const override;
+  std::vector<double> compute(const common::Matrix& window) const override;
+
+ private:
+  PcaModel model_;
+  std::string name_;
+};
+
+}  // namespace csm::baselines

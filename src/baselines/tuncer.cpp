@@ -1,0 +1,29 @@
+#include "baselines/tuncer.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace csm::baselines {
+
+std::vector<double> TuncerMethod::compute(const common::Matrix& window) const {
+  if (window.empty()) throw std::invalid_argument("Tuncer: empty window");
+  static constexpr std::array<double, 5> kQs = {5.0, 25.0, 50.0, 75.0, 95.0};
+  std::vector<double> out;
+  out.reserve(signature_length(window.rows()));
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const auto row = window.row(r);
+    out.push_back(stats::mean(row));
+    out.push_back(stats::stddev(row));
+    out.push_back(stats::min(row));
+    out.push_back(stats::max(row));
+    const std::vector<double> ps = stats::percentiles(row, kQs);
+    out.insert(out.end(), ps.begin(), ps.end());
+    out.push_back(stats::sum_of_changes(row));
+    out.push_back(stats::abs_sum_of_changes(row));
+  }
+  return out;
+}
+
+}  // namespace csm::baselines

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible run-to-run regardless of the standard
+// library, so we ship our own xoshiro256** generator seeded via splitmix64
+// (the seeding procedure recommended by the xoshiro authors). The interface
+// mirrors the small subset of <random> the library needs: uniform doubles,
+// uniform integers, Gaussians and Fisher-Yates shuffling.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csm::common {
+
+/// xoshiro256** PRNG with convenience distributions. Satisfies
+/// UniformRandomBitGenerator so it can also be handed to <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform_int(i + 1);
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    shuffle(std::span<T>(values));
+  }
+
+  /// Returns a shuffled index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Forks an independent child generator (useful for per-thread or
+  /// per-estimator streams that must not share state).
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  std::uint64_t state_[4] = {};
+  double spare_gaussian_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace csm::common

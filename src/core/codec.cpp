@@ -1,0 +1,134 @@
+#include "core/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace csm::core {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xC5;  // "CS".
+constexpr std::uint8_t kVersion = 1;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& in,
+                       std::size_t& cursor) {
+  if (cursor + 4 > in.size()) {
+    throw std::runtime_error("decode_signature: truncated blob");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[cursor++]) << (8 * i);
+  }
+  return v;
+}
+
+void append_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+double read_double(const std::vector<std::uint8_t>& in, std::size_t& cursor) {
+  if (cursor + 8 > in.size()) {
+    throw std::runtime_error("decode_signature: truncated blob");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(in[cursor++]) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Channel min/max used as the quantisation range.
+std::pair<double, double> channel_range(std::span<const double> ch) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : ch) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(lo <= hi)) {  // Empty channel; normalised below.
+    lo = 0.0;
+    hi = 0.0;
+  }
+  return {lo, hi};
+}
+
+void encode_channel(std::vector<std::uint8_t>& out,
+                    std::span<const double> ch) {
+  const auto [lo, hi] = channel_range(ch);
+  append_double(out, lo);
+  append_double(out, hi);
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  for (double v : ch) {
+    const double q = (v - lo) * scale;
+    out.push_back(static_cast<std::uint8_t>(
+        std::clamp(std::lround(q), 0L, 255L)));
+  }
+}
+
+void decode_channel(const std::vector<std::uint8_t>& in, std::size_t& cursor,
+                    std::span<double> ch) {
+  const double lo = read_double(in, cursor);
+  const double hi = read_double(in, cursor);
+  if (cursor + ch.size() > in.size()) {
+    throw std::runtime_error("decode_signature: truncated blob");
+  }
+  const double scale = hi > lo ? (hi - lo) / 255.0 : 0.0;
+  for (double& v : ch) {
+    v = lo + static_cast<double>(in[cursor++]) * scale;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_signature(const Signature& sig) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + 4 + 2 * (16 + sig.length()));
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  append_u32(out, static_cast<std::uint32_t>(sig.length()));
+  encode_channel(out, sig.real());
+  encode_channel(out, sig.imag());
+  return out;
+}
+
+Signature decode_signature(const std::vector<std::uint8_t>& blob) {
+  std::size_t cursor = 0;
+  if (blob.size() < 6 || blob[0] != kMagic || blob[1] != kVersion) {
+    throw std::runtime_error("decode_signature: bad header");
+  }
+  cursor = 2;
+  const std::uint32_t length = read_u32(blob, cursor);
+  Signature sig(length);
+  decode_channel(blob, cursor, sig.real());
+  decode_channel(blob, cursor, sig.imag());
+  if (cursor != blob.size()) {
+    throw std::runtime_error("decode_signature: trailing bytes");
+  }
+  return sig;
+}
+
+double encoded_error_bound(const Signature& sig) {
+  double bound = 0.0;
+  for (const auto ch : {sig.real(), sig.imag()}) {
+    const auto [lo, hi] = channel_range(ch);
+    bound = std::max(bound, (hi - lo) / 510.0);  // Half a quantum.
+  }
+  return bound;
+}
+
+}  // namespace csm::core

@@ -1,0 +1,29 @@
+// Compact signature encoding for transmission and archival.
+//
+// Signatures travel: out-of-band trainers ship them to dashboards, in-band
+// agents push them to brokers at fine time scales (Fig. 1), and archives
+// keep months of them. This codec quantises each channel to 8-bit fixed
+// point with per-channel min/max (the same min-max convention the CS
+// normalisation uses), giving a 2l + O(1)-byte payload and a worst-case
+// absolute reconstruction error of (hi - lo) / 510 per block — two orders
+// of magnitude below the signal ranges the ML models discriminate on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.hpp"
+
+namespace csm::core {
+
+/// Serialises a signature into a compact binary blob.
+std::vector<std::uint8_t> encode_signature(const Signature& sig);
+
+/// Parses a blob produced by encode_signature. Throws std::runtime_error
+/// on truncated or corrupt input.
+Signature decode_signature(const std::vector<std::uint8_t>& blob);
+
+/// Worst-case absolute reconstruction error of the encoded form.
+double encoded_error_bound(const Signature& sig);
+
+}  // namespace csm::core

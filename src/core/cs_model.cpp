@@ -1,0 +1,85 @@
+#include "core/cs_model.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace csm::core {
+
+namespace {
+
+void check_permutation(const std::vector<std::size_t>& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (std::size_t v : p) {
+    if (v >= p.size() || seen[v]) {
+      throw std::invalid_argument("CsModel: not a valid permutation");
+    }
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+
+CsModel::CsModel(std::vector<std::size_t> permutation,
+                 std::vector<stats::MinMaxBounds> bounds)
+    : permutation_(std::move(permutation)), bounds_(std::move(bounds)) {
+  check_permutation(permutation_);
+  if (bounds_.size() != permutation_.size()) {
+    throw std::invalid_argument("CsModel: bounds/permutation size mismatch");
+  }
+}
+
+common::Matrix CsModel::sort(const common::Matrix& s) const {
+  if (s.rows() != n_sensors()) {
+    throw std::invalid_argument("CsModel::sort: sensor count mismatch");
+  }
+  common::Matrix normalized = stats::normalize_rows(s, bounds_);
+  return normalized.permute_rows(permutation_);
+}
+
+std::string CsModel::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "csmodel v1\n" << n_sensors() << "\n";
+  for (std::size_t i = 0; i < n_sensors(); ++i) {
+    out << permutation_[i] << ' ' << bounds_[i].lo << ' ' << bounds_[i].hi
+        << "\n";
+  }
+  return out.str();
+}
+
+CsModel CsModel::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "csmodel" || version != "v1") {
+    throw std::runtime_error("CsModel::deserialize: bad header");
+  }
+  std::size_t n = 0;
+  in >> n;
+  if (!in) throw std::runtime_error("CsModel::deserialize: bad sensor count");
+  std::vector<std::size_t> perm(n);
+  std::vector<stats::MinMaxBounds> bounds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in >> perm[i] >> bounds[i].lo >> bounds[i].hi;
+    if (!in) throw std::runtime_error("CsModel::deserialize: truncated body");
+  }
+  return CsModel(std::move(perm), std::move(bounds));
+}
+
+void CsModel::save(const std::filesystem::path& file) const {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("CsModel::save: cannot open " + file.string());
+  out << serialize();
+  if (!out) throw std::runtime_error("CsModel::save: write failed");
+}
+
+CsModel CsModel::load(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("CsModel::load: cannot open " + file.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+}  // namespace csm::core

@@ -1,0 +1,79 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "core/smoothing.hpp"
+#include "stats/finite_diff.hpp"
+
+namespace csm::core {
+
+std::vector<Signature> CsPipeline::transform(
+    const common::Matrix& s, const data::WindowSpec& spec) const {
+  spec.validate();
+  const common::Matrix sorted_full = model_.sort(s);
+  const common::Matrix derivs_full = stats::backward_diff_rows(sorted_full);
+  const std::size_t l = blocks();
+  const std::size_t n_windows = spec.count(s.cols());
+  std::vector<Signature> out;
+  out.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const std::size_t first = spec.start(w);
+    out.push_back(smooth(sorted_full.sub_cols(first, spec.length),
+                         derivs_full.sub_cols(first, spec.length), l));
+  }
+  return out;
+}
+
+Signature CsPipeline::transform_window(const common::Matrix& window) const {
+  const common::Matrix sorted = model_.sort(window);
+  return smooth(sorted, blocks());
+}
+
+std::pair<common::Matrix, common::Matrix> signature_heatmaps(
+    const std::vector<Signature>& sigs) {
+  if (sigs.empty()) {
+    throw std::invalid_argument("signature_heatmaps: no signatures");
+  }
+  const std::size_t l = sigs.front().length();
+  for (const Signature& s : sigs) {
+    if (s.length() != l) {
+      throw std::invalid_argument("signature_heatmaps: ragged lengths");
+    }
+  }
+  common::Matrix re(l, sigs.size());
+  common::Matrix im(l, sigs.size());
+  for (std::size_t c = 0; c < sigs.size(); ++c) {
+    for (std::size_t r = 0; r < l; ++r) {
+      re(r, c) = sigs[c].real()[r];
+      im(r, c) = sigs[c].imag()[r];
+    }
+  }
+  return {std::move(re), std::move(im)};
+}
+
+CsSignatureMethod::CsSignatureMethod(
+    std::shared_ptr<const CsPipeline> pipeline, std::string display_name)
+    : pipeline_(std::move(pipeline)), name_(std::move(display_name)) {
+  if (!pipeline_) {
+    throw std::invalid_argument("CsSignatureMethod: null pipeline");
+  }
+  if (name_.empty()) {
+    const CsOptions& opt = pipeline_->options();
+    name_ = opt.blocks == 0 ? "CS-All" : "CS-" + std::to_string(opt.blocks);
+    if (opt.real_only) name_ += "-R";
+  }
+}
+
+std::size_t CsSignatureMethod::signature_length(std::size_t n_sensors) const {
+  const CsOptions& opt = pipeline_->options();
+  const std::size_t l = opt.resolve_blocks(n_sensors);
+  return opt.real_only ? l : 2 * l;
+}
+
+std::vector<double> CsSignatureMethod::compute(
+    const common::Matrix& window) const {
+  return pipeline_->transform_window(window).flatten(
+      pipeline_->options().real_only);
+}
+
+}  // namespace csm::core

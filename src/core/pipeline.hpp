@@ -1,0 +1,87 @@
+// End-to-end CS pipeline: model + block count + windowing.
+//
+// For offline dataset generation the pipeline normalises, sorts and
+// differentiates the full sensor matrix once and then aggregates each sliding
+// window from the shared buffers — avoiding both redundant normalisation and
+// the zero-derivative spike that would appear at every window boundary if
+// windows were differentiated in isolation. For online use it also implements
+// the generic SignatureMethod interface (one window in, one signature out).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/cs_model.hpp"
+#include "core/signature.hpp"
+#include "core/signature_method.hpp"
+#include "data/window.hpp"
+
+namespace csm::core {
+
+/// CS output configuration.
+struct CsOptions {
+  /// Number of signature blocks l; 0 means "as many as sensors" (CS-All).
+  std::size_t blocks = 0;
+  /// Drop the imaginary (derivative) channel when flattening ("-R" variant).
+  bool real_only = false;
+
+  std::size_t resolve_blocks(std::size_t n_sensors) const noexcept {
+    return blocks == 0 ? n_sensors : blocks;
+  }
+};
+
+/// Trained CS pipeline.
+class CsPipeline {
+ public:
+  CsPipeline(CsModel model, CsOptions options)
+      : model_(std::move(model)), options_(options) {}
+
+  const CsModel& model() const noexcept { return model_; }
+  const CsOptions& options() const noexcept { return options_; }
+
+  /// Number of blocks produced per signature.
+  std::size_t blocks() const noexcept {
+    return options_.resolve_blocks(model_.n_sensors());
+  }
+
+  /// Computes one signature per sliding window of `s`.
+  std::vector<Signature> transform(const common::Matrix& s,
+                                   const data::WindowSpec& spec) const;
+
+  /// Computes a single signature from one window (sorting + smoothing).
+  Signature transform_window(const common::Matrix& window) const;
+
+  /// Sorted (normalised + permuted) view of the full matrix — the "sorting
+  /// stage" output used for visualisation and the JS-divergence reference.
+  common::Matrix sorted(const common::Matrix& s) const { return model_.sort(s); }
+
+ private:
+  CsModel model_;
+  CsOptions options_;
+};
+
+/// Stacks signatures as columns into (real, imaginary) heatmap matrices of
+/// shape l x n_signatures — the image representation of Figs. 2, 6 and 7.
+std::pair<common::Matrix, common::Matrix> signature_heatmaps(
+    const std::vector<Signature>& sigs);
+
+/// SignatureMethod adapter so CS can be driven by the same harness as the
+/// baselines. Holds a reference-counted pipeline.
+class CsSignatureMethod final : public SignatureMethod {
+ public:
+  CsSignatureMethod(std::shared_ptr<const CsPipeline> pipeline,
+                    std::string display_name = {});
+
+  std::string name() const override { return name_; }
+  std::size_t signature_length(std::size_t n_sensors) const override;
+  std::vector<double> compute(const common::Matrix& window) const override;
+
+ private:
+  std::shared_ptr<const CsPipeline> pipeline_;
+  std::string name_;
+};
+
+}  // namespace csm::core

@@ -1,0 +1,50 @@
+#include "core/signature.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "stats/interpolate.hpp"
+
+namespace csm::core {
+
+Signature::Signature(std::vector<double> re, std::vector<double> im)
+    : re_(std::move(re)), im_(std::move(im)) {
+  if (re_.size() != im_.size()) {
+    throw std::invalid_argument("Signature: channel length mismatch");
+  }
+}
+
+std::vector<double> Signature::flatten(bool real_only) const {
+  std::vector<double> out;
+  out.reserve(real_only ? re_.size() : 2 * re_.size());
+  out.insert(out.end(), re_.begin(), re_.end());
+  if (!real_only) out.insert(out.end(), im_.begin(), im_.end());
+  return out;
+}
+
+Signature Signature::rescaled(std::size_t new_length) const {
+  if (empty() || new_length == 0) {
+    throw std::invalid_argument("Signature::rescaled: empty or zero target");
+  }
+  return Signature(stats::resize_linear(re_, new_length),
+                   stats::resize_linear(im_, new_length));
+}
+
+Signature Signature::pruned_center(std::size_t n_pruned) const {
+  if (n_pruned >= length()) {
+    throw std::invalid_argument("Signature::pruned_center: nothing left");
+  }
+  const std::size_t keep = length() - n_pruned;
+  const std::size_t head = (keep + 1) / 2;  // Keep one extra at the top.
+  const std::size_t tail = keep - head;
+  std::vector<double> re, im;
+  re.reserve(keep);
+  im.reserve(keep);
+  re.insert(re.end(), re_.begin(), re_.begin() + static_cast<std::ptrdiff_t>(head));
+  im.insert(im.end(), im_.begin(), im_.begin() + static_cast<std::ptrdiff_t>(head));
+  re.insert(re.end(), re_.end() - static_cast<std::ptrdiff_t>(tail), re_.end());
+  im.insert(im.end(), im_.end() - static_cast<std::ptrdiff_t>(tail), im_.end());
+  return Signature(std::move(re), std::move(im));
+}
+
+}  // namespace csm::core

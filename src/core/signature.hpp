@@ -1,0 +1,66 @@
+// The CS signature: l complex-valued blocks (Section III-C).
+//
+// The real channel of block i holds the average normalised value of the
+// sensors aggregated by that block over the window; the imaginary channel
+// holds the average first-order derivative. Signatures are "image-like":
+// they can be rescaled to other block counts with standard 1-D resampling
+// (keeping models and signatures of different resolutions compatible), the
+// central low-information blocks can be pruned, and the derivative channel
+// can be dropped (the paper's "-R" real-only variant).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csm::core {
+
+/// A single CS signature of `length()` complex blocks.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Creates a zero signature with `length` blocks.
+  explicit Signature(std::size_t length) : re_(length, 0.0), im_(length, 0.0) {}
+
+  /// Creates a signature from separate channels (must be equally sized).
+  Signature(std::vector<double> re, std::vector<double> im);
+
+  std::size_t length() const noexcept { return re_.size(); }
+  bool empty() const noexcept { return re_.empty(); }
+
+  std::span<const double> real() const noexcept { return re_; }
+  std::span<const double> imag() const noexcept { return im_; }
+  std::span<double> real() noexcept { return re_; }
+  std::span<double> imag() noexcept { return im_; }
+
+  std::complex<double> block(std::size_t i) const {
+    return {re_.at(i), im_.at(i)};
+  }
+  void set_block(std::size_t i, std::complex<double> v) {
+    re_.at(i) = v.real();
+    im_.at(i) = v.imag();
+  }
+
+  /// Flattens to a feature vector: all real parts followed by all imaginary
+  /// parts (2*l features), or just the real parts if `real_only`.
+  std::vector<double> flatten(bool real_only = false) const;
+
+  /// Rescales both channels to `new_length` blocks by linear resampling
+  /// (the paper's image-style scaling). Returns a new signature.
+  Signature rescaled(std::size_t new_length) const;
+
+  /// Drops the `n_pruned` central blocks — the paper notes the central
+  /// coefficients represent the least insightful sensors and can be removed
+  /// with minimal loss. Throws std::invalid_argument if n_pruned >= length.
+  Signature pruned_center(std::size_t n_pruned) const;
+
+  bool operator==(const Signature&) const = default;
+
+ private:
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+}  // namespace csm::core

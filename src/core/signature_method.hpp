@@ -1,0 +1,32 @@
+// Generic signature-method interface (the paper's Sig() function,
+// Section III-A): a signature method maps an n x wl window of the sensor
+// matrix to a flat feature vector of fixed length l << n * wl. The CS method
+// and the three baselines (Tuncer, Bodik, Lan) all implement this interface,
+// which is what the experiment harness and the scalability benchmark drive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::core {
+
+/// Abstract signature extractor.
+class SignatureMethod {
+ public:
+  virtual ~SignatureMethod() = default;
+
+  /// Human-readable method name, e.g. "Tuncer" or "CS-20".
+  virtual std::string name() const = 0;
+
+  /// Length of the feature vector produced for an n-sensor window.
+  virtual std::size_t signature_length(std::size_t n_sensors) const = 0;
+
+  /// Computes the feature vector for one window (rows = sensors,
+  /// cols = wl samples).
+  virtual std::vector<double> compute(const common::Matrix& window) const = 0;
+};
+
+}  // namespace csm::core

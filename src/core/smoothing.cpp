@@ -1,0 +1,55 @@
+#include "core/smoothing.hpp"
+
+#include <stdexcept>
+
+#include "stats/finite_diff.hpp"
+
+namespace csm::core {
+
+BlockRange block_range(std::size_t i, std::size_t l, std::size_t n) {
+  if (l == 0 || n == 0) {
+    throw std::invalid_argument("block_range: zero blocks or sensors");
+  }
+  if (i >= l) throw std::invalid_argument("block_range: block index >= l");
+  // Eq. 2, 0-based: begin = floor(i*n/l); end (exclusive) = ceil((i+1)*n/l).
+  const std::size_t begin = i * n / l;
+  const std::size_t end = ((i + 1) * n + l - 1) / l;
+  return BlockRange{begin, end};
+}
+
+namespace {
+
+// Average of all elements in rows [range.begin, range.end) of m.
+double block_mean(const common::Matrix& m, const BlockRange& range) {
+  double acc = 0.0;
+  for (std::size_t r = range.begin; r < range.end; ++r) {
+    for (double v : m.row(r)) acc += v;
+  }
+  const double count =
+      static_cast<double>(range.size()) * static_cast<double>(m.cols());
+  return count == 0.0 ? 0.0 : acc / count;
+}
+
+}  // namespace
+
+Signature smooth(const common::Matrix& sorted, const common::Matrix& derivs,
+                 std::size_t l) {
+  if (sorted.empty()) throw std::invalid_argument("smooth: empty window");
+  if (derivs.rows() != sorted.rows() || derivs.cols() != sorted.cols()) {
+    throw std::invalid_argument("smooth: derivative shape mismatch");
+  }
+  if (l == 0) throw std::invalid_argument("smooth: zero blocks");
+  Signature sig(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    const BlockRange range = block_range(i, l, sorted.rows());
+    sig.real()[i] = block_mean(sorted, range);
+    sig.imag()[i] = block_mean(derivs, range);
+  }
+  return sig;
+}
+
+Signature smooth(const common::Matrix& sorted, std::size_t l) {
+  return smooth(sorted, stats::backward_diff_rows(sorted), l);
+}
+
+}  // namespace csm::core

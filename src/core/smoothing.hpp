@@ -1,0 +1,42 @@
+// CS smoothing stage (Section III-C3, Eqs. 2-3).
+//
+// The sorted, normalised window is collapsed into l complex blocks. Block i
+// (1-based in the paper) aggregates sensor rows [b_i, e_i] with
+//   b_i = 1 + floor((i-1) * n / l),   e_i = ceil(i * n / l);
+// when n % l != 0 neighbouring blocks share one boundary sensor ("partially
+// overlapping ranges") and the extended blocks spread uniformly over the
+// signature thanks to the modulo's periodicity. The real channel averages the
+// window values of the block's sensors, the imaginary channel averages their
+// backward first-order derivatives. Complexity O(wl * n).
+#pragma once
+
+#include <cstddef>
+
+#include "common/matrix.hpp"
+#include "core/signature.hpp"
+
+namespace csm::core {
+
+/// Half-open row range [begin, end) of block `i` (0-based) out of `l` blocks
+/// over `n` sensors — the 0-based translation of Eq. 2.
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool operator==(const BlockRange&) const = default;
+};
+
+/// Throws std::invalid_argument if l == 0, n == 0 or i >= l.
+BlockRange block_range(std::size_t i, std::size_t l, std::size_t n);
+
+/// Smooths a sorted window and its derivative matrix into an l-block
+/// signature. `sorted` and `derivs` must have identical shapes.
+Signature smooth(const common::Matrix& sorted, const common::Matrix& derivs,
+                 std::size_t l);
+
+/// Convenience overload computing the derivative matrix internally with
+/// backward differences (first column derivative = 0).
+Signature smooth(const common::Matrix& sorted, std::size_t l);
+
+}  // namespace csm::core

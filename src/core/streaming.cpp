@@ -1,0 +1,107 @@
+#include "core/streaming.hpp"
+
+#include <stdexcept>
+
+#include "core/smoothing.hpp"
+#include "core/training.hpp"
+#include "stats/finite_diff.hpp"
+
+namespace csm::core {
+
+void StreamOptions::validate() const {
+  if (window_length == 0) {
+    throw std::invalid_argument("StreamOptions: zero window length");
+  }
+  if (window_step == 0) {
+    throw std::invalid_argument("StreamOptions: zero window step");
+  }
+  if (history_length < window_length + 1) {
+    throw std::invalid_argument(
+        "StreamOptions: history must hold at least one window plus the "
+        "derivative seed column");
+  }
+}
+
+CsStream::CsStream(CsModel model, StreamOptions options)
+    : model_(std::move(model)), options_(options) {
+  options_.validate();
+  if (model_.n_sensors() == 0) {
+    throw std::invalid_argument("CsStream: empty model");
+  }
+  history_.reserve(options_.history_length);
+  next_emit_at_ = options_.window_length;
+}
+
+std::optional<Signature> CsStream::push(std::span<const double> column) {
+  if (column.size() != n_sensors()) {
+    throw std::invalid_argument("CsStream::push: wrong column length");
+  }
+  if (history_.size() == options_.history_length) {
+    history_.erase(history_.begin());  // Bounded history; drop the oldest.
+  }
+  history_.emplace_back(column.begin(), column.end());
+  ++samples_seen_;
+
+  maybe_retrain();
+
+  if (samples_seen_ < next_emit_at_) return std::nullopt;
+  next_emit_at_ += options_.window_step;
+
+  // Assemble the window (plus one seed column when available) from the
+  // newest wl columns of the history.
+  const std::size_t wl = options_.window_length;
+  const bool have_seed = history_.size() > wl;
+  const std::size_t first = history_.size() - wl;
+  common::Matrix window(n_sensors(), wl);
+  for (std::size_t c = 0; c < wl; ++c) {
+    for (std::size_t r = 0; r < n_sensors(); ++r) {
+      window(r, c) = history_[first + c][r];
+    }
+  }
+  const common::Matrix sorted = model_.sort(window);
+
+  common::Matrix derivs;
+  if (have_seed) {
+    common::Matrix seed_col(n_sensors(), 1);
+    for (std::size_t r = 0; r < n_sensors(); ++r) {
+      seed_col(r, 0) = history_[first - 1][r];
+    }
+    const common::Matrix sorted_seed = model_.sort(seed_col);
+    derivs = stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
+  } else {
+    derivs = stats::backward_diff_rows(sorted);
+  }
+  return smooth(sorted, derivs,
+                options_.cs.resolve_blocks(model_.n_sensors()));
+}
+
+std::vector<Signature> CsStream::push_all(const common::Matrix& columns) {
+  if (columns.rows() != n_sensors()) {
+    throw std::invalid_argument("CsStream::push_all: wrong sensor count");
+  }
+  std::vector<Signature> out;
+  std::vector<double> column(n_sensors());
+  for (std::size_t c = 0; c < columns.cols(); ++c) {
+    for (std::size_t r = 0; r < n_sensors(); ++r) {
+      column[r] = columns(r, c);
+    }
+    if (auto sig = push(column)) out.push_back(std::move(*sig));
+  }
+  return out;
+}
+
+void CsStream::maybe_retrain() {
+  if (options_.retrain_interval == 0) return;
+  if (samples_seen_ % options_.retrain_interval != 0) return;
+  if (history_.size() < options_.window_length + 1) return;
+  common::Matrix training(n_sensors(), history_.size());
+  for (std::size_t c = 0; c < history_.size(); ++c) {
+    for (std::size_t r = 0; r < n_sensors(); ++r) {
+      training(r, c) = history_[c][r];
+    }
+  }
+  model_ = train(training);
+  ++retrain_count_;
+}
+
+}  // namespace csm::core

@@ -1,0 +1,69 @@
+// Online streaming CS pipeline.
+//
+// In-band ODA (Section I, Fig. 1) consumes monitoring samples as they are
+// produced: one column of sensor readings per time-stamp. CsStream keeps a
+// ring buffer of the last wl columns, emits a signature every ws samples,
+// seeds the derivative channel with the column preceding the window (no
+// zero-spike at window boundaries), and can optionally repeat the training
+// stage every `retrain_interval` samples over a bounded history — the
+// "repeat training whenever required" mode of Section III-C2 for components
+// whose correlations drift over time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/cs_model.hpp"
+#include "core/pipeline.hpp"
+#include "core/signature.hpp"
+
+namespace csm::core {
+
+/// Streaming configuration.
+struct StreamOptions {
+  std::size_t window_length = 60;  ///< wl in samples.
+  std::size_t window_step = 10;    ///< ws in samples.
+  CsOptions cs;                    ///< Block count / real-only flag.
+  /// Retrain the model every this many samples (0 = never retrain). The
+  /// retrain uses the last `history_length` buffered columns.
+  std::size_t retrain_interval = 0;
+  std::size_t history_length = 1024;
+
+  void validate() const;
+};
+
+/// Push-based CS signature stream over one monitored component.
+class CsStream {
+ public:
+  /// Starts with a pre-trained model (the usual in-band deployment).
+  CsStream(CsModel model, StreamOptions options);
+
+  std::size_t n_sensors() const noexcept { return model_.n_sensors(); }
+  const CsModel& model() const noexcept { return model_; }
+  std::size_t samples_seen() const noexcept { return samples_seen_; }
+  std::size_t retrain_count() const noexcept { return retrain_count_; }
+
+  /// Feeds one column of sensor readings (length must equal n_sensors()).
+  /// Returns a signature when a window completes (every ws samples once wl
+  /// samples have been buffered), otherwise std::nullopt.
+  std::optional<Signature> push(std::span<const double> column);
+
+  /// Feeds a whole matrix column by column; returns all emitted signatures.
+  std::vector<Signature> push_all(const common::Matrix& columns);
+
+ private:
+  void maybe_retrain();
+
+  CsModel model_;
+  StreamOptions options_;
+  // History ring buffer, stored column-major as flat vectors of n sensors.
+  std::vector<std::vector<double>> history_;
+  std::size_t samples_seen_ = 0;
+  std::size_t next_emit_at_ = 0;
+  std::size_t retrain_count_ = 0;
+};
+
+}  // namespace csm::core

@@ -1,0 +1,93 @@
+#include "core/training.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+#include "stats/normalize.hpp"
+
+namespace csm::core {
+
+std::vector<std::size_t> correlation_ordering(
+    const common::Matrix& shifted, const std::vector<double>& global) {
+  const std::size_t n = shifted.rows();
+  if (shifted.cols() != n) {
+    throw std::invalid_argument("correlation_ordering: matrix not square");
+  }
+  if (global.size() != n) {
+    throw std::invalid_argument("correlation_ordering: coefficient mismatch");
+  }
+  std::vector<std::size_t> p;
+  p.reserve(n);
+  std::vector<bool> used(n, false);
+
+  // Line 3: start from the row with the maximal global coefficient.
+  std::size_t next = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (global[k] > global[next]) next = k;
+  }
+  used[next] = true;
+  p.push_back(next);
+
+  // Lines 6-10: greedily append the row maximising rho(k, last) * rho_k.
+  while (p.size() < n) {
+    const std::size_t last = p.back();
+    std::size_t best = n;
+    double best_score = -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (used[k]) continue;
+      const double score = shifted(k, last) * global[k];
+      if (score > best_score) {
+        best_score = score;
+        best = k;
+      }
+    }
+    used[best] = true;
+    p.push_back(best);
+  }
+  return p;
+}
+
+CsModel train(const common::Matrix& s) {
+  return train_with_strategy(s, OrderingStrategy::kAlgorithm1);
+}
+
+CsModel train_with_strategy(const common::Matrix& s,
+                            OrderingStrategy strategy) {
+  if (s.empty()) throw std::invalid_argument("train: empty sensor matrix");
+  std::vector<stats::MinMaxBounds> bounds = stats::row_bounds(s);
+  std::vector<std::size_t> perm;
+  switch (strategy) {
+    case OrderingStrategy::kAlgorithm1: {
+      const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+      perm = correlation_ordering(shifted, stats::global_coefficients(shifted));
+      break;
+    }
+    case OrderingStrategy::kIdentity: {
+      perm.resize(s.rows());
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      break;
+    }
+    case OrderingStrategy::kGlobalOnly: {
+      const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+      const std::vector<double> global = stats::global_coefficients(shifted);
+      perm.resize(s.rows());
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return global[a] > global[b];
+                       });
+      break;
+    }
+    case OrderingStrategy::kRandom: {
+      common::Rng rng(42);
+      perm = rng.permutation(s.rows());
+      break;
+    }
+  }
+  return CsModel(std::move(perm), std::move(bounds));
+}
+
+}  // namespace csm::core

@@ -1,0 +1,42 @@
+// CS training stage (Section III-C1, Algorithm 1).
+//
+// Given historical sensor data, training computes (a) the shifted Pearson
+// correlation matrix and per-row global coefficients of Eq. 1, (b) the greedy
+// row ordering of Algorithm 1 — start from the row with maximal global
+// coefficient, then repeatedly append the row maximising
+// rho(candidate, last_added) * rho_global(candidate) — and (c) per-row
+// min/max bounds. Complexity is O(n^2 t), dominated by the correlation
+// matrix, and is parallelised across row pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/cs_model.hpp"
+
+namespace csm::core {
+
+/// Computes the permutation vector of Algorithm 1 from a shifted pairwise
+/// correlation matrix and the corresponding global coefficients. Exposed
+/// separately for testing and for the ordering-strategy ablation.
+std::vector<std::size_t> correlation_ordering(
+    const common::Matrix& shifted_correlations,
+    const std::vector<double>& global_coefficients);
+
+/// Trains a CS model from historical data `s` (rows = sensors).
+/// Throws std::invalid_argument if `s` is empty.
+CsModel train(const common::Matrix& s);
+
+/// Alternative orderings used by the ablation benchmark.
+enum class OrderingStrategy {
+  kAlgorithm1,    ///< The paper's greedy product ordering.
+  kIdentity,      ///< No reordering at all.
+  kGlobalOnly,    ///< Sort by global coefficient, descending.
+  kRandom,        ///< Random permutation (seed 42), the adversarial baseline.
+};
+
+/// Trains with a specific ordering strategy (bounds are always computed).
+CsModel train_with_strategy(const common::Matrix& s, OrderingStrategy strategy);
+
+}  // namespace csm::core

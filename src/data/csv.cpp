@@ -1,0 +1,147 @@
+#include "data/csv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace csm::data {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view sv) {
+  while (!sv.empty() && std::isspace(static_cast<unsigned char>(sv.front()))) {
+    sv.remove_prefix(1);
+  }
+  while (!sv.empty() && std::isspace(static_cast<unsigned char>(sv.back()))) {
+    sv.remove_suffix(1);
+  }
+  return sv;
+}
+
+}  // namespace
+
+TimeSeries parse_sensor_csv(const std::string& text, std::string sensor_name) {
+  TimeSeries series;
+  series.name = std::move(sensor_name);
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    if (first_content_line) {
+      first_content_line = false;
+      if (to_lower(std::string(sv)) == "timestamp,value") continue;
+    }
+    const std::size_t comma = sv.find(',');
+    if (comma == std::string_view::npos) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": missing comma");
+    }
+    const std::string_view ts_sv = trim(sv.substr(0, comma));
+    const std::string_view val_sv = trim(sv.substr(comma + 1));
+    Sample s;
+    auto [p1, e1] =
+        std::from_chars(ts_sv.data(), ts_sv.data() + ts_sv.size(), s.timestamp);
+    if (e1 != std::errc{} || p1 != ts_sv.data() + ts_sv.size()) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": bad timestamp '" + std::string(ts_sv) + "'");
+    }
+    // std::from_chars for double is available in libstdc++ >= 11.
+    auto [p2, e2] =
+        std::from_chars(val_sv.data(), val_sv.data() + val_sv.size(), s.value);
+    if (e2 != std::errc{} || p2 != val_sv.data() + val_sv.size()) {
+      throw std::runtime_error("CSV line " + std::to_string(line_no) +
+                               ": bad value '" + std::string(val_sv) + "'");
+    }
+    series.samples.push_back(s);
+  }
+  return series;
+}
+
+TimeSeries read_sensor_csv(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file: " + file.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_sensor_csv(buf.str(), file.stem().string());
+}
+
+void write_sensor_csv(const std::filesystem::path& file,
+                      const TimeSeries& series) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot create CSV file: " + file.string());
+  }
+  out << "timestamp,value\n";
+  char buf[64];
+  for (const Sample& s : series.samples) {
+    std::snprintf(buf, sizeof(buf), "%lld,%.17g",
+                  static_cast<long long>(s.timestamp), s.value);
+    out << buf << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("write failure on CSV file: " + file.string());
+  }
+}
+
+std::vector<TimeSeries> read_sensor_dir(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  if (files.empty()) {
+    throw std::runtime_error("no CSV files in directory: " + dir.string());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<TimeSeries> out;
+  out.reserve(files.size());
+  for (const auto& f : files) out.push_back(read_sensor_csv(f));
+  return out;
+}
+
+void write_sensor_dir(const std::filesystem::path& dir,
+                      const common::Matrix& sensors,
+                      const std::vector<std::string>& names,
+                      std::int64_t start_ts, std::int64_t interval_ms) {
+  if (!names.empty() && names.size() != sensors.rows()) {
+    throw std::invalid_argument("write_sensor_dir: name count mismatch");
+  }
+  std::filesystem::create_directories(dir);
+  char stem[32];
+  for (std::size_t r = 0; r < sensors.rows(); ++r) {
+    TimeSeries series;
+    if (names.empty()) {
+      std::snprintf(stem, sizeof(stem), "sensor_%04zu", r);
+      series.name = stem;
+    } else {
+      series.name = names[r];
+    }
+    series.samples.reserve(sensors.cols());
+    for (std::size_t c = 0; c < sensors.cols(); ++c) {
+      series.samples.push_back(
+          Sample{start_ts + static_cast<std::int64_t>(c) * interval_ms,
+                 sensors(r, c)});
+    }
+    write_sensor_csv(dir / (series.name + ".csv"), series);
+  }
+}
+
+}  // namespace csm::data

@@ -1,0 +1,43 @@
+// CSV I/O in the HPC-ODA layout: one file per sensor, one
+// "timestamp,value" pair per line, optional header line.
+//
+// The readers are deliberately strict — malformed lines raise rather than
+// silently skipping, since a silently truncated sensor would corrupt every
+// downstream correlation.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "data/time_series.hpp"
+
+namespace csm::data {
+
+/// Parses "timestamp,value" text into a TimeSeries. Lines that are empty or
+/// start with '#' are ignored; a first line equal to "timestamp,value" (any
+/// case) is treated as a header. Throws std::runtime_error on malformed rows.
+TimeSeries parse_sensor_csv(const std::string& text, std::string sensor_name);
+
+/// Reads one sensor CSV file; the sensor name is the file stem.
+TimeSeries read_sensor_csv(const std::filesystem::path& file);
+
+/// Writes a TimeSeries in the same format (with header).
+void write_sensor_csv(const std::filesystem::path& file,
+                      const TimeSeries& series);
+
+/// Reads every *.csv file in a directory (sorted by filename for determinism)
+/// as one sensor each. Throws if the directory contains no CSV files.
+std::vector<TimeSeries> read_sensor_dir(const std::filesystem::path& dir);
+
+/// Writes a sensor matrix as a directory of per-sensor CSVs with synthetic
+/// timestamps start_ts + i*interval_ms. `names` supplies file stems; if
+/// empty, sensors are named sensor_0000, sensor_0001, ...
+void write_sensor_dir(const std::filesystem::path& dir,
+                      const common::Matrix& sensors,
+                      const std::vector<std::string>& names = {},
+                      std::int64_t start_ts = 0,
+                      std::int64_t interval_ms = 1000);
+
+}  // namespace csm::data

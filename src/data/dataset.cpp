@@ -1,0 +1,73 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csm::data {
+
+std::size_t Dataset::n_classes() const noexcept {
+  if (labels.empty()) return 0;
+  const int max_label = *std::max_element(labels.begin(), labels.end());
+  return max_label < 0 ? 0 : static_cast<std::size_t>(max_label) + 1;
+}
+
+void Dataset::validate() const {
+  if (!labels.empty() && !targets.empty()) {
+    throw std::invalid_argument("Dataset: both labels and targets set");
+  }
+  if (!labels.empty() && labels.size() != features.rows()) {
+    throw std::invalid_argument("Dataset: label count != sample count");
+  }
+  if (!targets.empty() && targets.size() != features.rows()) {
+    throw std::invalid_argument("Dataset: target count != sample count");
+  }
+  if (labels.empty() && targets.empty() && features.rows() != 0) {
+    throw std::invalid_argument("Dataset: samples without labels or targets");
+  }
+  for (int l : labels) {
+    if (l < 0) throw std::invalid_argument("Dataset: negative label");
+  }
+}
+
+void Dataset::shuffle(common::Rng& rng) {
+  const std::vector<std::size_t> perm = rng.permutation(size());
+  *this = subset(perm);
+}
+
+void Dataset::merge(const Dataset& other) {
+  if (other.size() == 0) return;
+  if (size() == 0) {
+    *this = other;
+    return;
+  }
+  if (other.feature_length() != feature_length()) {
+    throw std::invalid_argument("Dataset::merge: feature length mismatch");
+  }
+  if (other.kind() != kind()) {
+    throw std::invalid_argument("Dataset::merge: task kind mismatch");
+  }
+  features.append_rows(other.features);
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  targets.insert(targets.end(), other.targets.begin(), other.targets.end());
+  if (class_names.empty()) class_names = other.class_names;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.class_names = class_names;
+  out.features = common::Matrix(indices.size(), features.cols());
+  out.labels.reserve(labels.empty() ? 0 : indices.size());
+  out.targets.reserve(targets.empty() ? 0 : indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    out.features.set_row(i, features.row(src));
+    if (!labels.empty()) out.labels.push_back(labels[src]);
+    if (!targets.empty()) out.targets.push_back(targets[src]);
+  }
+  return out;
+}
+
+}  // namespace csm::data

@@ -1,0 +1,53 @@
+// Labelled feature-set datasets for the ML substrate.
+//
+// After signature extraction each window becomes one feature vector (one row)
+// paired with either an integer class label (Fault / Application /
+// Cross-Architecture use cases) or a real-valued regression target (Power /
+// Infrastructure). The same container feeds cross-validation, and supports
+// the shuffling and merging steps of Sections IV-A and IV-F.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace csm::data {
+
+/// Whether a dataset carries class labels or regression targets.
+enum class TaskKind { kClassification, kRegression };
+
+/// Feature matrix (rows = samples) plus per-sample labels/targets.
+struct Dataset {
+  common::Matrix features;          ///< samples x feature-length.
+  std::vector<int> labels;          ///< classification labels, else empty.
+  std::vector<double> targets;      ///< regression targets, else empty.
+  std::vector<std::string> class_names;  ///< optional, indexed by label.
+
+  TaskKind kind() const noexcept {
+    return labels.empty() ? TaskKind::kRegression : TaskKind::kClassification;
+  }
+
+  std::size_t size() const noexcept { return features.rows(); }
+  std::size_t feature_length() const noexcept { return features.cols(); }
+
+  /// Number of distinct classes (max label + 1); 0 for regression sets.
+  std::size_t n_classes() const noexcept;
+
+  /// Verifies internal consistency (label/target counts match rows, labels
+  /// non-negative); throws std::invalid_argument otherwise.
+  void validate() const;
+
+  /// Randomly permutes samples (features and labels/targets together).
+  void shuffle(common::Rng& rng);
+
+  /// Appends another dataset of the same kind and feature length.
+  void merge(const Dataset& other);
+
+  /// Returns the subset given by row indices.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+}  // namespace csm::data

@@ -1,0 +1,127 @@
+#include "data/feature_csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csm::data {
+
+namespace {
+
+double parse_double(const std::string& token, std::size_t line_no) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("feature CSV line " + std::to_string(line_no) +
+                             ": bad number '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_feature_csv(const std::filesystem::path& file, const Dataset& ds) {
+  ds.validate();
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_feature_csv: cannot open " +
+                             file.string());
+  }
+  const bool regression = ds.kind() == TaskKind::kRegression;
+  for (std::size_t c = 0; c < ds.feature_length(); ++c) {
+    out << 'f' << c << ',';
+  }
+  out << (regression ? "target" : "label") << '\n';
+
+  char buf[32];
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    const auto row = ds.features.row(r);
+    for (double v : row) {
+      std::snprintf(buf, sizeof(buf), "%.17g,", v);
+      out << buf;
+    }
+    if (regression) {
+      std::snprintf(buf, sizeof(buf), "%.17g", ds.targets[r]);
+      out << buf << '\n';
+    } else {
+      out << ds.labels[r] << '\n';
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("write_feature_csv: write failed on " +
+                             file.string());
+  }
+}
+
+Dataset read_feature_csv(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_feature_csv: cannot open " + file.string());
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("read_feature_csv: empty file");
+  }
+  // Header: f0,...,fN,label|target.
+  std::size_t n_features = 0;
+  bool regression = false;
+  {
+    std::istringstream header(line);
+    std::string token;
+    std::vector<std::string> columns;
+    while (std::getline(header, token, ',')) columns.push_back(token);
+    if (columns.empty()) {
+      throw std::runtime_error("read_feature_csv: bad header");
+    }
+    const std::string& last = columns.back();
+    if (last == "target") {
+      regression = true;
+    } else if (last != "label") {
+      throw std::runtime_error(
+          "read_feature_csv: last column must be 'label' or 'target'");
+    }
+    n_features = columns.size() - 1;
+  }
+
+  Dataset ds;
+  std::size_t line_no = 1;
+  std::vector<double> row(n_features);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string token;
+    for (std::size_t c = 0; c < n_features; ++c) {
+      if (!std::getline(fields, token, ',')) {
+        throw std::runtime_error("feature CSV line " +
+                                 std::to_string(line_no) + ": too few fields");
+      }
+      row[c] = parse_double(token, line_no);
+    }
+    if (!std::getline(fields, token, ',')) {
+      throw std::runtime_error("feature CSV line " + std::to_string(line_no) +
+                               ": missing label/target");
+    }
+    const std::string label_token = token;
+    if (std::getline(fields, token, ',')) {
+      throw std::runtime_error("feature CSV line " + std::to_string(line_no) +
+                               ": too many fields");
+    }
+    ds.features.append_row(row);
+    if (regression) {
+      ds.targets.push_back(parse_double(label_token, line_no));
+    } else {
+      ds.labels.push_back(
+          static_cast<int>(parse_double(label_token, line_no)));
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+}  // namespace csm::data

@@ -1,0 +1,27 @@
+// Feature-dataset CSV I/O.
+//
+// Signature datasets (one row per feature set, plus a label or target
+// column) are the interchange format between the extraction pipeline and
+// external ML tooling — and the format in which the original HPC-ODA
+// framework ships its processed feature sets. Layout:
+//   f0,f1,...,fN,label     (classification; label is an integer)
+//   f0,f1,...,fN,target    (regression; target is a double)
+// with a header row naming the columns.
+#pragma once
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+
+namespace csm::data {
+
+/// Writes a dataset (features + label/target column) as CSV.
+/// Throws std::invalid_argument on an inconsistent dataset and
+/// std::runtime_error on I/O failure.
+void write_feature_csv(const std::filesystem::path& file, const Dataset& ds);
+
+/// Reads a dataset written by write_feature_csv. The task kind is inferred
+/// from the header's last column name ("label" vs "target").
+Dataset read_feature_csv(const std::filesystem::path& file);
+
+}  // namespace csm::data

@@ -1,0 +1,37 @@
+#include "data/time_series.hpp"
+
+#include <algorithm>
+
+namespace csm::data {
+
+bool TimeSeries::is_sorted() const noexcept {
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].timestamp <= samples[i - 1].timestamp) return false;
+  }
+  return true;
+}
+
+void TimeSeries::sort_by_time() {
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+std::vector<double> TimeSeries::timestamps_as_double() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) {
+    out.push_back(static_cast<double>(s.timestamp));
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) out.push_back(s.value);
+  return out;
+}
+
+}  // namespace csm::data

@@ -1,0 +1,46 @@
+// Raw sensor time-series: the on-disk unit of the HPC-ODA collection.
+//
+// Each sensor in HPC-ODA is stored as a separate CSV file of
+// time-stamp/value pairs. Series from different sensors are generally *not*
+// aligned (different sampling phases or rates), so the library carries
+// explicit timestamps until alignment (see alignment.hpp) produces a dense
+// sensor matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csm::data {
+
+/// One monitoring sample.
+struct Sample {
+  std::int64_t timestamp = 0;  ///< e.g. milliseconds since epoch.
+  double value = 0.0;
+
+  bool operator==(const Sample&) const = default;
+};
+
+/// A named, time-ordered sequence of samples from one sensor.
+struct TimeSeries {
+  std::string name;
+  std::vector<Sample> samples;
+
+  bool empty() const noexcept { return samples.empty(); }
+  std::size_t size() const noexcept { return samples.size(); }
+
+  std::int64_t first_timestamp() const { return samples.front().timestamp; }
+  std::int64_t last_timestamp() const { return samples.back().timestamp; }
+
+  /// True if timestamps are strictly increasing.
+  bool is_sorted() const noexcept;
+
+  /// Sorts samples by timestamp (stable; keeps duplicate order).
+  void sort_by_time();
+
+  /// Splits into separate timestamp / value vectors (for interpolation).
+  std::vector<double> timestamps_as_double() const;
+  std::vector<double> values() const;
+};
+
+}  // namespace csm::data

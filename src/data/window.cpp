@@ -1,0 +1,18 @@
+#include "data/window.hpp"
+
+namespace csm::data {
+
+std::vector<Window> extract_windows(const common::Matrix& s,
+                                    const WindowSpec& spec) {
+  spec.validate();
+  const std::size_t n_windows = spec.count(s.cols());
+  std::vector<Window> out;
+  out.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const std::size_t first = spec.start(w);
+    out.push_back(Window{s.sub_cols(first, spec.length), first});
+  }
+  return out;
+}
+
+}  // namespace csm::data

@@ -1,0 +1,50 @@
+// Sliding-window extraction over sensor matrices.
+//
+// A signature method consumes sub-matrices S^w of the sensor matrix S with
+// `wl` columns (the aggregation window) taken every `ws` columns (the step) —
+// Section III-A. WindowSpec enumerates the windows that fit in a matrix of t
+// columns; SlidingWindows iterates them as column ranges without copying.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::data {
+
+/// Aggregation window parameters (in samples).
+struct WindowSpec {
+  std::size_t length = 1;  ///< wl: columns aggregated into one signature.
+  std::size_t step = 1;    ///< ws: columns between successive windows.
+
+  /// Number of windows that fit into t columns (0 if t < length).
+  std::size_t count(std::size_t t) const noexcept {
+    if (length == 0 || step == 0 || t < length) return 0;
+    return (t - length) / step + 1;
+  }
+
+  /// First column of window w.
+  std::size_t start(std::size_t w) const noexcept { return w * step; }
+
+  /// Throws std::invalid_argument on zero length/step.
+  void validate() const {
+    if (length == 0) throw std::invalid_argument("WindowSpec: zero length");
+    if (step == 0) throw std::invalid_argument("WindowSpec: zero step");
+  }
+};
+
+/// One window: a copied sub-matrix plus its position in the source.
+struct Window {
+  common::Matrix data;
+  std::size_t first_col = 0;
+};
+
+/// Materialises all windows of `s` (copies; suitable for offline dataset
+/// generation). For the streaming path use WindowSpec::count/start and
+/// Matrix::sub_cols directly.
+std::vector<Window> extract_windows(const common::Matrix& s,
+                                    const WindowSpec& spec);
+
+}  // namespace csm::data

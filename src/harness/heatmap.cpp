@@ -1,0 +1,67 @@
+#include "harness/heatmap.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/interpolate.hpp"
+
+namespace csm::harness {
+
+namespace {
+
+// Min/max over the whole matrix; degenerate ranges map everything to 0.
+std::pair<double, double> value_range(const common::Matrix& m) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    lo = std::min(lo, m.data()[i]);
+    hi = std::max(hi, m.data()[i]);
+  }
+  return {lo, hi};
+}
+
+double normalized(double v, double lo, double hi) {
+  return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+}
+
+}  // namespace
+
+std::string ascii_heatmap(const common::Matrix& m, std::size_t rows,
+                          std::size_t cols) {
+  if (m.empty()) throw std::invalid_argument("ascii_heatmap: empty matrix");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  static constexpr std::size_t kLevels = sizeof(kRamp) - 2;
+  const common::Matrix scaled = stats::resize_bilinear(
+      m, std::min(rows, m.rows()), std::min(cols, m.cols()));
+  const auto [lo, hi] = value_range(scaled);
+  std::string out;
+  out.reserve((scaled.cols() + 1) * scaled.rows());
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    for (std::size_t c = 0; c < scaled.cols(); ++c) {
+      const double u = normalized(scaled(r, c), lo, hi);
+      out += kRamp[static_cast<std::size_t>(u * static_cast<double>(kLevels))];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_pgm(const std::filesystem::path& file, const common::Matrix& m) {
+  if (m.empty()) throw std::invalid_argument("write_pgm: empty matrix");
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + file.string());
+  out << "P5\n" << m.cols() << ' ' << m.rows() << "\n255\n";
+  const auto [lo, hi] = value_range(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      // Dark = high value, like the paper's figures.
+      const double u = 1.0 - normalized(m(r, c), lo, hi);
+      out.put(static_cast<char>(static_cast<unsigned char>(u * 255.0)));
+    }
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed");
+}
+
+}  // namespace csm::harness

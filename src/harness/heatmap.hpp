@@ -1,0 +1,26 @@
+// Heatmap rendering for the visual experiments (Figs. 2, 6, 7).
+//
+// Signature heatmaps are rendered either as ASCII art (for terminal output
+// from the benches/examples) or as binary PGM images (portable graymap, a
+// dependency-free format every image viewer opens). Darker = higher value,
+// matching the paper's figures.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace csm::harness {
+
+/// Renders the matrix as `rows` x `cols` ASCII art (values min-max scaled to
+/// a 10-level shade ramp). The matrix is resampled bilinearly to the
+/// requested character grid.
+std::string ascii_heatmap(const common::Matrix& m, std::size_t rows = 24,
+                          std::size_t cols = 72);
+
+/// Writes the matrix as an 8-bit binary PGM image (min-max scaled; dark =
+/// high, matching the paper). One matrix cell = one pixel.
+void write_pgm(const std::filesystem::path& file, const common::Matrix& m);
+
+}  // namespace csm::harness

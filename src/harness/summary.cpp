@@ -1,0 +1,32 @@
+#include "harness/summary.hpp"
+
+#include <cstdio>
+
+namespace csm::harness {
+
+SegmentSummary summarize(const hpcoda::Segment& segment) {
+  SegmentSummary s;
+  s.name = segment.name;
+  s.nodes = segment.n_blocks();
+  s.sensors = segment.n_sensors_per_block();
+  s.data_points = segment.data_points();
+  s.sampling_interval_s = static_cast<double>(segment.interval_ms) / 1e3;
+  s.length_hours = static_cast<double>(segment.length()) *
+                   s.sampling_interval_s / 3600.0;
+  s.feature_sets = segment.feature_set_count();
+  s.wl = segment.window.length;
+  s.ws = segment.window.step;
+  return s;
+}
+
+std::string format_summary(const SegmentSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-20s %5zu %8zu %10zu %9.2fh %8.1fs %9zu %6zu %6zu",
+                s.name.c_str(), s.nodes, s.sensors, s.data_points,
+                s.length_hours, s.sampling_interval_s, s.feature_sets, s.wl,
+                s.ws);
+  return buf;
+}
+
+}  // namespace csm::harness

@@ -1,0 +1,29 @@
+// Table I style segment summaries.
+#pragma once
+
+#include <string>
+
+#include "hpcoda/segment.hpp"
+
+namespace csm::harness {
+
+/// One row of the Table I reproduction.
+struct SegmentSummary {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t sensors = 0;         ///< Per component block.
+  std::size_t data_points = 0;
+  double length_hours = 0.0;
+  double sampling_interval_s = 0.0;
+  std::size_t feature_sets = 0;
+  std::size_t wl = 0;
+  std::size_t ws = 0;
+};
+
+/// Computes the summary row for a segment.
+SegmentSummary summarize(const hpcoda::Segment& segment);
+
+/// Formats a summary as a Table I style line.
+std::string format_summary(const SegmentSummary& summary);
+
+}  // namespace csm::harness

@@ -1,0 +1,99 @@
+#include "hpcoda/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace csm::hpcoda {
+
+void CollectorOptions::validate() const {
+  if (interval_ms <= 0) {
+    throw std::invalid_argument("CollectorOptions: non-positive interval");
+  }
+  if (jitter_fraction < 0.0 || jitter_fraction > 0.4) {
+    throw std::invalid_argument(
+        "CollectorOptions: jitter must be in [0, 0.4] of the interval");
+  }
+  if (drop_probability < 0.0 || drop_probability >= 1.0) {
+    throw std::invalid_argument(
+        "CollectorOptions: drop probability must be in [0, 1)");
+  }
+  if (max_phase_ms < 0) {
+    throw std::invalid_argument("CollectorOptions: negative phase");
+  }
+}
+
+namespace {
+
+// Value of the truth row at an arbitrary timestamp (linear between
+// columns, clamped at the ends).
+double truth_at(const common::Matrix& truth, std::size_t row, double pos) {
+  if (pos <= 0.0) return truth(row, 0);
+  const auto last = static_cast<double>(truth.cols() - 1);
+  if (pos >= last) return truth(row, truth.cols() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  return truth(row, lo) + frac * (truth(row, lo + 1) - truth(row, lo));
+}
+
+}  // namespace
+
+std::vector<data::TimeSeries> collect(const common::Matrix& truth,
+                                      const CollectorOptions& options,
+                                      common::Rng& rng,
+                                      const std::vector<std::string>& names) {
+  options.validate();
+  if (truth.empty()) {
+    throw std::invalid_argument("collect: empty truth matrix");
+  }
+  if (!names.empty() && names.size() != truth.rows()) {
+    throw std::invalid_argument("collect: name count mismatch");
+  }
+
+  std::vector<data::TimeSeries> out;
+  out.reserve(truth.rows());
+  char buf[32];
+  const double jitter_ms =
+      options.jitter_fraction * static_cast<double>(options.interval_ms);
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    data::TimeSeries series;
+    if (names.empty()) {
+      std::snprintf(buf, sizeof(buf), "sensor_%04zu", r);
+      series.name = buf;
+    } else {
+      series.name = names[r];
+    }
+    const std::int64_t phase =
+        options.max_phase_ms > 0
+            ? static_cast<std::int64_t>(rng.uniform_int(
+                  static_cast<std::uint64_t>(options.max_phase_ms) + 1))
+            : 0;
+    std::int64_t prev_ts = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t k = 0; k < truth.cols(); ++k) {
+      if (rng.uniform() < options.drop_probability) continue;
+      const double nominal =
+          static_cast<double>(options.start_timestamp) +
+          static_cast<double>(phase) +
+          static_cast<double>(k) * static_cast<double>(options.interval_ms);
+      const auto ts = static_cast<std::int64_t>(
+          std::llround(nominal + jitter_ms * rng.gaussian()));
+      if (ts <= prev_ts) continue;  // Keep timestamps strictly increasing.
+      prev_ts = ts;
+      const double grid_pos =
+          (static_cast<double>(ts) -
+           static_cast<double>(options.start_timestamp)) /
+          static_cast<double>(options.interval_ms);
+      series.samples.push_back(
+          data::Sample{ts, truth_at(truth, r, grid_pos)});
+    }
+    if (series.samples.size() < 2) {
+      throw std::runtime_error("collect: sensor '" + series.name +
+                               "' lost almost all samples");
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace csm::hpcoda

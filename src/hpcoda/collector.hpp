@@ -1,0 +1,44 @@
+// Monitoring-collector simulation: from dense truth to realistic samples.
+//
+// Real monitoring frameworks (DCDB, LDMS — Section II-A) poll each sensor
+// on its own schedule: timestamps jitter around the nominal interval,
+// samples are occasionally dropped, and sensors start with different phase
+// offsets. The paper's Section III-A therefore allows an interpolation
+// pre-processing step to align the data. This module simulates that
+// acquisition layer: it turns a dense sensor matrix into per-sensor
+// TimeSeries with jitter, phase offsets and dropouts, which data::align()
+// then has to reconstruct — closing the loop between the generator and the
+// alignment substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "data/time_series.hpp"
+
+namespace csm::hpcoda {
+
+/// Acquisition imperfections.
+struct CollectorOptions {
+  std::int64_t interval_ms = 1000;  ///< Nominal sampling interval.
+  double jitter_fraction = 0.05;    ///< Timestamp jitter (stddev) as a
+                                    ///< fraction of the interval.
+  double drop_probability = 0.01;   ///< Chance of losing a sample.
+  std::int64_t max_phase_ms = 0;    ///< Random per-sensor start offset in
+                                    ///< [0, max_phase_ms].
+  std::int64_t start_timestamp = 0;
+
+  void validate() const;
+};
+
+/// Samples every row of `truth` (values at nominal grid points, linearly
+/// interpolated between columns for jittered timestamps) into one
+/// TimeSeries per sensor. Timestamps are strictly increasing per sensor;
+/// `names` supplies sensor names (generated when empty).
+std::vector<data::TimeSeries> collect(
+    const common::Matrix& truth, const CollectorOptions& options,
+    common::Rng& rng, const std::vector<std::string>& names = {});
+
+}  // namespace csm::hpcoda

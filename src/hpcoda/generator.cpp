@@ -1,0 +1,323 @@
+#include "hpcoda/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "hpcoda/sensors.hpp"
+#include "hpcoda/workload.hpp"
+
+namespace csm::hpcoda {
+
+namespace {
+
+std::size_t scaled(std::size_t base, double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("GeneratorConfig: non-positive scale");
+  }
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(base) * scale));
+}
+
+/// One planned run of the shared schedule.
+struct PlannedRun {
+  AppId app = AppId::kIdle;
+  int config = 0;
+  FaultId fault = FaultId::kNone;
+  int setting = 0;
+  int label = 0;
+  std::size_t length = 0;
+};
+
+AppId random_compute_app(common::Rng& rng) {
+  // Applications 1..6 (everything except idle).
+  return static_cast<AppId>(1 + rng.uniform_int(kNumApps - 1));
+}
+
+/// Concatenates the latent traces of a run plan; returns the trace and
+/// fills `runs` with the resulting column ranges.
+std::vector<LatentState> realize_schedule(const std::vector<PlannedRun>& plan,
+                                          common::Rng& rng,
+                                          std::vector<RunInfo>& runs) {
+  std::vector<LatentState> trace;
+  runs.clear();
+  for (const PlannedRun& run : plan) {
+    std::vector<LatentState> latents =
+        generate_app_latents(run.app, run.config, run.length, rng);
+    apply_fault(latents, run.fault, run.setting, 0, latents.size());
+    const std::size_t begin = trace.size();
+    trace.insert(trace.end(), latents.begin(), latents.end());
+    runs.push_back(RunInfo{run.label, begin, trace.size()});
+  }
+  return trace;
+}
+
+}  // namespace
+
+Segment make_fault_segment(const GeneratorConfig& config) {
+  common::Rng rng(config.seed ^ 0xfa17);
+  const std::size_t run_len = scaled(240, config.scale);
+
+  // Four runs per class; fault runs alternate light/heavy settings and the
+  // background application varies per run.
+  std::vector<PlannedRun> plan;
+  for (std::size_t cls = 0; cls < kNumFaults; ++cls) {
+    for (int rep = 0; rep < 4; ++rep) {
+      PlannedRun run;
+      run.app = random_compute_app(rng);
+      run.config = static_cast<int>(rng.uniform_int(kNumConfigs));
+      run.fault = static_cast<FaultId>(cls);
+      run.setting = rep % 2;
+      run.label = static_cast<int>(cls);
+      run.length = run_len;
+      plan.push_back(run);
+    }
+  }
+  rng.shuffle(plan);
+
+  Segment seg;
+  seg.name = "Fault";
+  seg.task = data::TaskKind::kClassification;
+  seg.window = data::WindowSpec{60, 10};  // 1m window, 10s step @1s.
+  seg.interval_ms = 1000;
+  for (std::size_t cls = 0; cls < kNumFaults; ++cls) {
+    seg.class_names.push_back(fault_name(static_cast<FaultId>(cls)));
+  }
+
+  const std::vector<LatentState> trace =
+      realize_schedule(plan, rng, seg.runs);
+  const std::vector<SensorSpec> bank = fault_node_bank();
+  ComponentBlock node;
+  node.name = "node00";
+  node.sensors = render_sensors(bank, trace, rng);
+  node.sensor_names = sensor_names(bank);
+  seg.blocks.push_back(std::move(node));
+  return seg;
+}
+
+Segment make_application_segment(const GeneratorConfig& config) {
+  common::Rng rng(config.seed ^ 0xa991);
+  constexpr std::size_t kNodes = 16;
+  const std::size_t run_len = scaled(160, config.scale);
+
+  // Every application under every input configuration, plus idle periods.
+  std::vector<PlannedRun> plan;
+  for (std::size_t app = 1; app < kNumApps; ++app) {
+    for (int cfg = 0; cfg < kNumConfigs; ++cfg) {
+      plan.push_back(PlannedRun{static_cast<AppId>(app), cfg, FaultId::kNone,
+                                0, static_cast<int>(app), run_len});
+    }
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    plan.push_back(
+        PlannedRun{AppId::kIdle, 0, FaultId::kNone, 0, 0, run_len});
+  }
+  rng.shuffle(plan);
+
+  Segment seg;
+  seg.name = "Application";
+  seg.task = data::TaskKind::kClassification;
+  seg.window = data::WindowSpec{30, 5};  // 30s window, 5s step @1s.
+  seg.interval_ms = 1000;
+  for (std::size_t app = 0; app < kNumApps; ++app) {
+    seg.class_names.push_back(app_name(static_cast<AppId>(app)));
+  }
+
+  // The MPI application drives all 16 nodes with a shared latent trace;
+  // each node adds small node-local deviations before rendering, which
+  // yields the strong cross-node correlations of Fig. 2.
+  const std::vector<LatentState> shared =
+      realize_schedule(plan, rng, seg.runs);
+  const std::vector<SensorSpec> bank =
+      node_sensor_bank(Architecture::kSkylake);
+  char node_name[16];
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    std::vector<LatentState> local = shared;
+    const double load_offset = 0.03 * rng.gaussian();
+    for (LatentState& s : local) {
+      s.cpu = std::clamp(s.cpu + load_offset + 0.01 * rng.gaussian(), 0.0, 1.0);
+      s.net = std::clamp(s.net + 0.01 * rng.gaussian(), 0.0, 1.0);
+    }
+    ComponentBlock block;
+    std::snprintf(node_name, sizeof(node_name), "node%02zu", node);
+    block.name = node_name;
+    block.sensors = render_sensors(bank, local, rng);
+    block.sensor_names = sensor_names(bank);
+    seg.blocks.push_back(std::move(block));
+  }
+  return seg;
+}
+
+Segment make_power_segment(const GeneratorConfig& config) {
+  common::Rng rng(config.seed ^ 0x90e4);
+  const std::size_t run_len = scaled(250, config.scale);
+
+  // Single-node OpenMP applications, two input configurations each.
+  std::vector<PlannedRun> plan;
+  for (std::size_t app = 1; app < kNumApps; ++app) {
+    for (int cfg = 0; cfg < 2; ++cfg) {
+      plan.push_back(PlannedRun{static_cast<AppId>(app), cfg, FaultId::kNone,
+                                0, 0, run_len});
+    }
+  }
+  rng.shuffle(plan);
+
+  Segment seg;
+  seg.name = "Power";
+  seg.task = data::TaskKind::kRegression;
+  seg.window = data::WindowSpec{10, 5};  // 1s window, 500ms step @100ms.
+  seg.target_horizon = 3;                // ~300ms lookahead.
+  seg.interval_ms = 100;
+
+  const std::vector<LatentState> trace =
+      realize_schedule(plan, rng, seg.runs);
+  const std::vector<SensorSpec> bank = power_node_bank();
+  ComponentBlock node;
+  node.name = "node00";
+  node.sensors = render_sensors(bank, trace, rng);
+  node.sensor_names = sensor_names(bank);
+  // The regression target is the node-level outlet power reading itself.
+  const auto power_row = node.sensors.row(power_sensor_index());
+  node.target.assign(power_row.begin(), power_row.end());
+  seg.blocks.push_back(std::move(node));
+  return seg;
+}
+
+Segment make_infrastructure_segment(const GeneratorConfig& config) {
+  common::Rng rng(config.seed ^ 0x1f5a);
+  constexpr std::size_t kRacks = 4;
+  const std::size_t length = scaled(2200, config.scale);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  Segment seg;
+  seg.name = "Infrastructure";
+  seg.task = data::TaskKind::kRegression;
+  seg.window = data::WindowSpec{30, 6};  // 5m window, 1m step @10s.
+  seg.target_horizon = 30;               // ~5m lookahead.
+  seg.interval_ms = 10'000;
+  seg.runs.push_back(RunInfo{0, 0, length});
+
+  const std::vector<SensorSpec> bank = infrastructure_rack_bank();
+  char rack_name[16];
+  for (std::size_t rack = 0; rack < kRacks; ++rack) {
+    // Rack-level latents: a slow facility load (diurnal-ish wave + random
+    // walk + job steps), ambient drift, and an inlet setpoint drift.
+    std::vector<LatentState> latents(length);
+    double walk = 0.0;
+    double job = 0.35 + 0.3 * rng.uniform();
+    std::size_t next_job_change = 50 + rng.uniform_int(150);
+    const double rack_phase = rng.uniform();
+    for (std::size_t t = 0; t < length; ++t) {
+      if (t >= next_job_change) {
+        job = 0.15 + 0.7 * rng.uniform();  // New job mix on the rack.
+        next_job_change = t + 80 + rng.uniform_int(240);
+      }
+      walk = std::clamp(walk + 0.004 * rng.gaussian(), -0.15, 0.15);
+      const double tt = static_cast<double>(t);
+      const double diurnal =
+          0.12 * std::sin(kTwoPi * (tt / static_cast<double>(length) +
+                                    rack_phase));
+      LatentState s;
+      s.cpu = std::clamp(job + diurnal + walk, 0.0, 1.0);  // Rack load.
+      s.mem = std::clamp(0.5 + 0.4 * s.cpu + 0.02 * rng.gaussian(), 0.0, 1.0);
+      s.net = std::clamp(
+          0.5 + 0.25 * std::sin(kTwoPi * tt / 900.0 + rack_phase), 0.0, 1.0);
+      s.freq = std::clamp(
+          0.5 + 0.2 * std::sin(kTwoPi * tt / 1500.0 + 2.0 * rack_phase), 0.0,
+          1.0);
+      s.cache = 0.0;
+      s.io = 0.0;
+      latents[t] = s;
+    }
+
+    ComponentBlock block;
+    std::snprintf(rack_name, sizeof(rack_name), "rack%zu", rack);
+    block.name = rack_name;
+    block.sensors = render_sensors(bank, latents, rng);
+    block.sensor_names = sensor_names(bank);
+
+    // Heat removed = mean(flow) * (mean(outlet T) - mean(inlet T)), derived
+    // from the rendered sensors so the target is physically consistent with
+    // what the models observe.
+    block.target.assign(length, 0.0);
+    std::vector<std::size_t> flow_rows, tout_rows, tin_rows;
+    for (std::size_t r = 0; r < block.sensor_names.size(); ++r) {
+      const std::string& n = block.sensor_names[r];
+      if (n.starts_with("flow")) flow_rows.push_back(r);
+      if (n.starts_with("tempout")) tout_rows.push_back(r);
+      if (n.starts_with("tempin")) tin_rows.push_back(r);
+    }
+    for (std::size_t t = 0; t < length; ++t) {
+      double flow = 0.0, tout = 0.0, tin = 0.0;
+      for (std::size_t r : flow_rows) flow += block.sensors(r, t);
+      for (std::size_t r : tout_rows) tout += block.sensors(r, t);
+      for (std::size_t r : tin_rows) tin += block.sensors(r, t);
+      flow /= static_cast<double>(flow_rows.size());
+      tout /= static_cast<double>(tout_rows.size());
+      tin /= static_cast<double>(tin_rows.size());
+      // Specific heat constant folded into unit scale (kW-ish).
+      block.target[t] = 4.186 * flow * (tout - tin);
+    }
+    seg.blocks.push_back(std::move(block));
+  }
+  return seg;
+}
+
+Segment make_cross_arch_segment(const GeneratorConfig& config) {
+  common::Rng rng(config.seed ^ 0xc405);
+  const std::size_t run_len = scaled(160, config.scale);
+
+  // Six applications x three configurations, no idle class (Section IV-F).
+  std::vector<PlannedRun> plan;
+  for (std::size_t app = 1; app < kNumApps; ++app) {
+    for (int cfg = 0; cfg < kNumConfigs; ++cfg) {
+      plan.push_back(PlannedRun{static_cast<AppId>(app), cfg, FaultId::kNone,
+                                0, static_cast<int>(app) - 1, run_len});
+    }
+  }
+  rng.shuffle(plan);
+
+  Segment seg;
+  seg.name = "Cross-Architecture";
+  seg.task = data::TaskKind::kClassification;
+  seg.window = data::WindowSpec{30, 10};
+  seg.interval_ms = 1000;
+  for (std::size_t app = 1; app < kNumApps; ++app) {
+    seg.class_names.push_back(app_name(static_cast<AppId>(app)));
+  }
+
+  // OpenMP runs: each node executes the same schedule independently, so the
+  // latent traces differ per node while the labels align.
+  constexpr Architecture kArchs[] = {Architecture::kSkylake,
+                                     Architecture::kKnl, Architecture::kRome};
+  bool runs_recorded = false;
+  for (Architecture arch : kArchs) {
+    std::vector<RunInfo> runs;
+    const std::vector<LatentState> trace = realize_schedule(plan, rng, runs);
+    if (!runs_recorded) {
+      seg.runs = runs;
+      runs_recorded = true;
+    }
+    const std::vector<SensorSpec> bank = node_sensor_bank(arch);
+    ComponentBlock block;
+    block.name = architecture_name(arch);
+    block.sensors = render_sensors(bank, trace, rng);
+    block.sensor_names = sensor_names(bank);
+    seg.blocks.push_back(std::move(block));
+  }
+  return seg;
+}
+
+std::vector<Segment> make_primary_segments(const GeneratorConfig& config) {
+  std::vector<Segment> out;
+  out.push_back(make_fault_segment(config));
+  out.push_back(make_application_segment(config));
+  out.push_back(make_power_segment(config));
+  out.push_back(make_infrastructure_segment(config));
+  return out;
+}
+
+}  // namespace csm::hpcoda

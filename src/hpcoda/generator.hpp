@@ -1,0 +1,50 @@
+// Builders of the five HPC-ODA segments (Section II-B, Table I).
+//
+// Each builder reproduces the corresponding segment's structure — component
+// counts, per-component sensor counts, sampling interval, windowing (wl/ws)
+// and label/target semantics — over synthetic workloads. The `scale`
+// parameter multiplies run lengths so callers can trade realism for speed;
+// at scale 1.0 the segments are sized to make the full evaluation harness
+// run in minutes on a laptop while keeping every qualitative property the
+// experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcoda/segment.hpp"
+
+namespace csm::hpcoda {
+
+/// Generation parameters shared by all segments.
+struct GeneratorConfig {
+  double scale = 1.0;          ///< Run-length multiplier (> 0).
+  std::uint64_t seed = 2021;   ///< Master seed; every segment derives its own.
+};
+
+/// Fault segment: 1 node x 128 sensors @1s; labels = healthy + 8 fault
+/// types (each injected at two intensities across runs); wl=60, ws=10.
+Segment make_fault_segment(const GeneratorConfig& config = {});
+
+/// Application segment: 16 nodes x 52 sensors @1s running six MPI
+/// applications (plus idle) under three configs; wl=30, ws=5.
+Segment make_application_segment(const GeneratorConfig& config = {});
+
+/// Power segment: 1 node x 47 sensors @100ms; regression on mean node power
+/// over the next 3 samples; wl=10, ws=5.
+Segment make_power_segment(const GeneratorConfig& config = {});
+
+/// Infrastructure segment: 4 racks x 31 sensors @10s; regression on mean
+/// heat removed over the next 30 samples; wl=30, ws=6.
+Segment make_infrastructure_segment(const GeneratorConfig& config = {});
+
+/// Cross-Architecture segment: 3 nodes (Skylake/KNL/Rome with 52/46/39
+/// sensors) running the six applications in OpenMP mode; wl=30, ws=10.
+Segment make_cross_arch_segment(const GeneratorConfig& config = {});
+
+/// The four segments of Figs. 3-4 in paper order (Fault, Application,
+/// Power, Infrastructure).
+std::vector<Segment> make_primary_segments(const GeneratorConfig& config = {});
+
+}  // namespace csm::hpcoda

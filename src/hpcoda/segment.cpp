@@ -1,0 +1,25 @@
+#include "hpcoda/segment.hpp"
+
+namespace csm::hpcoda {
+
+std::size_t Segment::data_points() const {
+  std::size_t total = 0;
+  for (const ComponentBlock& b : blocks) total += b.sensors.size();
+  return total;
+}
+
+std::size_t Segment::feature_set_count() const {
+  std::size_t per_block = 0;
+  for (const RunInfo& run : runs) {
+    const std::size_t usable_end =
+        run.end > target_horizon ? run.end - target_horizon : 0;
+    if (usable_end <= run.begin) continue;
+    const std::size_t span = usable_end - run.begin;
+    if (span >= window.length) {
+      per_block += (span - window.length) / window.step + 1;
+    }
+  }
+  return per_block * blocks.size();
+}
+
+}  // namespace csm::hpcoda

@@ -1,0 +1,64 @@
+// In-memory representation of one HPC-ODA segment.
+//
+// A segment is a set of component blocks (compute nodes or racks), each
+// holding an aligned sensor matrix over a shared timeline, plus the run
+// schedule (which class was active in which column range), the windowing
+// parameters of Table I and — for regression segments — a per-block target
+// series with the prediction horizon of Section IV-A1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "data/dataset.hpp"
+#include "data/window.hpp"
+
+namespace csm::hpcoda {
+
+/// One monitored component: a compute node or a rack.
+struct ComponentBlock {
+  std::string name;                      ///< e.g. "node03", "rack0".
+  common::Matrix sensors;                ///< n x t sensor matrix.
+  std::vector<std::string> sensor_names; ///< Per-row names.
+  std::vector<double> target;            ///< Regression target series (may be empty).
+};
+
+/// One run in the shared schedule: class `label` active over columns
+/// [begin, end).
+struct RunInfo {
+  int label = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// A complete segment.
+struct Segment {
+  std::string name;
+  data::TaskKind task = data::TaskKind::kClassification;
+  data::WindowSpec window;            ///< wl / ws of Table I.
+  std::size_t target_horizon = 0;     ///< Samples after the window averaged
+                                      ///< into the regression target.
+  std::int64_t interval_ms = 1000;    ///< Sampling interval.
+  std::vector<ComponentBlock> blocks;
+  std::vector<RunInfo> runs;          ///< Shared across blocks.
+  std::vector<std::string> class_names;
+
+  std::size_t n_blocks() const noexcept { return blocks.size(); }
+  std::size_t n_sensors_per_block() const {
+    return blocks.empty() ? 0 : blocks.front().sensors.rows();
+  }
+  std::size_t length() const {
+    return blocks.empty() ? 0 : blocks.front().sensors.cols();
+  }
+
+  /// Total raw readings across all blocks (Table I "Data Points").
+  std::size_t data_points() const;
+
+  /// Number of feature sets (windows fully inside a labelled run, with room
+  /// for the regression horizon) across all blocks.
+  std::size_t feature_set_count() const;
+};
+
+}  // namespace csm::hpcoda

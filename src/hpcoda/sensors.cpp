@@ -1,0 +1,200 @@
+#include "hpcoda/sensors.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace csm::hpcoda {
+
+namespace {
+
+// Template for a correlated sensor group; the bank builder instantiates
+// `count` sensors from it with small weight jitter so that group members are
+// highly but not perfectly correlated.
+struct GroupTemplate {
+  const char* prefix;
+  std::size_t count;
+  SensorSpec base;
+};
+
+std::vector<SensorSpec> build_bank(std::span<const GroupTemplate> groups,
+                                   std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<SensorSpec> bank;
+  char name[64];
+  for (const GroupTemplate& g : groups) {
+    for (std::size_t i = 0; i < g.count; ++i) {
+      SensorSpec s = g.base;
+      std::snprintf(name, sizeof(name), "%s_%02zu", g.prefix, i);
+      s.name = name;
+      // Per-sensor jitter: +-10% weight spread, +-20% scale spread.
+      const double wj = 1.0 + 0.10 * rng.gaussian();
+      s.w_cpu *= wj;
+      s.w_mem *= 1.0 + 0.10 * rng.gaussian();
+      s.w_cache *= 1.0 + 0.10 * rng.gaussian();
+      s.w_net *= 1.0 + 0.10 * rng.gaussian();
+      s.w_io *= 1.0 + 0.10 * rng.gaussian();
+      s.w_freq *= 1.0 + 0.10 * rng.gaussian();
+      s.scale *= 1.0 + 0.20 * rng.uniform();
+      bank.push_back(std::move(s));
+    }
+  }
+  return bank;
+}
+
+// Shared group templates. Scales are roughly representative of real
+// monitoring metrics (instructions in millions/s, Watts, degrees C, ...).
+const SensorSpec kInstr{
+    {}, 0.90, 0.0, -0.10, 0.0, 0.0, 0.30, 0.02, 2.0e8, 0.03, 1.0};
+const SensorSpec kCycles{
+    {}, 0.25, 0.0, 0.0, 0.0, 0.0, 0.85, 0.05, 2.6e9, 0.02, 1.0};
+const SensorSpec kCacheMiss{
+    {}, 0.10, 0.15, 0.95, 0.0, 0.0, 0.0, 0.01, 5.0e6, 0.05, 1.0};
+const SensorSpec kMemUsed{
+    {}, 0.0, 0.95, 0.0, 0.0, 0.05, 0.0, 0.05, 9.6e10, 0.01, 0.35};
+const SensorSpec kMemBw{
+    {}, 0.15, 0.45, 0.50, 0.0, 0.0, 0.0, 0.02, 8.0e9, 0.04, 1.0};
+const SensorSpec kOsCtx{
+    {}, 0.30, 0.0, 0.0, 0.10, 0.60, 0.0, 0.03, 5.0e4, 0.06, 1.0};
+const SensorSpec kOsLoad{
+    {}, 0.90, 0.05, 0.0, 0.0, 0.10, 0.0, 0.02, 64.0, 0.02, 0.25};
+const SensorSpec kNetBytes{
+    {}, 0.0, 0.0, 0.0, 0.95, 0.05, 0.0, 0.01, 1.2e9, 0.05, 1.0};
+const SensorSpec kPower{
+    {}, 0.60, 0.12, 0.05, 0.0, 0.0, 0.28, 0.25, 400.0, 0.02, 0.5};
+const SensorSpec kTemp{
+    {}, 0.55, 0.05, 0.0, 0.0, 0.0, 0.20, 0.45, 55.0, 0.01, 0.08};
+const SensorSpec kIdlePct{
+    {}, -0.90, 0.0, 0.0, 0.0, -0.05, 0.0, 0.97, 100.0, 0.02, 1.0};
+const SensorSpec kConstant{
+    {}, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 42.0, 0.0, 1.0};
+const SensorSpec kPureNoise{
+    {}, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 10.0, 1.0, 1.0};
+const SensorSpec kCoreFreq{
+    {}, 0.05, 0.0, 0.0, 0.0, 0.0, 0.92, 0.03, 2.6e3, 0.01, 1.0};
+
+}  // namespace
+
+std::vector<SensorSpec> node_sensor_bank(Architecture arch) {
+  switch (arch) {
+    case Architecture::kSkylake: {
+      const GroupTemplate groups[] = {
+          {"instr", 8, kInstr},       {"cycles", 6, kCycles},
+          {"cachemiss", 7, kCacheMiss}, {"memused", 6, kMemUsed},
+          {"membw", 4, kMemBw},       {"osctx", 3, kOsCtx},
+          {"osload", 3, kOsLoad},     {"netbytes", 4, kNetBytes},
+          {"power", 3, kPower},       {"temp", 3, kTemp},
+          {"idlepct", 2, kIdlePct},   {"constant", 2, kConstant},
+          {"noise", 1, kPureNoise},
+      };
+      return build_bank(groups, 0x5ca1e001);
+    }
+    case Architecture::kKnl: {
+      const GroupTemplate groups[] = {
+          {"instr", 7, kInstr},       {"cycles", 5, kCycles},
+          {"cachemiss", 6, kCacheMiss}, {"memused", 5, kMemUsed},
+          {"membw", 4, kMemBw},       {"osctx", 3, kOsCtx},
+          {"osload", 2, kOsLoad},     {"netbytes", 4, kNetBytes},
+          {"power", 3, kPower},       {"temp", 3, kTemp},
+          {"idlepct", 2, kIdlePct},   {"constant", 1, kConstant},
+          {"noise", 1, kPureNoise},
+      };
+      return build_bank(groups, 0x4e712345);
+    }
+    case Architecture::kRome: {
+      const GroupTemplate groups[] = {
+          {"instr", 6, kInstr},       {"cycles", 4, kCycles},
+          {"cachemiss", 5, kCacheMiss}, {"memused", 4, kMemUsed},
+          {"membw", 3, kMemBw},       {"osctx", 3, kOsCtx},
+          {"osload", 2, kOsLoad},     {"netbytes", 3, kNetBytes},
+          {"power", 3, kPower},       {"temp", 2, kTemp},
+          {"idlepct", 2, kIdlePct},   {"constant", 1, kConstant},
+          {"noise", 1, kPureNoise},
+      };
+      return build_bank(groups, 0x4d20e001);
+    }
+  }
+  throw std::invalid_argument("node_sensor_bank: unknown architecture");
+}
+
+std::vector<SensorSpec> fault_node_bank() {
+  const GroupTemplate groups[] = {
+      {"instr", 24, kInstr},        {"cycles", 12, kCycles},
+      {"cachemiss", 18, kCacheMiss}, {"memused", 14, kMemUsed},
+      {"membw", 10, kMemBw},        {"osctx", 8, kOsCtx},
+      {"osload", 6, kOsLoad},       {"netbytes", 10, kNetBytes},
+      {"power", 6, kPower},         {"temp", 6, kTemp},
+      {"idlepct", 6, kIdlePct},     {"constant", 5, kConstant},
+      {"noise", 3, kPureNoise},
+  };
+  return build_bank(groups, 0xfa017);
+}
+
+std::vector<SensorSpec> power_node_bank() {
+  const GroupTemplate groups[] = {
+      // The node-level power sensor comes first so its row index is fixed.
+      {"node_power", 1, kPower},
+      {"coreload", 16, kOsLoad},    {"corefreq", 8, kCoreFreq},
+      {"cachemiss", 6, kCacheMiss}, {"memused", 5, kMemUsed},
+      {"osctx", 4, kOsCtx},         {"pkgpower", 3, kPower},
+      {"temp", 2, kTemp},           {"idlepct", 1, kIdlePct},
+      {"constant", 1, kConstant},
+  };
+  return build_bank(groups, 0xb00b5);
+}
+
+std::size_t power_sensor_index() { return 0; }
+
+std::vector<SensorSpec> infrastructure_rack_bank() {
+  // Latent mapping at rack level: cpu = rack compute load, mem = power
+  // distribution load, net = ambient drift, freq = inlet setpoint drift.
+  const SensorSpec kRackPower{
+      {}, 0.80, 0.15, 0.0, 0.0, 0.0, 0.0, 0.20, 3.2e4, 0.02, 0.4};
+  const SensorSpec kTempOut{
+      {}, 0.60, 0.05, 0.0, 0.05, 0.0, 0.30, 0.40, 50.0, 0.01, 0.06};
+  const SensorSpec kTempIn{
+      {}, 0.05, 0.0, 0.0, 0.05, 0.0, 0.90, 0.35, 45.0, 0.01, 0.05};
+  const SensorSpec kFlow{
+      {}, 0.45, 0.05, 0.0, 0.0, 0.0, -0.10, 0.45, 12.0, 0.03, 0.3};
+  const SensorSpec kPump{
+      {}, 0.40, 0.05, 0.0, 0.0, 0.0, 0.0, 0.35, 100.0, 0.03, 0.3};
+  const SensorSpec kValve{
+      {}, 0.30, 0.0, 0.0, 0.0, 0.0, 0.25, 0.40, 100.0, 0.04, 0.25};
+  const SensorSpec kAmbient{
+      {}, 0.0, 0.0, 0.0, 0.90, 0.0, 0.0, 0.50, 30.0, 0.01, 0.1};
+  const GroupTemplate groups[] = {
+      {"rackpower", 5, kRackPower}, {"tempout", 6, kTempOut},
+      {"tempin", 6, kTempIn},       {"flow", 4, kFlow},
+      {"pump", 4, kPump},           {"valve", 3, kValve},
+      {"ambient", 2, kAmbient},     {"constant", 1, kConstant},
+  };
+  return build_bank(groups, 0x1f4a);
+}
+
+common::Matrix render_sensors(const std::vector<SensorSpec>& bank,
+                              std::span<const LatentState> latents,
+                              common::Rng& rng) {
+  if (bank.empty() || latents.empty()) {
+    throw std::invalid_argument("render_sensors: empty bank or trace");
+  }
+  common::Matrix out(bank.size(), latents.size());
+  for (std::size_t r = 0; r < bank.size(); ++r) {
+    const SensorSpec& spec = bank[r];
+    auto row = out.row(r);
+    double ema = spec.response(latents[0]);
+    for (std::size_t t = 0; t < latents.size(); ++t) {
+      const double raw = spec.response(latents[t]);
+      ema += spec.smooth * (raw - ema);
+      row[t] = spec.scale * ema * (1.0 + spec.noise * rng.gaussian());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> sensor_names(const std::vector<SensorSpec>& bank) {
+  std::vector<std::string> out;
+  out.reserve(bank.size());
+  for (const SensorSpec& s : bank) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace csm::hpcoda

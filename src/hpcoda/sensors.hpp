@@ -1,0 +1,80 @@
+// Synthetic sensor banks: from latent activity to monitoring metrics.
+//
+// A sensor bank is an ordered list of sensor specifications. Every sensor
+// responds linearly to the latent channels (weights), with a baseline, an
+// output scale (counters are huge, temperatures are tens of degrees),
+// exponential smoothing (thermal and power sensors have inertia) and
+// multiplicative Gaussian noise. Sensors of the same group share similar
+// weights — giving exactly the correlated groups that the CS sorting stage
+// recovers — while constant and pure-noise sensors model the uninformative
+// metrics that end up in the middle of the CS permutation. Inverted sensors
+// (e.g. idle %) model the negatively correlated tail.
+//
+// Bank layouts mirror the HPC-ODA segments: per-architecture node banks
+// (52 / 46 / 39 sensors), the ETH-testbed fault node (128), the CooLMUC-3
+// power node (47, including the "node_power" sensor used as the regression
+// target) and the warm-water-cooled rack (31).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "hpcoda/types.hpp"
+
+namespace csm::hpcoda {
+
+/// Response definition of one synthetic sensor.
+struct SensorSpec {
+  std::string name;
+  // Weights on the latent channels (may be negative for inverted metrics).
+  double w_cpu = 0.0;
+  double w_mem = 0.0;
+  double w_cache = 0.0;
+  double w_net = 0.0;
+  double w_io = 0.0;
+  double w_freq = 0.0;
+  double bias = 0.0;    ///< Baseline before scaling (idle floor).
+  double scale = 1.0;   ///< Output units (counts, Watts, degrees...).
+  double noise = 0.02;  ///< Relative Gaussian noise level.
+  double smooth = 1.0;  ///< EMA coefficient in (0, 1]; 1 = no smoothing.
+
+  /// Noise-free instantaneous response to a latent state.
+  double response(const LatentState& s) const noexcept {
+    return bias + w_cpu * s.cpu + w_mem * s.mem + w_cache * s.cache +
+           w_net * s.net + w_io * s.io + w_freq * s.freq;
+  }
+};
+
+/// Node-level bank for one architecture: exactly
+/// architecture_sensor_count(arch) sensors.
+std::vector<SensorSpec> node_sensor_bank(Architecture arch);
+
+/// The 128-sensor ETH-testbed node of the Fault segment.
+std::vector<SensorSpec> fault_node_bank();
+
+/// The 47-sensor CooLMUC-3 node of the Power segment (node + core level).
+/// The sensor named "node_power" is the regression target's source.
+std::vector<SensorSpec> power_node_bank();
+
+/// Index of the "node_power" sensor inside power_node_bank().
+std::size_t power_sensor_index();
+
+/// The 31-sensor rack bank of the Infrastructure segment (power
+/// distribution + warm-water cooling).
+std::vector<SensorSpec> infrastructure_rack_bank();
+
+/// Renders a latent trace through a bank: returns a bank.size() x
+/// latents.size() sensor matrix with smoothing and noise applied. `rng`
+/// drives the measurement noise.
+common::Matrix render_sensors(const std::vector<SensorSpec>& bank,
+                              std::span<const LatentState> latents,
+                              common::Rng& rng);
+
+/// Names of all sensors in a bank, in row order.
+std::vector<std::string> sensor_names(const std::vector<SensorSpec>& bank);
+
+}  // namespace csm::hpcoda

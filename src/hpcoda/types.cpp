@@ -1,0 +1,54 @@
+#include "hpcoda/types.hpp"
+
+#include <stdexcept>
+
+namespace csm::hpcoda {
+
+std::string app_name(AppId app) {
+  switch (app) {
+    case AppId::kIdle: return "idle";
+    case AppId::kAmg: return "AMG";
+    case AppId::kKripke: return "Kripke";
+    case AppId::kLinpack: return "Linpack";
+    case AppId::kQuicksilver: return "Quicksilver";
+    case AppId::kLammps: return "LAMMPS";
+    case AppId::kMiniFe: return "miniFE";
+  }
+  throw std::invalid_argument("app_name: unknown application");
+}
+
+std::string fault_name(FaultId fault) {
+  switch (fault) {
+    case FaultId::kNone: return "healthy";
+    case FaultId::kLeak: return "leak";
+    case FaultId::kMemEater: return "memeater";
+    case FaultId::kDdot: return "ddot";
+    case FaultId::kDial: return "dial";
+    case FaultId::kCpuFreq: return "cpufreq";
+    case FaultId::kCacheCopy: return "cachecopy";
+    case FaultId::kPageFail: return "pagefail";
+    case FaultId::kIoErr: return "ioerr";
+  }
+  throw std::invalid_argument("fault_name: unknown fault");
+}
+
+std::string architecture_name(Architecture arch) {
+  switch (arch) {
+    case Architecture::kSkylake: return "Skylake";
+    case Architecture::kKnl: return "KnightsLanding";
+    case Architecture::kRome: return "Rome";
+  }
+  throw std::invalid_argument("architecture_name: unknown architecture");
+}
+
+std::size_t architecture_sensor_count(Architecture arch) {
+  switch (arch) {
+    case Architecture::kSkylake: return 52;
+    case Architecture::kKnl: return 46;
+    case Architecture::kRome: return 39;
+  }
+  throw std::invalid_argument(
+      "architecture_sensor_count: unknown architecture");
+}
+
+}  // namespace csm::hpcoda

@@ -1,0 +1,75 @@
+// Shared vocabulary of the synthetic HPC-ODA generator.
+//
+// The real HPC-ODA collection (Zenodo record 3701440) cannot be shipped, so
+// the generator reproduces its *structure*: the applications of the
+// Application / Cross-Architecture segments (CORAL-2-style codes), the fault
+// types of the Fault segment (named after the Antarex fault injector the
+// paper's segment derives from), and the three CPU architectures of the
+// Cross-Architecture segment with their sensor counts (52 / 46 / 39).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace csm::hpcoda {
+
+/// Workloads of the Application and Cross-Architecture segments; kIdle is
+/// the "idle operation" class.
+enum class AppId {
+  kIdle = 0,
+  kAmg,
+  kKripke,
+  kLinpack,
+  kQuicksilver,
+  kLammps,
+  kMiniFe,
+};
+inline constexpr std::size_t kNumApps = 7;  ///< Including idle.
+
+/// Display name ("idle", "AMG", ...).
+std::string app_name(AppId app);
+
+/// Fault types of the Fault segment, named after the Antarex HPC fault
+/// dataset injectors; kNone is healthy operation. Each fault has two
+/// intensity settings (0 = light, 1 = heavy).
+enum class FaultId {
+  kNone = 0,
+  kLeak,       ///< Memory allocation leak.
+  kMemEater,   ///< Memory hog with allocation bursts.
+  kDdot,       ///< Cache-intensive compute interference.
+  kDial,       ///< ALU/CPU interference.
+  kCpuFreq,    ///< CPU frequency reduction (throttling).
+  kCacheCopy,  ///< Cache contention via copy storms.
+  kPageFail,   ///< Page allocation failures / paging storms.
+  kIoErr,      ///< I/O errors and stalls.
+};
+inline constexpr std::size_t kNumFaults = 9;  ///< Including healthy.
+
+/// Display name ("healthy", "leak", ...).
+std::string fault_name(FaultId fault);
+
+/// Compute-node architectures of the Cross-Architecture segment.
+enum class Architecture {
+  kSkylake,  ///< SuperMUC-NG: Intel Skylake, 52 sensors.
+  kKnl,      ///< CooLMUC-3: Intel Knights Landing, 46 sensors.
+  kRome,     ///< BEAST testbed: AMD Rome, 39 sensors.
+};
+
+std::string architecture_name(Architecture arch);
+
+/// Node-level sensor count of each architecture (Section IV-F).
+std::size_t architecture_sensor_count(Architecture arch);
+
+/// Latent activity channels driving every synthetic sensor. All channels are
+/// nominally in [0, 1]; sensors mix them with per-sensor weights, scales and
+/// noise, which is what creates the correlated groups the CS method exploits.
+struct LatentState {
+  double cpu = 0.0;    ///< Compute intensity.
+  double mem = 0.0;    ///< Memory footprint / bandwidth.
+  double cache = 0.0;  ///< Cache pressure.
+  double net = 0.0;    ///< Network / MPI traffic.
+  double io = 0.0;     ///< Filesystem and OS background activity.
+  double freq = 1.0;   ///< Relative CPU clock (1 = nominal).
+};
+
+}  // namespace csm::hpcoda

@@ -1,0 +1,216 @@
+#include "hpcoda/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csm::hpcoda {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// Asymmetric sawtooth in [0, 1]: slow ramp, sharp drop — the shape of an
+// iterative solver's per-iteration resource usage.
+double sawtooth(double phase) {
+  const double frac = phase - std::floor(phase);
+  return frac;
+}
+
+// Smooth square-ish wave in [0, 1] (clipped sine), for phase-alternating
+// codes.
+double square_wave(double phase, double duty = 0.5) {
+  const double frac = phase - std::floor(phase);
+  return frac < duty ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+std::vector<LatentState> generate_app_latents(AppId app, int config,
+                                              std::size_t length,
+                                              common::Rng& rng) {
+  if (config < 0 || config >= kNumConfigs) {
+    throw std::invalid_argument("generate_app_latents: bad config");
+  }
+  if (length == 0) {
+    throw std::invalid_argument("generate_app_latents: zero length");
+  }
+
+  // Input configurations scale the iteration period and the load level.
+  const double cfg = static_cast<double>(config);
+  const double period_scale = 1.0 + 0.5 * cfg;   // 1.0, 1.5, 2.0
+  const double load_scale = 1.0 - 0.12 * cfg;    // 1.0, 0.88, 0.76
+  const double phase0 = rng.uniform();           // Random phase per run.
+  const double t_total = static_cast<double>(length);
+
+  std::vector<LatentState> out(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double tt = static_cast<double>(t);
+    const double progress = tt / t_total;  // 0 -> 1 over the run.
+    LatentState s;
+    switch (app) {
+      case AppId::kIdle: {
+        s.cpu = 0.04;
+        s.mem = 0.08;
+        s.cache = 0.03;
+        s.net = 0.02;
+        s.io = 0.03;
+        s.freq = 0.45;  // Deep idle clocks.
+        break;
+      }
+      case AppId::kAmg: {
+        const double iter = sawtooth(tt / (22.0 * period_scale) + phase0);
+        s.cpu = load_scale * (0.62 + 0.28 * iter);
+        s.mem = 0.30 + 0.55 * progress;  // Ramping memory footprint.
+        s.cache = load_scale * (0.45 + 0.30 * iter);
+        s.net = 0.15 + 0.45 * square_wave(tt / (22.0 * period_scale) + phase0,
+                                          0.25);
+        s.io = 0.05;
+        s.freq = 0.97 - 0.05 * s.cpu;
+        break;
+      }
+      case AppId::kKripke: {
+        const double iter = sawtooth(tt / (16.0 * period_scale) + phase0);
+        s.cpu = load_scale * (0.50 + 0.42 * iter);
+        s.mem = 0.52;
+        s.cache = load_scale * (0.35 + 0.45 * iter);
+        s.net = 0.10 + 0.55 * square_wave(tt / (16.0 * period_scale) + phase0,
+                                          0.3);
+        s.io = 0.04;
+        s.freq = 0.96 - 0.06 * iter;
+        break;
+      }
+      case AppId::kLinpack: {
+        const bool init = progress < 0.15;  // Pronounced initialisation.
+        if (init) {
+          s.cpu = 0.25;
+          s.mem = 0.20 + 4.0 * progress;  // Fast fill to ~0.8.
+          s.cache = 0.20;
+          s.net = 0.30;
+          s.io = 0.25;
+        } else {
+          s.cpu = load_scale * 0.95;
+          s.mem = 0.85;
+          s.cache = load_scale * 0.70;
+          s.net = 0.25;
+          s.io = 0.03;
+        }
+        s.freq = 0.99 - 0.04 * s.cpu;
+        break;
+      }
+      case AppId::kQuicksilver: {
+        // Light computational load but an oscillating clock induced by the
+        // code mix (the pattern Section IV-E highlights).
+        s.cpu = load_scale * 0.28;
+        s.mem = 0.22;
+        s.cache = 0.12;
+        s.net = 0.12 + 0.10 * square_wave(tt / (30.0 * period_scale) + phase0);
+        s.io = 0.05;
+        s.freq =
+            0.70 + 0.24 * std::sin(kTwoPi * (tt / (26.0 * period_scale)) +
+                                   kTwoPi * phase0);
+        break;
+      }
+      case AppId::kLammps: {
+        const double wave =
+            0.5 + 0.5 * std::sin(kTwoPi * (tt / (20.0 * period_scale)) +
+                                 kTwoPi * phase0);
+        s.cpu = load_scale * (0.55 + 0.22 * wave);
+        s.mem = 0.40 + 0.06 * progress;
+        s.cache = load_scale * (0.30 + 0.25 * wave);
+        s.net = 0.18 + 0.30 * wave;
+        s.io = 0.04;
+        s.freq = 0.97 - 0.05 * wave;
+        break;
+      }
+      case AppId::kMiniFe: {
+        // Long alternation between assembly (memory) and solve (compute).
+        const double phase = square_wave(tt / (60.0 * period_scale) + phase0,
+                                         0.4);
+        s.cpu = load_scale * (phase > 0.5 ? 0.45 : 0.85);
+        s.mem = phase > 0.5 ? 0.75 : 0.50;
+        s.cache = load_scale * (phase > 0.5 ? 0.30 : 0.60);
+        s.net = phase > 0.5 ? 0.10 : 0.35;
+        s.io = 0.05;
+        s.freq = 0.97 - 0.05 * s.cpu;
+        break;
+      }
+    }
+    // Small common-mode jitter so latents are not perfectly deterministic.
+    s.cpu = clamp01(s.cpu + 0.015 * rng.gaussian());
+    s.mem = clamp01(s.mem + 0.010 * rng.gaussian());
+    s.cache = clamp01(s.cache + 0.015 * rng.gaussian());
+    s.net = clamp01(s.net + 0.015 * rng.gaussian());
+    s.io = clamp01(s.io + 0.010 * rng.gaussian());
+    s.freq = clamp01(s.freq + 0.008 * rng.gaussian());
+    out[t] = s;
+  }
+  return out;
+}
+
+void apply_fault(std::vector<LatentState>& latents, FaultId fault, int setting,
+                 std::size_t begin, std::size_t end) {
+  if (setting < 0 || setting > 1) {
+    throw std::invalid_argument("apply_fault: setting must be 0 or 1");
+  }
+  if (begin > end || end > latents.size()) {
+    throw std::invalid_argument("apply_fault: bad sample range");
+  }
+  if (fault == FaultId::kNone) return;
+  const double k = setting == 0 ? 0.5 : 1.0;  // Light vs heavy intensity.
+  const double span = std::max<double>(1.0, static_cast<double>(end - begin));
+  for (std::size_t t = begin; t < end; ++t) {
+    LatentState& s = latents[t];
+    const double fprog = static_cast<double>(t - begin) / span;
+    switch (fault) {
+      case FaultId::kNone:
+        break;
+      case FaultId::kLeak:
+        // Slowly growing allocation that never gets freed.
+        s.mem = std::min(1.0, s.mem + k * 0.6 * fprog);
+        break;
+      case FaultId::kMemEater:
+        // Aggressive allocation bursts plus bandwidth pressure.
+        s.mem = std::min(1.0, s.mem + k * 0.45);
+        s.cache = std::min(1.0, s.cache + k * 0.20);
+        s.cpu = std::min(1.0, s.cpu + k * 0.10);
+        break;
+      case FaultId::kDdot:
+        // Cache-resident compute interference.
+        s.cache = std::min(1.0, s.cache + k * 0.50);
+        s.cpu = std::min(1.0, s.cpu + k * 0.25);
+        break;
+      case FaultId::kDial:
+        // ALU-bound interference: compute up, everything else starved.
+        s.cpu = std::min(1.0, s.cpu + k * 0.55);
+        s.net = std::max(0.0, s.net - k * 0.10);
+        break;
+      case FaultId::kCpuFreq:
+        // Clock forced down; throughput-coupled channels sag with it.
+        s.freq = std::max(0.05, s.freq - k * 0.45);
+        s.cpu = std::max(0.0, s.cpu - k * 0.15);
+        break;
+      case FaultId::kCacheCopy:
+        // Copy storms trash the cache hierarchy.
+        s.cache = std::min(1.0, s.cache + k * 0.60);
+        s.mem = std::min(1.0, s.mem + k * 0.15);
+        break;
+      case FaultId::kPageFail:
+        // Paging storms: OS/io activity spikes, compute stalls.
+        s.io = std::min(1.0, s.io + k * 0.55);
+        s.mem = std::min(1.0, s.mem + k * 0.25);
+        s.cpu = std::max(0.0, s.cpu - k * 0.20);
+        break;
+      case FaultId::kIoErr:
+        // I/O errors: retries inflate io, starving the application.
+        s.io = std::min(1.0, s.io + k * 0.65);
+        s.cpu = std::max(0.0, s.cpu - k * 0.10);
+        break;
+    }
+  }
+}
+
+}  // namespace csm::hpcoda

@@ -1,0 +1,44 @@
+// Application workload profiles: latent activity traces per application.
+//
+// Each application is modelled after the behaviour the paper observes in its
+// signature heatmaps (Section IV-E):
+//   - AMG:         iterative compute with memory usage ramping over the run.
+//   - Kripke:      pronounced sawtooth iterations on compute/cache/network.
+//   - Linpack:     constant heavy load with a distinct initialisation phase.
+//   - Quicksilver: light load but periodically oscillating CPU frequency.
+//   - LAMMPS:      smooth periodic compute and communication.
+//   - miniFE:      alternating assembly (memory) and solve (compute) phases.
+//   - idle:        background noise only.
+// Every application has three input configurations (Section II-B2) that
+// scale its period, amplitude and baseline, and a per-run random phase so no
+// two runs are bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hpcoda/types.hpp"
+
+namespace csm::hpcoda {
+
+/// Number of input configurations per application in HPC-ODA.
+inline constexpr int kNumConfigs = 3;
+
+/// Generates `length` latent samples for one run of `app` under input
+/// configuration `config` in [0, kNumConfigs). `rng` provides the run's
+/// random phase and slow drift. Throws std::invalid_argument for a bad
+/// config or zero length.
+std::vector<LatentState> generate_app_latents(AppId app, int config,
+                                              std::size_t length,
+                                              common::Rng& rng);
+
+/// Applies fault `fault` with intensity `setting` (0 = light, 1 = heavy) to
+/// a latent trace in-place, over the sample range [begin, end). Models the
+/// Antarex-style injectors: e.g. kLeak grows the memory channel until
+/// saturation, kCpuFreq drops the clock channel, kCacheCopy raises cache
+/// pressure. kNone is a no-op.
+void apply_fault(std::vector<LatentState>& latents, FaultId fault, int setting,
+                 std::size_t begin, std::size_t end);
+
+}  // namespace csm::hpcoda

@@ -1,0 +1,96 @@
+#include "ml/cross_validation.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "ml/metrics.hpp"
+#include "ml/splits.hpp"
+
+namespace csm::ml {
+
+namespace {
+
+void finalize(CvResult& result) {
+  if (!result.fold_scores.empty()) {
+    result.mean_score =
+        std::accumulate(result.fold_scores.begin(), result.fold_scores.end(),
+                        0.0) /
+        static_cast<double>(result.fold_scores.size());
+  }
+}
+
+}  // namespace
+
+CvResult cross_validate_classification(const data::Dataset& ds, std::size_t k,
+                                       const ClassifierFactory& factory,
+                                       common::Rng& rng) {
+  ds.validate();
+  if (ds.kind() != data::TaskKind::kClassification) {
+    throw std::invalid_argument(
+        "cross_validate_classification: not a classification dataset");
+  }
+  CvResult result;
+  const std::vector<Fold> folds = stratified_kfold(ds.labels, k, rng);
+  for (const Fold& fold : folds) {
+    const data::Dataset train = ds.subset(fold.train_indices);
+    const data::Dataset test = ds.subset(fold.test_indices);
+
+    const std::unique_ptr<Classifier> model = factory();
+    common::Timer fit_timer;
+    model->fit(train.features, train.labels);
+    result.train_seconds += fit_timer.seconds();
+
+    common::Timer test_timer;
+    const std::vector<int> predicted = model->predict(test.features);
+    result.fold_scores.push_back(macro_f1(test.labels, predicted));
+    result.test_seconds += test_timer.seconds();
+  }
+  finalize(result);
+  return result;
+}
+
+CvResult cross_validate_regression(const data::Dataset& ds, std::size_t k,
+                                   const RegressorFactory& factory,
+                                   common::Rng& rng) {
+  ds.validate();
+  if (ds.kind() != data::TaskKind::kRegression) {
+    throw std::invalid_argument(
+        "cross_validate_regression: not a regression dataset");
+  }
+  CvResult result;
+  const std::vector<Fold> folds = kfold(ds.size(), k, rng);
+  for (const Fold& fold : folds) {
+    const data::Dataset train = ds.subset(fold.train_indices);
+    const data::Dataset test = ds.subset(fold.test_indices);
+
+    const std::unique_ptr<Regressor> model = factory();
+    common::Timer fit_timer;
+    model->fit(train.features, train.targets);
+    result.train_seconds += fit_timer.seconds();
+
+    common::Timer test_timer;
+    const std::vector<double> predicted = model->predict(test.features);
+    result.fold_scores.push_back(
+        ml_score_regression(test.targets, predicted));
+    result.test_seconds += test_timer.seconds();
+  }
+  finalize(result);
+  return result;
+}
+
+CvResult cross_validate(const data::Dataset& ds, std::size_t k,
+                        const ModelFactories& factories, common::Rng& rng) {
+  if (ds.kind() == data::TaskKind::kClassification) {
+    if (!factories.classifier) {
+      throw std::invalid_argument("cross_validate: no classifier factory");
+    }
+    return cross_validate_classification(ds, k, factories.classifier, rng);
+  }
+  if (!factories.regressor) {
+    throw std::invalid_argument("cross_validate: no regressor factory");
+  }
+  return cross_validate_regression(ds, k, factories.regressor, rng);
+}
+
+}  // namespace csm::ml

@@ -1,0 +1,53 @@
+// K-fold cross-validation driver (Section IV-A1).
+//
+// Runs the paper's evaluation protocol: shuffle the feature sets, split into
+// k uniformly sized folds (stratified for classification), train on k-1
+// folds, test on the held-out fold, and average the ML score (macro F1 for
+// classification, 1 - NRMSE for regression) over all k combinations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace csm::ml {
+
+/// Outcome of one cross-validation run.
+struct CvResult {
+  std::vector<double> fold_scores;  ///< ML score of each fold.
+  double mean_score = 0.0;
+  double train_seconds = 0.0;  ///< Total fit time across folds.
+  double test_seconds = 0.0;   ///< Total predict+score time across folds.
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// Stratified k-fold CV of a classification dataset; the score is macro F1.
+CvResult cross_validate_classification(const data::Dataset& ds, std::size_t k,
+                                       const ClassifierFactory& factory,
+                                       common::Rng& rng);
+
+/// Plain k-fold CV of a regression dataset; the score is 1 - NRMSE.
+CvResult cross_validate_regression(const data::Dataset& ds, std::size_t k,
+                                   const RegressorFactory& factory,
+                                   common::Rng& rng);
+
+/// Model factories for both task kinds, so segment-agnostic experiment code
+/// can hand one object to the driver.
+struct ModelFactories {
+  ClassifierFactory classifier;
+  RegressorFactory regressor;
+};
+
+/// Dispatches on ds.kind(). Throws std::invalid_argument if the needed
+/// factory is missing.
+CvResult cross_validate(const data::Dataset& ds, std::size_t k,
+                        const ModelFactories& factories, common::Rng& rng);
+
+}  // namespace csm::ml

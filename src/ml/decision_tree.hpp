@@ -1,0 +1,80 @@
+// CART decision trees (classification and regression).
+//
+// The paper's models are scikit-learn random forests (50 estimators, Gini
+// impurity); this is the underlying tree learner, built from scratch:
+// axis-aligned binary splits chosen by exhaustive threshold scan over a
+// random feature subset, Gini impurity for classification and variance
+// reduction for regression, with the usual depth / minimum-sample stopping
+// rules. Trees are stored as a flat node array for cache-friendly inference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace csm::ml {
+
+/// Stopping and split-sampling parameters shared by both tree kinds.
+struct TreeParams {
+  std::size_t max_depth = 0;          ///< 0 = unlimited.
+  std::size_t min_samples_split = 2;  ///< Nodes smaller than this are leaves.
+  std::size_t min_samples_leaf = 1;   ///< Splits creating smaller children are rejected.
+  std::size_t max_features = 0;       ///< Features tried per split; 0 = all.
+};
+
+/// A fitted CART tree. Fit either as a classifier or as a regressor; the
+/// corresponding predict method must be used.
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeParams params = {}) : params_(params) {}
+
+  /// Fits a classifier on rows `sample_indices` of X (all rows when empty).
+  /// Labels must be in [0, n_classes). `rng` drives feature sub-sampling.
+  void fit_classifier(const common::Matrix& x, std::span<const int> y,
+                      std::size_t n_classes, common::Rng& rng,
+                      std::span<const std::size_t> sample_indices = {});
+
+  /// Fits a regressor on rows `sample_indices` of X (all rows when empty).
+  void fit_regressor(const common::Matrix& x, std::span<const double> y,
+                     common::Rng& rng,
+                     std::span<const std::size_t> sample_indices = {});
+
+  bool is_fitted() const noexcept { return !nodes_.empty(); }
+  bool is_classifier() const noexcept { return is_classifier_; }
+  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Predicted class for one feature vector.
+  int predict_class(std::span<const double> x) const;
+  /// Predicted value for one feature vector.
+  double predict_value(std::span<const double> x) const;
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  ///< -1 marks a leaf.
+    double threshold = 0.0;     ///< Go left if x[feature] <= threshold.
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double value = 0.0;         ///< Leaf payload: class id or mean target.
+  };
+
+  const Node& descend(std::span<const double> x) const;
+
+  void fit_impl(const common::Matrix& x, std::span<const int> yc,
+                std::span<const double> yr, std::size_t n_classes,
+                common::Rng& rng, std::span<const std::size_t> sample_indices);
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  bool is_classifier_ = false;
+};
+
+/// Gini impurity of a class-count histogram with `total` samples.
+double gini_impurity(std::span<const std::size_t> counts, std::size_t total);
+
+}  // namespace csm::ml

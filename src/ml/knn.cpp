@@ -1,0 +1,62 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace csm::ml {
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("squared_distance: length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  if (k_ == 0) throw std::invalid_argument("KnnClassifier: k must be > 0");
+}
+
+void KnnClassifier::fit(const common::Matrix& x, std::span<const int> y) {
+  if (x.rows() == 0 || y.size() != x.rows()) {
+    throw std::invalid_argument("KnnClassifier::fit: bad training set");
+  }
+  int max_label = 0;
+  for (int l : y) {
+    if (l < 0) throw std::invalid_argument("KnnClassifier: negative label");
+    max_label = std::max(max_label, l);
+  }
+  n_classes_ = static_cast<std::size_t>(max_label) + 1;
+  train_x_ = x;
+  train_y_.assign(y.begin(), y.end());
+}
+
+int KnnClassifier::predict_one(std::span<const double> x) const {
+  if (train_x_.rows() == 0) {
+    throw std::logic_error("KnnClassifier: not fitted");
+  }
+  const std::size_t k = std::min(k_, train_x_.rows());
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_x_.rows());
+  for (std::size_t r = 0; r < train_x_.rows(); ++r) {
+    dist.emplace_back(squared_distance(train_x_.row(r), x), train_y_[r]);
+  }
+  std::nth_element(dist.begin(),
+                   dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+  std::vector<std::size_t> votes(n_classes_, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(dist[i].second)];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace csm::ml

@@ -1,0 +1,37 @@
+// k-nearest-neighbour classifier.
+//
+// A second, instance-based model family for the evaluation harness: the
+// comparability of CS signatures (same length, same block semantics across
+// systems) is what makes plain Euclidean kNN meaningful on them, so this
+// model doubles as a test of that property. Brute-force search — signature
+// datasets are thousands of rows, not millions.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/model.hpp"
+
+namespace csm::ml {
+
+/// Majority-vote kNN over Euclidean distance.
+class KnnClassifier final : public Classifier {
+ public:
+  /// Throws std::invalid_argument if k == 0.
+  explicit KnnClassifier(std::size_t k = 5);
+
+  void fit(const common::Matrix& x, std::span<const int> y) override;
+  int predict_one(std::span<const double> x) const override;
+
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  common::Matrix train_x_;
+  std::vector<int> train_y_;
+  std::size_t n_classes_ = 0;
+};
+
+/// Squared Euclidean distance between two equally sized vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace csm::ml

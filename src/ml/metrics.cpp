@@ -1,0 +1,113 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace csm::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(n_classes), counts_(n_classes * n_classes, 0) {
+  if (n_ == 0) throw std::invalid_argument("ConfusionMatrix: zero classes");
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || predicted < 0 ||
+      static_cast<std::size_t>(truth) >= n_ ||
+      static_cast<std::size_t>(predicted) >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(truth) * n_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::count(std::size_t truth,
+                                     std::size_t predicted) const {
+  if (truth >= n_ || predicted >= n_) {
+    throw std::out_of_range("ConfusionMatrix::count: index out of range");
+  }
+  return counts_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += counts_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::uint64_t tp = count(cls, cls);
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += count(t, cls);
+  return predicted == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::uint64_t tp = count(cls, cls);
+  std::uint64_t actual = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual += count(cls, p);
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) acc += f1(c);
+  return acc / static_cast<double>(n_);
+}
+
+double macro_f1(std::span<const int> truth, std::span<const int> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("macro_f1: length mismatch");
+  }
+  if (truth.empty()) throw std::invalid_argument("macro_f1: empty input");
+  int max_label = 0;
+  for (int t : truth) max_label = std::max(max_label, t);
+  for (int p : predicted) max_label = std::max(max_label, p);
+  ConfusionMatrix cm(static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cm.add(truth[i], predicted[i]);
+  }
+  return cm.macro_f1();
+}
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("rmse: length mismatch");
+  }
+  if (truth.empty()) throw std::invalid_argument("rmse: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double nrmse(std::span<const double> truth,
+             std::span<const double> predicted) {
+  const double e = rmse(truth, predicted);
+  const auto [lo, hi] = std::minmax_element(truth.begin(), truth.end());
+  const double range = *hi - *lo;
+  if (range == 0.0) return e == 0.0 ? 0.0 : 1.0;
+  return e / range;
+}
+
+double ml_score_regression(std::span<const double> truth,
+                           std::span<const double> predicted) {
+  const double score = 1.0 - nrmse(truth, predicted);
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace csm::ml

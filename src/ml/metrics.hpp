@@ -1,0 +1,62 @@
+// Evaluation metrics (Section IV-A1).
+//
+// Classification problems are scored with the F1-score (harmonic mean of
+// precision and recall, macro-averaged across classes); regression problems
+// with the Normalized Root Mean Square Error, presented as the
+// higher-is-better complement NRMSE_c = 1 - NRMSE ("ML score") so both kinds
+// of task plot on the same axis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csm::ml {
+
+/// Row-major confusion matrix; entry (t, p) counts samples of true class t
+/// predicted as class p.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  /// Accumulates one prediction. Throws std::out_of_range on bad labels.
+  void add(int truth, int predicted);
+
+  std::size_t n_classes() const noexcept { return n_; }
+  std::uint64_t count(std::size_t truth, std::size_t predicted) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  /// Precision of one class: TP / (TP + FP); 0 when the class is never
+  /// predicted.
+  double precision(std::size_t cls) const;
+  /// Recall of one class: TP / (TP + FN); 0 when the class never occurs.
+  double recall(std::size_t cls) const;
+  /// Per-class F1 = 2PR / (P + R); 0 when both are 0.
+  double f1(std::size_t cls) const;
+  /// Unweighted mean of per-class F1 scores (macro averaging).
+  double macro_f1() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Macro F1 straight from label vectors; class count inferred from the data.
+double macro_f1(std::span<const int> truth, std::span<const int> predicted);
+
+/// Root mean square error. Throws std::invalid_argument on length mismatch
+/// or empty input.
+double rmse(std::span<const double> truth, std::span<const double> predicted);
+
+/// NRMSE = RMSE / (max(truth) - min(truth)); a constant truth vector yields
+/// NRMSE 0 when predictions are exact and 1 otherwise.
+double nrmse(std::span<const double> truth, std::span<const double> predicted);
+
+/// The paper's higher-is-better regression score, clamped to [0, 1].
+double ml_score_regression(std::span<const double> truth,
+                           std::span<const double> predicted);
+
+}  // namespace csm::ml

@@ -1,0 +1,322 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace csm::ml {
+
+namespace detail {
+
+void MlpNetwork::init(std::size_t inputs,
+                      const std::vector<std::size_t>& hidden,
+                      std::size_t outputs, common::Rng& rng) {
+  if (inputs == 0 || outputs == 0) {
+    throw std::invalid_argument("MlpNetwork: zero-sized layer");
+  }
+  inputs_ = inputs;
+  outputs_ = outputs;
+  layers_.clear();
+  adam_t_ = 0;
+
+  std::vector<std::size_t> sizes{inputs};
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(outputs);
+
+  for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+    Layer layer;
+    layer.in = sizes[li];
+    layer.out = sizes[li + 1];
+    // He initialisation, appropriate for ReLU activations.
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    layer.w.resize(layer.out * layer.in);
+    for (double& w : layer.w) w = rng.gaussian() * scale;
+    layer.b.assign(layer.out, 0.0);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.out, 0.0);
+    layer.vb.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+  gw_.resize(layers_.size());
+  gb_.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    gw_[li].assign(layers_[li].w.size(), 0.0);
+    gb_[li].assign(layers_[li].b.size(), 0.0);
+  }
+}
+
+void MlpNetwork::forward_cached(std::span<const double> x,
+                                std::vector<std::vector<double>>& acts) const {
+  acts.resize(layers_.size() + 1);
+  acts[0].assign(x.begin(), x.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    auto& out = acts[li + 1];
+    out.assign(layer.out, 0.0);
+    const auto& in = acts[li];
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* wrow = layer.w.data() + o * layer.in;
+      double acc = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * in[i];
+      // ReLU on hidden layers; the head stays linear.
+      out[o] = (li + 1 < layers_.size() && acc < 0.0) ? 0.0 : acc;
+    }
+  }
+}
+
+std::vector<double> MlpNetwork::forward(std::span<const double> x) const {
+  if (x.size() != inputs_) {
+    throw std::invalid_argument("MlpNetwork::forward: wrong input size");
+  }
+  std::vector<std::vector<double>> acts;
+  forward_cached(x, acts);
+  return acts.back();
+}
+
+namespace {
+
+// In-place numerically stable softmax.
+void softmax(std::vector<double>& z) {
+  const double zmax = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - zmax);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+}
+
+}  // namespace
+
+void MlpNetwork::train_batch(const common::Matrix& x,
+                             std::span<const std::size_t> rows,
+                             std::span<const int> labels,
+                             std::span<const double> targets, bool classify,
+                             const MlpParams& params) {
+  if (rows.empty()) return;
+  for (auto& g : gw_) std::fill(g.begin(), g.end(), 0.0);
+  for (auto& g : gb_) std::fill(g.begin(), g.end(), 0.0);
+
+  std::vector<std::vector<double>> acts;
+  std::vector<double> delta, delta_prev;
+  for (std::size_t row : rows) {
+    forward_cached(x.row(row), acts);
+    // Output-layer error signal.
+    delta = acts.back();
+    if (classify) {
+      softmax(delta);
+      delta[static_cast<std::size_t>(labels[row])] -= 1.0;
+    } else {
+      delta[0] -= targets[row];
+    }
+    // Backpropagate through layers.
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+      const Layer& layer = layers_[li];
+      const auto& in = acts[li];
+      auto& gw = gw_[li];
+      auto& gb = gb_[li];
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        gb[o] += delta[o];
+        double* grow = gw.data() + o * layer.in;
+        const double d = delta[o];
+        for (std::size_t i = 0; i < layer.in; ++i) grow[i] += d * in[i];
+      }
+      if (li == 0) break;
+      delta_prev.assign(layer.in, 0.0);
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        const double* wrow = layer.w.data() + o * layer.in;
+        const double d = delta[o];
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          delta_prev[i] += wrow[i] * d;
+        }
+      }
+      // ReLU derivative of the previous layer's activation.
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        if (acts[li][i] <= 0.0) delta_prev[i] = 0.0;
+      }
+      delta.swap(delta_prev);
+    }
+  }
+
+  // Adam update.
+  ++adam_t_;
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double inv_batch = 1.0 / static_cast<double>(rows.size());
+  const double bias1 =
+      1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bias2 =
+      1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    Layer& layer = layers_[li];
+    for (std::size_t k = 0; k < layer.w.size(); ++k) {
+      const double g = gw_[li][k] * inv_batch + params.l2 * layer.w[k];
+      layer.mw[k] = kBeta1 * layer.mw[k] + (1.0 - kBeta1) * g;
+      layer.vw[k] = kBeta2 * layer.vw[k] + (1.0 - kBeta2) * g * g;
+      layer.w[k] -= params.learning_rate * (layer.mw[k] / bias1) /
+                    (std::sqrt(layer.vw[k] / bias2) + kEps);
+    }
+    for (std::size_t k = 0; k < layer.b.size(); ++k) {
+      const double g = gb_[li][k] * inv_batch;
+      layer.mb[k] = kBeta1 * layer.mb[k] + (1.0 - kBeta1) * g;
+      layer.vb[k] = kBeta2 * layer.vb[k] + (1.0 - kBeta2) * g * g;
+      layer.b[k] -= params.learning_rate * (layer.mb[k] / bias1) /
+                    (std::sqrt(layer.vb[k] / bias2) + kEps);
+    }
+  }
+}
+
+void Standardizer::fit(const common::Matrix& x) {
+  const std::size_t d = x.cols();
+  mean.assign(d, 0.0);
+  inv_std.assign(d, 1.0);
+  if (x.rows() == 0) return;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(x.rows());
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = row[c] - mean[c];
+      var[c] += dv * dv;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(x.rows()));
+    inv_std[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> x) const {
+  if (x.size() != mean.size()) {
+    throw std::invalid_argument("Standardizer: wrong feature count");
+  }
+  std::vector<double> out(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    out[c] = (x[c] - mean[c]) * inv_std[c];
+  }
+  return out;
+}
+
+common::Matrix Standardizer::transform(const common::Matrix& x) const {
+  common::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - mean[c]) * inv_std[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Epoch loop shared by both fronts.
+template <typename BatchFn>
+void run_epochs(std::size_t n_samples, const MlpParams& params,
+                common::Rng& rng, const BatchFn& batch_fn) {
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t batch = std::max<std::size_t>(1, params.batch_size);
+  for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n_samples; start += batch) {
+      const std::size_t len = std::min(batch, n_samples - start);
+      batch_fn(std::span<const std::size_t>(order.data() + start, len));
+    }
+  }
+}
+
+}  // namespace
+
+MlpClassifier::MlpClassifier(MlpParams params) : params_(std::move(params)) {}
+
+void MlpClassifier::fit(const common::Matrix& x, std::span<const int> y) {
+  if (x.rows() == 0 || y.size() != x.rows()) {
+    throw std::invalid_argument("MlpClassifier::fit: bad training set");
+  }
+  int max_label = 0;
+  for (int l : y) {
+    if (l < 0) throw std::invalid_argument("MlpClassifier: negative label");
+    max_label = std::max(max_label, l);
+  }
+  n_classes_ = static_cast<std::size_t>(max_label) + 1;
+
+  scaler_.fit(x);
+  const common::Matrix xs = scaler_.transform(x);
+  common::Rng rng(params_.seed);
+  net_.init(x.cols(), params_.hidden, n_classes_, rng);
+  run_epochs(x.rows(), params_, rng, [&](std::span<const std::size_t> rows) {
+    net_.train_batch(xs, rows, y, {}, /*classify=*/true, params_);
+  });
+}
+
+std::vector<double> MlpClassifier::predict_proba(
+    std::span<const double> x) const {
+  if (!net_.initialized()) {
+    throw std::logic_error("MlpClassifier: not fitted");
+  }
+  std::vector<double> z = net_.forward(scaler_.transform(x));
+  const double zmax = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - zmax);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+  return z;
+}
+
+int MlpClassifier::predict_one(std::span<const double> x) const {
+  const std::vector<double> p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+MlpRegressor::MlpRegressor(MlpParams params) : params_(std::move(params)) {}
+
+void MlpRegressor::fit(const common::Matrix& x, std::span<const double> y) {
+  if (x.rows() == 0 || y.size() != x.rows()) {
+    throw std::invalid_argument("MlpRegressor::fit: bad training set");
+  }
+  scaler_.fit(x);
+  const common::Matrix xs = scaler_.transform(x);
+
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) {
+    const double d = v - y_mean_;
+    var += d * d;
+  }
+  y_std_ = std::sqrt(var / static_cast<double>(y.size()));
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  std::vector<double> ys(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ys[i] = (y[i] - y_mean_) / y_std_;
+  }
+
+  common::Rng rng(params_.seed);
+  net_.init(x.cols(), params_.hidden, 1, rng);
+  run_epochs(x.rows(), params_, rng, [&](std::span<const std::size_t> rows) {
+    net_.train_batch(xs, rows, {}, ys, /*classify=*/false, params_);
+  });
+}
+
+double MlpRegressor::predict_one(std::span<const double> x) const {
+  if (!net_.initialized()) {
+    throw std::logic_error("MlpRegressor: not fitted");
+  }
+  return net_.forward(scaler_.transform(x))[0] * y_std_ + y_mean_;
+}
+
+}  // namespace csm::ml

@@ -1,0 +1,121 @@
+// Multi-layer perceptron (Section IV-A1 / IV-F: two hidden layers of 100
+// neurons with ReLU activations).
+//
+// A from-scratch fully-connected network trained with mini-batch Adam:
+// softmax + cross-entropy head for classification, linear + MSE head for
+// regression. Inputs (and regression targets) are z-score standardised
+// internally, mirroring what scikit-learn users do before fitting MLPs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/model.hpp"
+
+namespace csm::ml {
+
+/// Network and optimiser configuration.
+struct MlpParams {
+  std::vector<std::size_t> hidden = {100, 100};  ///< Paper's architecture.
+  std::size_t epochs = 40;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  ///< Adam step size.
+  double l2 = 1e-5;             ///< Weight decay.
+  std::uint64_t seed = 0x31f;
+};
+
+namespace detail {
+
+/// Fully-connected network core shared by the classifier and regressor
+/// fronts. Parameters are stored per layer; Adam moments alongside.
+class MlpNetwork {
+ public:
+  void init(std::size_t inputs, const std::vector<std::size_t>& hidden,
+            std::size_t outputs, common::Rng& rng);
+
+  bool initialized() const noexcept { return !layers_.empty(); }
+  std::size_t inputs() const noexcept { return inputs_; }
+  std::size_t outputs() const noexcept { return outputs_; }
+
+  /// Forward pass; returns the raw output layer (no softmax).
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// One Adam step over a mini-batch. `x` is the standardised feature
+  /// matrix; `rows` selects the batch. For classification `labels` is used
+  /// (softmax cross-entropy); otherwise `targets` (MSE, standardised).
+  void train_batch(const common::Matrix& x, std::span<const std::size_t> rows,
+                   std::span<const int> labels,
+                   std::span<const double> targets, bool classify,
+                   const MlpParams& params);
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> w;       // out x in, row-major.
+    std::vector<double> b;       // out.
+    // Adam state.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  // Forward keeping activations of every layer (for backprop).
+  void forward_cached(std::span<const double> x,
+                      std::vector<std::vector<double>>& acts) const;
+
+  std::size_t inputs_ = 0;
+  std::size_t outputs_ = 0;
+  std::vector<Layer> layers_;
+  std::uint64_t adam_t_ = 0;
+
+  // Gradient accumulators (same shapes as layers), reused across batches.
+  mutable std::vector<std::vector<double>> gw_, gb_;
+};
+
+/// Per-feature z-score standardisation fitted on training data.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> inv_std;
+
+  void fit(const common::Matrix& x);
+  std::vector<double> transform(std::span<const double> x) const;
+  common::Matrix transform(const common::Matrix& x) const;
+};
+
+}  // namespace detail
+
+/// Softmax-headed MLP classifier.
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpParams params = {});
+
+  void fit(const common::Matrix& x, std::span<const int> y) override;
+  int predict_one(std::span<const double> x) const override;
+
+  /// Class probabilities for one sample (softmax output).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+ private:
+  MlpParams params_;
+  detail::MlpNetwork net_;
+  detail::Standardizer scaler_;
+  std::size_t n_classes_ = 0;
+};
+
+/// Linear-headed MLP regressor.
+class MlpRegressor final : public Regressor {
+ public:
+  explicit MlpRegressor(MlpParams params = {});
+
+  void fit(const common::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+
+ private:
+  MlpParams params_;
+  detail::MlpNetwork net_;
+  detail::Standardizer scaler_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace csm::ml

@@ -1,0 +1,23 @@
+#include "ml/model.hpp"
+
+namespace csm::ml {
+
+std::vector<int> Classifier::predict(const common::Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_one(x.row(r)));
+  }
+  return out;
+}
+
+std::vector<double> Regressor::predict(const common::Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_one(x.row(r)));
+  }
+  return out;
+}
+
+}  // namespace csm::ml

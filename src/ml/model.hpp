@@ -1,0 +1,42 @@
+// Abstract model interfaces consumed by the cross-validation driver.
+//
+// The harness treats classifiers and regressors uniformly via factories, so
+// the same experiment code runs random forests (the paper's primary model)
+// and multi-layer perceptrons (used in Section IV-F).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::ml {
+
+/// Multi-class classifier over dense feature rows.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on X (rows = samples) with labels in [0, n_classes).
+  virtual void fit(const common::Matrix& x, std::span<const int> y) = 0;
+
+  virtual int predict_one(std::span<const double> x) const = 0;
+
+  /// Default row-by-row prediction; implementations may override.
+  virtual std::vector<int> predict(const common::Matrix& x) const;
+};
+
+/// Scalar regressor over dense feature rows.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const common::Matrix& x, std::span<const double> y) = 0;
+
+  virtual double predict_one(std::span<const double> x) const = 0;
+
+  virtual std::vector<double> predict(const common::Matrix& x) const;
+};
+
+}  // namespace csm::ml

@@ -1,0 +1,71 @@
+#include "ml/splits.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csm::ml {
+
+namespace {
+
+// Converts per-fold test sets into full Folds (train = everything else).
+std::vector<Fold> assemble(std::vector<std::vector<std::size_t>> test_sets,
+                           std::size_t n) {
+  std::vector<Fold> folds(test_sets.size());
+  std::vector<std::size_t> owner(n, test_sets.size());
+  for (std::size_t f = 0; f < test_sets.size(); ++f) {
+    for (std::size_t idx : test_sets[f]) owner[idx] = f;
+  }
+  for (std::size_t f = 0; f < test_sets.size(); ++f) {
+    folds[f].test_indices = std::move(test_sets[f]);
+    std::sort(folds[f].test_indices.begin(), folds[f].test_indices.end());
+    folds[f].train_indices.reserve(n - folds[f].test_indices.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (owner[i] != f) folds[f].train_indices.push_back(i);
+    }
+  }
+  return folds;
+}
+
+}  // namespace
+
+std::vector<Fold> kfold(std::size_t n, std::size_t k, common::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("kfold: k must be >= 2");
+  if (n < k) throw std::invalid_argument("kfold: fewer samples than folds");
+  const std::vector<std::size_t> perm = rng.permutation(n);
+  std::vector<std::vector<std::size_t>> test_sets(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    test_sets[i % k].push_back(perm[i]);
+  }
+  return assemble(std::move(test_sets), n);
+}
+
+std::vector<Fold> stratified_kfold(std::span<const int> labels, std::size_t k,
+                                   common::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_kfold: k must be >= 2");
+  if (labels.size() < k) {
+    throw std::invalid_argument("stratified_kfold: fewer samples than folds");
+  }
+  int max_label = 0;
+  for (int l : labels) {
+    if (l < 0) throw std::invalid_argument("stratified_kfold: negative label");
+    max_label = std::max(max_label, l);
+  }
+  // Group sample indices per class, shuffle within class, deal round-robin.
+  std::vector<std::vector<std::size_t>> per_class(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    per_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> test_sets(k);
+  std::size_t fold_cursor = 0;
+  for (auto& members : per_class) {
+    rng.shuffle(members);
+    for (std::size_t idx : members) {
+      test_sets[fold_cursor % k].push_back(idx);
+      ++fold_cursor;
+    }
+  }
+  return assemble(std::move(test_sets), labels.size());
+}
+
+}  // namespace csm::ml

@@ -1,0 +1,34 @@
+// Train/test splitting (Section IV-A1).
+//
+// The evaluation uses 5-fold cross-validation with a *stratified* K-fold
+// strategy for classification (each fold preserves per-class proportions) and
+// plain K-fold for regression. Folds are uniformly sized up to rounding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace csm::ml {
+
+/// One cross-validation fold: disjoint index sets into the dataset.
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Plain K-fold over n samples, shuffled. Throws std::invalid_argument if
+/// k < 2 or n < k.
+std::vector<Fold> kfold(std::size_t n, std::size_t k, common::Rng& rng);
+
+/// Stratified K-fold: each class's samples are shuffled and dealt
+/// round-robin across folds, so per-fold class proportions match the dataset.
+/// Classes with fewer than k samples simply appear in fewer folds' test
+/// sets. Throws std::invalid_argument if k < 2, n < k, or a label is
+/// negative.
+std::vector<Fold> stratified_kfold(std::span<const int> labels, std::size_t k,
+                                   common::Rng& rng);
+
+}  // namespace csm::ml

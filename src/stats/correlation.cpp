@@ -1,0 +1,75 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "stats/descriptive.hpp"
+
+namespace csm::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson: length mismatch");
+  }
+  const double sx = stddev(x);
+  const double sy = stddev(y);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(x, y) / (sx * sy);
+}
+
+common::Matrix shifted_correlation_matrix(const common::Matrix& s) {
+  const std::size_t n = s.rows();
+  const std::size_t t = s.cols();
+  common::Matrix out(n, n);
+
+  // Pre-compute per-row means and standard deviations once: the pairwise loop
+  // then only needs the cross terms.
+  std::vector<double> means(n), sds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    means[i] = mean(s.row(i));
+    sds[i] = stddev(s.row(i));
+  }
+
+  common::parallel_for_dynamic(n, [&](std::size_t i) {
+    out(i, i) = 2.0;  // pearson(x, x) = 1, shifted by +1.
+    const auto xi = s.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double rho = 0.0;
+      if (sds[i] != 0.0 && sds[j] != 0.0 && t >= 2) {
+        const auto xj = s.row(j);
+        double cov = 0.0;
+        for (std::size_t k = 0; k < t; ++k) {
+          cov += (xi[k] - means[i]) * (xj[k] - means[j]);
+        }
+        cov /= static_cast<double>(t);
+        rho = cov / (sds[i] * sds[j]);
+        // Clamp numerical overshoot so callers can rely on [-1, 1].
+        rho = std::min(1.0, std::max(-1.0, rho));
+      }
+      out(i, j) = rho + 1.0;
+      out(j, i) = rho + 1.0;
+    }
+  });
+  return out;
+}
+
+std::vector<double> global_coefficients(const common::Matrix& shifted) {
+  const std::size_t n = shifted.rows();
+  if (shifted.cols() != n) {
+    throw std::invalid_argument(
+        "global_coefficients: matrix must be square (pairwise coefficients)");
+  }
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) acc += shifted(i, j);
+    }
+    out[i] = acc / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+}  // namespace csm::stats

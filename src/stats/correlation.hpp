@@ -1,0 +1,31 @@
+// Pearson correlation machinery for the CS training stage (Eq. 1).
+//
+// The paper shifts each Pearson coefficient by +1 so that coefficients live in
+// [0, 2] and the greedy ordering of Algorithm 1 can multiply them without sign
+// juggling. The "global correlation coefficient" rho_Si of a row is the mean
+// shifted coefficient against every other row and measures how descriptive a
+// sensor is of overall system state.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::stats {
+
+/// Plain Pearson correlation coefficient in [-1, 1]. Rows with zero variance
+/// correlate as 0 with everything (the sensor carries no linear information).
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Full pairwise *shifted* correlation matrix of the rows of `s`:
+/// out(i,j) = pearson(row i, row j) + 1, in [0, 2]; diagonal = 2.
+/// Complexity O(n^2 t); parallelised across row pairs.
+common::Matrix shifted_correlation_matrix(const common::Matrix& s);
+
+/// Global correlation coefficients per row (Eq. 1, right):
+/// rho_Si = (1 / (n-1)) * sum_{j != i} shifted(i, j).
+/// For a 1-row matrix returns {0}.
+std::vector<double> global_coefficients(const common::Matrix& shifted);
+
+}  // namespace csm::stats

@@ -1,0 +1,106 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace csm::stats {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double covariance(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("covariance: length mismatch");
+  }
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += (x[i] - mx) * (y[i] - my);
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double min(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("min: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("max: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+namespace {
+
+// Percentile of an already sorted buffer, linear interpolation between ranks.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::span<const double> x, double q) {
+  if (x.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("percentile: q outside [0, 100]");
+  }
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, q);
+}
+
+std::vector<double> percentiles(std::span<const double> x,
+                                std::span<const double> qs) {
+  if (x.empty()) throw std::invalid_argument("percentiles: empty input");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    if (q < 0.0 || q > 100.0) {
+      throw std::invalid_argument("percentiles: q outside [0, 100]");
+    }
+    out.push_back(sorted_percentile(sorted, q));
+  }
+  return out;
+}
+
+double sum_of_changes(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  return x.back() - x.front();
+}
+
+double abs_sum_of_changes(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    acc += std::abs(x[i] - x[i - 1]);
+  }
+  return acc;
+}
+
+}  // namespace csm::stats

@@ -1,0 +1,85 @@
+#include "stats/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/histogram.hpp"
+
+namespace csm::stats {
+
+double shannon_entropy(std::span<const double> pmf) {
+  double h = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("kl_divergence: length mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) {
+      if (q[i] <= 0.0) return std::numeric_limits<double>::infinity();
+      d += p[i] * std::log2(p[i] / q[i]);
+    }
+  }
+  return d;
+}
+
+double js_divergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("js_divergence: length mismatch");
+  }
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return shannon_entropy(m) -
+         0.5 * (shannon_entropy(p) + shannon_entropy(q));
+}
+
+common::Matrix dimension_value_distribution(const common::Matrix& s,
+                                            std::size_t bins, double lo,
+                                            double hi) {
+  if (s.empty()) {
+    throw std::invalid_argument("dimension_value_distribution: empty matrix");
+  }
+  common::Matrix out(s.rows(), bins);
+  const double inv_rows = 1.0 / static_cast<double>(s.rows());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    Histogram h(bins, lo, hi);
+    h.add(s.row(r));
+    const std::vector<double> pmf = h.pmf();
+    for (std::size_t b = 0; b < bins; ++b) out(r, b) = pmf[b] * inv_rows;
+  }
+  return out;
+}
+
+double js_divergence_2d(const common::Matrix& a, const common::Matrix& b,
+                        std::size_t bins) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("js_divergence_2d: empty matrix");
+  }
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument(
+        "js_divergence_2d: dimension counts differ (interpolate first)");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto* m : {&a, &b}) {
+    const double* p = m->data();
+    for (std::size_t i = 0; i < m->size(); ++i) {
+      lo = std::min(lo, p[i]);
+      hi = std::max(hi, p[i]);
+    }
+  }
+  const common::Matrix pa = dimension_value_distribution(a, bins, lo, hi);
+  const common::Matrix pb = dimension_value_distribution(b, bins, lo, hi);
+  return js_divergence(std::span(pa.data(), pa.size()),
+                       std::span(pb.data(), pb.size()));
+}
+
+}  // namespace csm::stats

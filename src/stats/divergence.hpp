@@ -1,0 +1,46 @@
+// Information-theoretic similarity metrics.
+//
+// Implements the Shannon entropy, Kullback-Leibler divergence and the
+// Jensen-Shannon divergence, including the 2-D formulation of Eq. 4 used in
+// Section IV-C of the paper: the value distributions of each data dimension
+// (matrix row) are collapsed into a joint 2-D probability distribution
+// (dimension axis x value axis), and the JS divergence is computed between
+// the distribution of the original sorted data and that of the CS signatures.
+// With base-2 logarithms the JS divergence lies in [0, 1].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::stats {
+
+/// Shannon entropy (base 2) of a probability mass function. Zero-probability
+/// entries contribute nothing; the input is assumed to sum to ~1.
+double shannon_entropy(std::span<const double> pmf);
+
+/// KL divergence D(p || q), base 2. Terms where p[i] == 0 contribute 0;
+/// returns +infinity if p[i] > 0 while q[i] == 0.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// JS divergence between two pmfs, base 2, in [0, 1].
+double js_divergence(std::span<const double> p, std::span<const double> q);
+
+/// Builds the collapsed 2-D probability distribution of Eq. 4 for a sensor
+/// matrix: row y of the result is the value histogram (over [lo, hi] with
+/// `bins` bins) of matrix row y, normalised so the whole result sums to 1
+/// (i.e. each row's pmf divided by the number of rows).
+common::Matrix dimension_value_distribution(const common::Matrix& s,
+                                            std::size_t bins, double lo,
+                                            double hi);
+
+/// JS divergence between the 2-D dimension/value distributions of two
+/// matrices with the same number of rows (Eq. 4). The histogram range is the
+/// combined min/max of both matrices. Throws std::invalid_argument if the
+/// row counts differ or either matrix is empty.
+double js_divergence_2d(const common::Matrix& a, const common::Matrix& b,
+                        std::size_t bins = 64);
+
+}  // namespace csm::stats

@@ -1,0 +1,105 @@
+#include "stats/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace csm::stats {
+
+common::Matrix covariance_matrix(const common::Matrix& s) {
+  if (s.empty()) {
+    throw std::invalid_argument("covariance_matrix: empty matrix");
+  }
+  const std::size_t n = s.rows();
+  const std::size_t t = s.cols();
+  std::vector<double> means(n);
+  for (std::size_t i = 0; i < n; ++i) means[i] = mean(s.row(i));
+  common::Matrix cov(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = s.row(i);
+    for (std::size_t j = i; j < n; ++j) {
+      const auto xj = s.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < t; ++k) {
+        acc += (xi[k] - means[i]) * (xj[k] - means[j]);
+      }
+      acc /= static_cast<double>(t);
+      cov(i, j) = acc;
+      cov(j, i) = acc;
+    }
+  }
+  return cov;
+}
+
+EigenDecomposition jacobi_eigen(const common::Matrix& a,
+                                std::size_t max_sweeps) {
+  const std::size_t n = a.rows();
+  if (n == 0 || a.cols() != n) {
+    throw std::invalid_argument("jacobi_eigen: matrix must be square");
+  }
+  common::Matrix m = a;            // Working copy, driven to diagonal form.
+  common::Matrix v(n, n);          // Accumulated rotations (row-major V^T).
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Classic Jacobi rotation annihilating m(p, q).
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t_rot =
+            sign / (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t_rot * t_rot + 1.0);
+        const double s = t_rot * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vpk = v(p, k);
+          const double vqk = v(q, k);
+          v(p, k) = c * vpk - s * vqk;
+          v(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m(x, x) > m(y, y);
+  });
+
+  EigenDecomposition out;
+  out.values.reserve(n);
+  out.vectors = common::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values.push_back(m(order[i], order[i]));
+    out.vectors.set_row(i, v.row(order[i]));
+  }
+  return out;
+}
+
+}  // namespace csm::stats

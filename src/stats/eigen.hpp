@@ -1,0 +1,36 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and covariance matrices.
+//
+// Substrate for the PCA comparator: the paper's related-work section
+// (Section I-A) discusses PCA-style dimensionality reduction and notes it
+// performs poorly on ODA problems like fault detection where the critical
+// indicators do not dominate the variance — the ablation benchmark
+// reproduces that claim, and needs an eigensolver to do it. Jacobi rotation
+// is slow for huge matrices but exact, dependency-free and robust, which is
+// what a few-hundred-sensor covariance needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::stats {
+
+/// Covariance matrix of the rows of `s` (each row is one variable observed
+/// over the columns); divides by N. Result is n x n symmetric.
+common::Matrix covariance_matrix(const common::Matrix& s);
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+struct EigenDecomposition {
+  std::vector<double> values;  ///< Sorted descending.
+  common::Matrix vectors;      ///< Row i = unit eigenvector of values[i].
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Throws
+/// std::invalid_argument if `a` is not square or empty. `max_sweeps` bounds
+/// the iteration; convergence to ~1e-12 off-diagonal mass typically takes
+/// fewer than 15 sweeps.
+EigenDecomposition jacobi_eigen(const common::Matrix& a,
+                                std::size_t max_sweeps = 50);
+
+}  // namespace csm::stats

@@ -1,0 +1,38 @@
+#include "stats/finite_diff.hpp"
+
+#include <stdexcept>
+
+namespace csm::stats {
+
+std::vector<double> backward_diff(std::span<const double> x) {
+  std::vector<double> out(x.size(), 0.0);
+  for (std::size_t i = 1; i < x.size(); ++i) out[i] = x[i] - x[i - 1];
+  return out;
+}
+
+common::Matrix backward_diff_rows(const common::Matrix& s) {
+  common::Matrix out(s.rows(), s.cols());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const auto src = s.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 1; c < src.size(); ++c) {
+      dst[c] = src[c] - src[c - 1];
+    }
+  }
+  return out;
+}
+
+common::Matrix backward_diff_rows_seeded(const common::Matrix& s,
+                                         std::span<const double> prev_col) {
+  if (prev_col.size() != s.rows()) {
+    throw std::invalid_argument("backward_diff_rows_seeded: bad seed length");
+  }
+  common::Matrix out = backward_diff_rows(s);
+  if (s.cols() == 0) return out;
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    out(r, 0) = s(r, 0) - prev_col[r];
+  }
+  return out;
+}
+
+}  // namespace csm::stats

@@ -1,0 +1,30 @@
+// Backward finite differences.
+//
+// The imaginary channel of a CS signature (Eq. 3) averages the row-wise
+// first-order derivative of the sensor matrix, computed with backward
+// differences: d[k] = x[k] - x[k-1], d[0] = 0. The same transform is the
+// paper's recommended pre-processing for monotonic series such as energy
+// counters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::stats {
+
+/// Backward finite difference of one series; the first element is 0 so the
+/// output length equals the input length.
+std::vector<double> backward_diff(std::span<const double> x);
+
+/// Row-wise backward differences of the whole matrix.
+common::Matrix backward_diff_rows(const common::Matrix& s);
+
+/// Row-wise backward differences where the first column's derivative is taken
+/// against `prev_col` (the last column of the preceding window). This lets a
+/// streaming pipeline avoid a zero spike at every window boundary.
+common::Matrix backward_diff_rows_seeded(const common::Matrix& s,
+                                         std::span<const double> prev_col);
+
+}  // namespace csm::stats

@@ -1,0 +1,40 @@
+#include "stats/histogram.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace csm::stats {
+
+Histogram::Histogram(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+  if (hi < lo) throw std::invalid_argument("Histogram: hi < lo");
+}
+
+std::size_t Histogram::bin_index(double v) const noexcept {
+  if (v <= lo_ || hi_ == lo_) return 0;
+  if (v >= hi_) return counts_.size() - 1;
+  const double frac = (v - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return idx >= counts_.size() ? counts_.size() - 1 : idx;
+}
+
+void Histogram::add(double v) noexcept {
+  ++counts_[bin_index(v)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+}  // namespace csm::stats

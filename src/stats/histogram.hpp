@@ -1,0 +1,42 @@
+// Fixed-width histograms.
+//
+// The Jensen-Shannon divergence of Eq. 4 compares the per-dimension value
+// distributions of the raw (sorted) data with those of the CS signatures; the
+// distributions are estimated with equal-width histograms over a shared range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csm::stats {
+
+/// Equal-width histogram over the closed range [lo, hi]. Values outside the
+/// range are clamped to the first/last bin so probability mass is conserved.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or hi < lo.
+  Histogram(std::size_t bins, double lo, double hi);
+
+  void add(double v) noexcept;
+  void add(std::span<const double> values) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Index of the bin that v falls into.
+  std::size_t bin_index(double v) const noexcept;
+
+  /// Probability mass function; all zeros if the histogram is empty.
+  std::vector<double> pmf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace csm::stats

@@ -1,0 +1,122 @@
+#include "stats/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace csm::stats {
+
+namespace {
+
+// Index of the nearest source sample for target index i (pixel-centre
+// convention, matching common image libraries).
+std::size_t nearest_index(std::size_t i, std::size_t n_out, std::size_t n_in) {
+  const double pos =
+      (static_cast<double>(i) + 0.5) * static_cast<double>(n_in) /
+          static_cast<double>(n_out) -
+      0.5;
+  const auto idx = static_cast<std::ptrdiff_t>(std::lround(pos));
+  if (idx < 0) return 0;
+  if (idx >= static_cast<std::ptrdiff_t>(n_in)) return n_in - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+}  // namespace
+
+std::vector<double> resize_nearest(std::span<const double> x,
+                                   std::size_t new_size) {
+  if (x.empty() || new_size == 0) {
+    throw std::invalid_argument("resize_nearest: empty input or target");
+  }
+  std::vector<double> out(new_size);
+  for (std::size_t i = 0; i < new_size; ++i) {
+    out[i] = x[nearest_index(i, new_size, x.size())];
+  }
+  return out;
+}
+
+std::vector<double> resize_linear(std::span<const double> x,
+                                  std::size_t new_size) {
+  if (x.empty() || new_size == 0) {
+    throw std::invalid_argument("resize_linear: empty input or target");
+  }
+  std::vector<double> out(new_size);
+  if (x.size() == 1 || new_size == 1) {
+    // Degenerate axes: endpoint-aligned sampling starts at the first sample.
+    std::fill(out.begin(), out.end(), x[0]);
+    return out;
+  }
+  const double scale = static_cast<double>(x.size() - 1) /
+                       static_cast<double>(new_size - 1);
+  for (std::size_t i = 0; i < new_size; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = x[lo] + frac * (x[hi] - x[lo]);
+  }
+  return out;
+}
+
+common::Matrix resize_rows_nearest(const common::Matrix& s,
+                                   std::size_t new_rows) {
+  if (s.empty() || new_rows == 0) {
+    throw std::invalid_argument("resize_rows_nearest: empty input or target");
+  }
+  common::Matrix out(new_rows, s.cols());
+  for (std::size_t i = 0; i < new_rows; ++i) {
+    const std::size_t src = nearest_index(i, new_rows, s.rows());
+    out.set_row(i, s.row(src));
+  }
+  return out;
+}
+
+common::Matrix resize_bilinear(const common::Matrix& s, std::size_t new_rows,
+                               std::size_t new_cols) {
+  if (s.empty() || new_rows == 0 || new_cols == 0) {
+    throw std::invalid_argument("resize_bilinear: empty input or target");
+  }
+  common::Matrix out(new_rows, new_cols);
+  const double r_scale =
+      new_rows == 1 ? 0.0
+                    : static_cast<double>(s.rows() - 1) /
+                          static_cast<double>(new_rows - 1);
+  const double c_scale =
+      new_cols == 1 ? 0.0
+                    : static_cast<double>(s.cols() - 1) /
+                          static_cast<double>(new_cols - 1);
+  for (std::size_t i = 0; i < new_rows; ++i) {
+    const double rp = static_cast<double>(i) * r_scale;
+    const auto r0 = static_cast<std::size_t>(rp);
+    const std::size_t r1 = std::min(r0 + 1, s.rows() - 1);
+    const double rf = rp - static_cast<double>(r0);
+    for (std::size_t j = 0; j < new_cols; ++j) {
+      const double cp = static_cast<double>(j) * c_scale;
+      const auto c0 = static_cast<std::size_t>(cp);
+      const std::size_t c1 = std::min(c0 + 1, s.cols() - 1);
+      const double cf = cp - static_cast<double>(c0);
+      const double top = s(r0, c0) + cf * (s(r0, c1) - s(r0, c0));
+      const double bot = s(r1, c0) + cf * (s(r1, c1) - s(r1, c0));
+      out(i, j) = top + rf * (bot - top);
+    }
+  }
+  return out;
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("interp_linear: bad input lengths");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  // First element strictly greater than x; xs is strictly increasing.
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  const double frac = span == 0.0 ? 0.0 : (x - xs[lo]) / span;
+  return ys[lo] + frac * (ys[hi] - ys[lo]);
+}
+
+}  // namespace csm::stats

@@ -1,0 +1,44 @@
+// Interpolation and resizing helpers.
+//
+// CS signatures are "image-like" (Section III-C): they can be rescaled with
+// standard image resampling so that models trained at one resolution accept
+// signatures produced at another, and so that signatures from systems with
+// different sensor counts become comparable (Section IV-F). The JS-divergence
+// evaluation also nearest-neighbour-interpolates signatures back to the
+// original dimension count (Section IV-A2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::stats {
+
+/// Nearest-neighbour resampling of a 1-D signal to `new_size` samples.
+/// Throws std::invalid_argument for empty input or zero target size.
+std::vector<double> resize_nearest(std::span<const double> x,
+                                   std::size_t new_size);
+
+/// Linear resampling of a 1-D signal to `new_size` samples (endpoints
+/// aligned). A single-sample input is replicated.
+std::vector<double> resize_linear(std::span<const double> x,
+                                  std::size_t new_size);
+
+/// Resizes a matrix along the row (dimension) axis with nearest-neighbour
+/// sampling; columns are untouched.
+common::Matrix resize_rows_nearest(const common::Matrix& s,
+                                   std::size_t new_rows);
+
+/// Full bilinear image resize of a matrix to new_rows x new_cols.
+common::Matrix resize_bilinear(const common::Matrix& s, std::size_t new_rows,
+                               std::size_t new_cols);
+
+/// Piecewise-linear interpolation of irregularly sampled data: returns the
+/// value of the series (xs, ys) at position x, clamping outside the domain.
+/// xs must be strictly increasing and non-empty.
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x);
+
+}  // namespace csm::stats

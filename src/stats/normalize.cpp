@@ -1,0 +1,37 @@
+#include "stats/normalize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csm::stats {
+
+std::vector<MinMaxBounds> row_bounds(const common::Matrix& s) {
+  std::vector<MinMaxBounds> out(s.rows());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const auto row = s.row(r);
+    if (row.empty()) continue;
+    const auto [lo_it, hi_it] = std::minmax_element(row.begin(), row.end());
+    out[r] = MinMaxBounds{*lo_it, *hi_it};
+  }
+  return out;
+}
+
+common::Matrix normalize_rows(const common::Matrix& s,
+                              const std::vector<MinMaxBounds>& bounds) {
+  common::Matrix out = s;
+  normalize_rows_inplace(out, bounds);
+  return out;
+}
+
+void normalize_rows_inplace(common::Matrix& s,
+                            const std::vector<MinMaxBounds>& bounds) {
+  if (bounds.size() != s.rows()) {
+    throw std::invalid_argument("normalize_rows: bounds/row count mismatch");
+  }
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const MinMaxBounds& b = bounds[r];
+    for (double& v : s.row(r)) v = b.normalize(v);
+  }
+}
+
+}  // namespace csm::stats

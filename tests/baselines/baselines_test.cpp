@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bodik.hpp"
+#include "baselines/lan.hpp"
+#include "baselines/tuncer.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace csm::baselines {
+namespace {
+
+common::Matrix random_window(std::size_t n, std::size_t wl,
+                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix m(n, wl);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < wl; ++c) m(r, c) = rng.gaussian();
+  }
+  return m;
+}
+
+TEST(Tuncer, SignatureLengthIsElevenPerSensor) {
+  const TuncerMethod method;
+  EXPECT_EQ(method.signature_length(1), 11u);
+  EXPECT_EQ(method.signature_length(52), 572u);
+  const auto sig = method.compute(random_window(3, 40, 1));
+  EXPECT_EQ(sig.size(), 33u);
+}
+
+TEST(Tuncer, IndicatorsMatchStatsForOneSensor) {
+  common::Matrix window{{1.0, 5.0, 2.0, 4.0, 3.0}};
+  const auto sig = TuncerMethod().compute(window);
+  const auto row = window.row(0);
+  ASSERT_EQ(sig.size(), 11u);
+  EXPECT_DOUBLE_EQ(sig[0], stats::mean(row));
+  EXPECT_DOUBLE_EQ(sig[1], stats::stddev(row));
+  EXPECT_DOUBLE_EQ(sig[2], 1.0);   // min
+  EXPECT_DOUBLE_EQ(sig[3], 5.0);   // max
+  EXPECT_DOUBLE_EQ(sig[6], 3.0);   // median
+  EXPECT_DOUBLE_EQ(sig[9], stats::sum_of_changes(row));
+  EXPECT_DOUBLE_EQ(sig[10], stats::abs_sum_of_changes(row));
+}
+
+TEST(Tuncer, PercentilesAreOrdered) {
+  const auto sig = TuncerMethod().compute(random_window(1, 100, 2));
+  // Indices 4..8 hold the 5/25/50/75/95th percentiles.
+  for (std::size_t i = 5; i <= 8; ++i) EXPECT_LE(sig[i - 1], sig[i]);
+}
+
+TEST(Tuncer, EmptyWindowThrows) {
+  EXPECT_THROW(TuncerMethod().compute(common::Matrix()),
+               std::invalid_argument);
+}
+
+TEST(Bodik, SignatureLengthIsNinePerSensor) {
+  const BodikMethod method;
+  EXPECT_EQ(method.signature_length(2), 18u);
+  EXPECT_EQ(method.compute(random_window(2, 30, 3)).size(), 18u);
+}
+
+TEST(Bodik, MinMaxBracketPercentiles) {
+  const auto sig = BodikMethod().compute(random_window(1, 200, 4));
+  // Layout: min, max, then 7 ascending percentiles.
+  for (std::size_t i = 2; i < 9; ++i) {
+    EXPECT_GE(sig[i], sig[0]);
+    EXPECT_LE(sig[i], sig[1]);
+  }
+  for (std::size_t i = 3; i < 9; ++i) EXPECT_LE(sig[i - 1], sig[i]);
+}
+
+TEST(Bodik, ConstantSensorAllIndicatorsEqual) {
+  common::Matrix window(1, 10, 3.5);
+  for (double v : BodikMethod().compute(window)) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Lan, SignatureLengthIsWrPerSensor) {
+  const LanMethod method(10);
+  EXPECT_EQ(method.wr(), 10u);
+  EXPECT_EQ(method.signature_length(4), 40u);
+  EXPECT_EQ(method.compute(random_window(4, 50, 5)).size(), 40u);
+}
+
+TEST(Lan, ZeroWrThrows) { EXPECT_THROW(LanMethod(0), std::invalid_argument); }
+
+TEST(Lan, MeanFilterPreservesOverallMean) {
+  common::Rng rng(6);
+  std::vector<double> x(60);
+  for (double& v : x) v = rng.uniform();
+  const auto sub = mean_filter_resample(x, 6);
+  // Chunks are equal-sized here, so the mean is exactly preserved.
+  EXPECT_NEAR(stats::mean(sub), stats::mean(x), 1e-12);
+}
+
+TEST(Lan, MeanFilterExactChunks) {
+  const std::vector<double> x{1.0, 3.0, 5.0, 7.0};
+  const auto sub = mean_filter_resample(x, 2);
+  EXPECT_EQ(sub, (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(Lan, MeanFilterUpsamplesByRepetition) {
+  const std::vector<double> x{1.0, 2.0};
+  const auto up = mean_filter_resample(x, 4);
+  ASSERT_EQ(up.size(), 4u);
+  EXPECT_DOUBLE_EQ(up[0], 1.0);
+  EXPECT_DOUBLE_EQ(up[3], 2.0);
+}
+
+TEST(Lan, PreservesTimeOrdering) {
+  // A ramp must stay a ramp after sub-sampling — the property that makes
+  // Lan signatures retain coarse time information.
+  std::vector<double> ramp(100);
+  for (std::size_t i = 0; i < 100; ++i) ramp[i] = static_cast<double>(i);
+  const auto sub = mean_filter_resample(ramp, 10);
+  for (std::size_t i = 1; i < sub.size(); ++i) EXPECT_LT(sub[i - 1], sub[i]);
+}
+
+TEST(AllBaselines, SignatureLengthMatchesComputeOutput) {
+  const TuncerMethod tuncer;
+  const BodikMethod bodik;
+  const LanMethod lan(7);
+  const common::Matrix window = random_window(5, 24, 7);
+  EXPECT_EQ(tuncer.compute(window).size(), tuncer.signature_length(5));
+  EXPECT_EQ(bodik.compute(window).size(), bodik.signature_length(5));
+  EXPECT_EQ(lan.compute(window).size(), lan.signature_length(5));
+}
+
+TEST(AllBaselines, NamesAreStable) {
+  EXPECT_EQ(TuncerMethod().name(), "Tuncer");
+  EXPECT_EQ(BodikMethod().name(), "Bodik");
+  EXPECT_EQ(LanMethod().name(), "Lan");
+}
+
+}  // namespace
+}  // namespace csm::baselines

@@ -1,0 +1,121 @@
+#include "baselines/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csm::baselines {
+namespace {
+
+// Sensors driven by two independent latent factors plus noise.
+common::Matrix two_factor_matrix(std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(6, 400);
+  for (std::size_t c = 0; c < 400; ++c) {
+    const double f1 = std::sin(0.05 * static_cast<double>(c));
+    const double f2 = std::cos(0.13 * static_cast<double>(c));
+    s(0, c) = 3.0 * f1 + 0.05 * rng.gaussian();
+    s(1, c) = -2.0 * f1 + 0.05 * rng.gaussian();
+    s(2, c) = 1.5 * f1 + 10.0 + 0.05 * rng.gaussian();
+    s(3, c) = 2.0 * f2 + 0.05 * rng.gaussian();
+    s(4, c) = -1.0 * f2 + 0.05 * rng.gaussian();
+    s(5, c) = 0.3 * rng.gaussian();
+  }
+  return s;
+}
+
+TEST(PcaModel, FitValidation) {
+  EXPECT_THROW(PcaModel::fit(common::Matrix(), 2), std::invalid_argument);
+  EXPECT_THROW(PcaModel::fit(common::Matrix(2, 10, 1.0), 0),
+               std::invalid_argument);
+}
+
+TEST(PcaModel, ComponentCountCappedAtSensors) {
+  const common::Matrix s = two_factor_matrix(1);
+  const PcaModel model = PcaModel::fit(s, 100);
+  EXPECT_EQ(model.n_components(), 6u);
+}
+
+TEST(PcaModel, ExplainedVarianceDescendsAndConcentrates) {
+  const common::Matrix s = two_factor_matrix(2);
+  const PcaModel model = PcaModel::fit(s, 6);
+  const auto& ev = model.explained_variance();
+  for (std::size_t i = 1; i < ev.size(); ++i) EXPECT_GE(ev[i - 1], ev[i]);
+  // Two latent factors: the top two components dominate.
+  const double top2 = ev[0] + ev[1];
+  double total = 0.0;
+  for (double v : ev) total += v;
+  EXPECT_GT(top2 / total, 0.8);
+}
+
+TEST(PcaModel, ProjectionSeparatesFactors) {
+  const common::Matrix s = two_factor_matrix(3);
+  const PcaModel model = PcaModel::fit(s, 2);
+  // A pure-f1 direction and a pure-f2 direction must land in different
+  // components (their projections must differ substantially).
+  std::vector<double> f1_dir{3.0, -2.0, 11.5, 0.0, 0.0, 0.0};
+  std::vector<double> f2_dir{0.0, 0.0, 10.0, 2.0, -1.0, 0.0};
+  const auto p1 = model.project(f1_dir);
+  const auto p2 = model.project(f2_dir);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(PcaModel, ProjectValidatesLength) {
+  const PcaModel model = PcaModel::fit(two_factor_matrix(4), 2);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(model.project(wrong), std::invalid_argument);
+}
+
+TEST(PcaModel, CenteredProjectionOfZeroIsZero) {
+  const PcaModel model = PcaModel::fit(two_factor_matrix(5), 3);
+  const std::vector<double> zeros(6, 0.0);
+  for (double v : model.project_centered(zeros)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(PcaMethod, SignatureLengthIsTwoK) {
+  const PcaModel model = PcaModel::fit(two_factor_matrix(6), 4);
+  const PcaMethod method(model);
+  EXPECT_EQ(method.signature_length(6), 8u);
+  EXPECT_EQ(method.name(), "PCA-4");
+}
+
+TEST(PcaMethod, ComputesOnWindows) {
+  const common::Matrix s = two_factor_matrix(7);
+  const PcaModel model = PcaModel::fit(s, 3);
+  const PcaMethod method(model, "pca");
+  const auto sig = method.compute(s.sub_cols(0, 50));
+  EXPECT_EQ(sig.size(), 6u);
+  EXPECT_EQ(method.name(), "pca");
+}
+
+TEST(PcaMethod, RejectsWrongSensorCount) {
+  const PcaModel model = PcaModel::fit(two_factor_matrix(8), 2);
+  const PcaMethod method(model);
+  EXPECT_THROW(method.compute(common::Matrix(3, 20)), std::invalid_argument);
+}
+
+TEST(PcaMethod, UntrainedModelRejected) {
+  EXPECT_THROW((PcaMethod{PcaModel{}}), std::invalid_argument);
+}
+
+TEST(PcaMethod, SignatureDiscriminatesLoadLevels) {
+  // Windows from high-variance and low-variance phases must produce
+  // distinct signatures.
+  const common::Matrix s = two_factor_matrix(9);
+  const PcaModel model = PcaModel::fit(s, 2);
+  const PcaMethod method(model);
+  const auto a = method.compute(s.sub_cols(0, 30));
+  const auto b = method.compute(s.sub_cols(60, 30));  // Other sine phase.
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  EXPECT_GT(std::sqrt(dist), 0.1);
+}
+
+}  // namespace
+}  // namespace csm::baselines

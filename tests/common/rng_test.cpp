@@ -1,0 +1,139 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace csm::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntWithinBound) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntBoundOneAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(23);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianWithParamsShiftsAndScales) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(31);
+  const auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(43);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng reference(43);
+  reference.next();  // Account for the fork's draw.
+  EXPECT_NE(child.next(), reference.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(47);
+  const auto first = rng.next();
+  rng.reseed(47);
+  EXPECT_EQ(rng.next(), first);
+}
+
+}  // namespace
+}  // namespace csm::common

@@ -1,0 +1,89 @@
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csm::core {
+namespace {
+
+Signature random_signature(std::size_t length, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> re(length), im(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    re[i] = rng.uniform();
+    im[i] = rng.uniform(-0.2, 0.2);
+  }
+  return Signature(std::move(re), std::move(im));
+}
+
+TEST(SignatureCodec, RoundTripWithinErrorBound) {
+  const Signature sig = random_signature(40, 1);
+  const auto blob = encode_signature(sig);
+  const Signature back = decode_signature(blob);
+  ASSERT_EQ(back.length(), 40u);
+  const double bound = encoded_error_bound(sig);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(back.real()[i], sig.real()[i], bound + 1e-12);
+    EXPECT_NEAR(back.imag()[i], sig.imag()[i], bound + 1e-12);
+  }
+}
+
+TEST(SignatureCodec, BlobIsCompact) {
+  const Signature sig = random_signature(160, 2);
+  const auto blob = encode_signature(sig);
+  // 2 + 4 header, 2 channels x (16 range bytes + 160 payload bytes).
+  EXPECT_EQ(blob.size(), 6u + 2u * (16u + 160u));
+  // ~7x smaller than the raw 2 x 160 doubles.
+  EXPECT_LT(blob.size(), 2u * 160u * sizeof(double) / 6);
+}
+
+TEST(SignatureCodec, ExtremesExact) {
+  // The channel min and max quantise to exactly 0 and 255, so they decode
+  // exactly.
+  const Signature sig({0.25, 0.75, 0.5}, {-1.0, 1.0, 0.0});
+  const Signature back = decode_signature(encode_signature(sig));
+  EXPECT_DOUBLE_EQ(back.real()[0], 0.25);
+  EXPECT_DOUBLE_EQ(back.real()[1], 0.75);
+  EXPECT_DOUBLE_EQ(back.imag()[0], -1.0);
+  EXPECT_DOUBLE_EQ(back.imag()[1], 1.0);
+}
+
+TEST(SignatureCodec, ConstantChannelRoundTripsExactly) {
+  const Signature sig({0.4, 0.4, 0.4}, {0.0, 0.0, 0.0});
+  const Signature back = decode_signature(encode_signature(sig));
+  EXPECT_EQ(back, sig);
+  EXPECT_DOUBLE_EQ(encoded_error_bound(sig), 0.0);
+}
+
+TEST(SignatureCodec, EmptySignature) {
+  const Signature sig;
+  const Signature back = decode_signature(encode_signature(sig));
+  EXPECT_EQ(back.length(), 0u);
+}
+
+TEST(SignatureCodec, RejectsCorruptBlobs) {
+  const auto blob = encode_signature(random_signature(8, 3));
+  EXPECT_THROW(decode_signature({}), std::runtime_error);
+  auto bad_magic = blob;
+  bad_magic[0] = 0x00;
+  EXPECT_THROW(decode_signature(bad_magic), std::runtime_error);
+  auto truncated = blob;
+  truncated.resize(blob.size() - 3);
+  EXPECT_THROW(decode_signature(truncated), std::runtime_error);
+  auto trailing = blob;
+  trailing.push_back(0x42);
+  EXPECT_THROW(decode_signature(trailing), std::runtime_error);
+}
+
+TEST(SignatureCodec, ErrorBoundScalesWithRange) {
+  const Signature narrow({0.0, 0.1}, {0.0, 0.0});
+  const Signature wide({0.0, 100.0}, {0.0, 0.0});
+  EXPECT_LT(encoded_error_bound(narrow), encoded_error_bound(wide));
+  EXPECT_NEAR(encoded_error_bound(wide), 100.0 / 510.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace csm::core

@@ -1,0 +1,88 @@
+#include "core/cs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/training.hpp"
+
+namespace csm::core {
+namespace {
+
+CsModel simple_model() {
+  return CsModel({2, 0, 1},
+                 {{0.0, 1.0}, {10.0, 20.0}, {-1.0, 1.0}});
+}
+
+TEST(CsModel, ConstructorValidatesPermutation) {
+  EXPECT_THROW(CsModel({0, 0}, {{0, 1}, {0, 1}}), std::invalid_argument);
+  EXPECT_THROW(CsModel({0, 5}, {{0, 1}, {0, 1}}), std::invalid_argument);
+  EXPECT_THROW(CsModel({0, 1}, {{0, 1}}), std::invalid_argument);
+}
+
+TEST(CsModel, SortNormalizesThenPermutes) {
+  const CsModel model({1, 0}, {{0.0, 10.0}, {0.0, 2.0}});
+  common::Matrix s{{5.0, 10.0}, {1.0, 0.0}};
+  const common::Matrix sorted = model.sort(s);
+  // Row 0 of output is original row 1 normalised by its bounds [0, 2].
+  EXPECT_DOUBLE_EQ(sorted(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(sorted(0, 1), 0.0);
+  // Row 1 of output is original row 0 normalised by [0, 10].
+  EXPECT_DOUBLE_EQ(sorted(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(sorted(1, 1), 1.0);
+}
+
+TEST(CsModel, SortRejectsWrongSensorCount) {
+  const CsModel model = simple_model();
+  common::Matrix wrong(2, 4);
+  EXPECT_THROW(model.sort(wrong), std::invalid_argument);
+}
+
+TEST(CsModel, SortClampsOutOfTrainingRange) {
+  const CsModel model({0}, {{0.0, 1.0}});
+  common::Matrix s{{-5.0, 0.5, 9.0}};
+  const common::Matrix sorted = model.sort(s);
+  EXPECT_DOUBLE_EQ(sorted(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sorted(0, 2), 1.0);
+}
+
+TEST(CsModel, SerializeRoundTrip) {
+  const CsModel model = simple_model();
+  const CsModel back = CsModel::deserialize(model.serialize());
+  EXPECT_EQ(back, model);
+}
+
+TEST(CsModel, DeserializeRejectsGarbage) {
+  EXPECT_THROW(CsModel::deserialize("not a model"), std::runtime_error);
+  EXPECT_THROW(CsModel::deserialize("csmodel v2\n1\n0 0 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n3\n0 0 1\n"),
+               std::runtime_error);  // Truncated body.
+}
+
+TEST(CsModel, FileRoundTrip) {
+  const auto file = std::filesystem::temp_directory_path() /
+                    "csm_model_test.csmodel";
+  const CsModel model = simple_model();
+  model.save(file);
+  const CsModel back = CsModel::load(file);
+  EXPECT_EQ(back, model);
+  std::filesystem::remove(file);
+}
+
+TEST(CsModel, TrainedModelRoundTripsThroughText) {
+  common::Matrix s{{1, 2, 3, 4}, {4, 3, 2, 1}, {2, 2, 8, 1}};
+  const CsModel model = train(s);
+  const CsModel back = CsModel::deserialize(model.serialize());
+  EXPECT_EQ(back.permutation(), model.permutation());
+  // The sort outputs must match exactly.
+  EXPECT_EQ(back.sort(s), model.sort(s));
+}
+
+TEST(CsModel, LoadMissingFileThrows) {
+  EXPECT_THROW(CsModel::load("/nonexistent/path/model.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace csm::core

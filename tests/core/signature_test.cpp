@@ -1,0 +1,106 @@
+#include "core/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csm::core {
+namespace {
+
+TEST(Signature, ZeroConstructed) {
+  const Signature s(4);
+  EXPECT_EQ(s.length(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.block(i), std::complex<double>(0.0, 0.0));
+  }
+}
+
+TEST(Signature, ChannelConstructorValidates) {
+  EXPECT_NO_THROW(Signature({1.0, 2.0}, {3.0, 4.0}));
+  EXPECT_THROW(Signature({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Signature, BlockAccessors) {
+  Signature s(2);
+  s.set_block(1, {0.5, -0.25});
+  EXPECT_EQ(s.block(1), std::complex<double>(0.5, -0.25));
+  EXPECT_DOUBLE_EQ(s.real()[1], 0.5);
+  EXPECT_DOUBLE_EQ(s.imag()[1], -0.25);
+  EXPECT_THROW(s.block(5), std::out_of_range);
+}
+
+TEST(Signature, FlattenConcatenatesChannels) {
+  const Signature s({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_EQ(s.flatten(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Signature, FlattenRealOnlyDropsImag) {
+  const Signature s({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_EQ(s.flatten(/*real_only=*/true), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Signature, RescaledPreservesEndpoints) {
+  const Signature s({0.0, 1.0, 2.0}, {2.0, 1.0, 0.0});
+  const Signature up = s.rescaled(5);
+  EXPECT_EQ(up.length(), 5u);
+  EXPECT_DOUBLE_EQ(up.real()[0], 0.0);
+  EXPECT_DOUBLE_EQ(up.real()[4], 2.0);
+  EXPECT_DOUBLE_EQ(up.imag()[0], 2.0);
+  EXPECT_DOUBLE_EQ(up.imag()[4], 0.0);
+}
+
+TEST(Signature, RescaleRoundTripOnLinearRamp) {
+  // Image-style scaling: a down-up cycle preserves a linear signature,
+  // which underpins the paper's claim that models trained at one
+  // resolution accept signatures from another.
+  std::vector<double> re(9), im(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    re[i] = static_cast<double>(i);
+    im[i] = 8.0 - static_cast<double>(i);
+  }
+  const Signature s(re, im);
+  const Signature back = s.rescaled(17).rescaled(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(back.real()[i], re[i], 1e-12);
+    EXPECT_NEAR(back.imag()[i], im[i], 1e-12);
+  }
+}
+
+TEST(Signature, RescaledValidation) {
+  EXPECT_THROW(Signature().rescaled(4), std::invalid_argument);
+  EXPECT_THROW(Signature(3).rescaled(0), std::invalid_argument);
+}
+
+TEST(Signature, PrunedCenterDropsMiddleBlocks) {
+  const Signature s({0, 1, 2, 3, 4}, {10, 11, 12, 13, 14});
+  const Signature p = s.pruned_center(3);
+  ASSERT_EQ(p.length(), 2u);
+  EXPECT_DOUBLE_EQ(p.real()[0], 0.0);   // Head kept.
+  EXPECT_DOUBLE_EQ(p.real()[1], 4.0);   // Tail kept.
+  EXPECT_DOUBLE_EQ(p.imag()[0], 10.0);
+  EXPECT_DOUBLE_EQ(p.imag()[1], 14.0);
+}
+
+TEST(Signature, PrunedCenterKeepsHeadHeavy) {
+  const Signature s({0, 1, 2, 3, 4}, {0, 0, 0, 0, 0});
+  const Signature p = s.pruned_center(2);
+  ASSERT_EQ(p.length(), 3u);
+  // Head gets the extra block: {0, 1} + {4}.
+  EXPECT_DOUBLE_EQ(p.real()[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.real()[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.real()[2], 4.0);
+}
+
+TEST(Signature, PrunedCenterValidation) {
+  EXPECT_THROW(Signature(3).pruned_center(3), std::invalid_argument);
+  EXPECT_NO_THROW(Signature(3).pruned_center(2));
+}
+
+TEST(Signature, EqualityComparesBothChannels) {
+  const Signature a({1.0}, {2.0});
+  const Signature b({1.0}, {2.0});
+  const Signature c({1.0}, {3.0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace csm::core

@@ -1,0 +1,168 @@
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/training.hpp"
+
+namespace csm::core {
+namespace {
+
+common::Matrix wave_matrix(std::size_t n, std::size_t t, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      s(r, c) = std::sin(0.08 * static_cast<double>(c) +
+                         0.5 * static_cast<double>(r)) +
+                0.05 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+StreamOptions small_options() {
+  StreamOptions opts;
+  opts.window_length = 20;
+  opts.window_step = 10;
+  opts.cs.blocks = 4;
+  return opts;
+}
+
+TEST(StreamOptions, Validation) {
+  StreamOptions opts = small_options();
+  opts.window_length = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = small_options();
+  opts.window_step = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = small_options();
+  opts.history_length = opts.window_length;  // Too small for the seed.
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(CsStream, EmitsAtWindowBoundaries) {
+  const common::Matrix s = wave_matrix(6, 100, 1);
+  CsStream stream(train(s), small_options());
+  std::size_t emitted = 0;
+  for (std::size_t c = 0; c < 100; ++c) {
+    std::vector<double> column(6);
+    for (std::size_t r = 0; r < 6; ++r) column[r] = s(r, c);
+    const auto sig = stream.push(column);
+    if (sig) {
+      ++emitted;
+      EXPECT_EQ(sig->length(), 4u);
+    }
+    // First emission exactly when wl samples have arrived.
+    if (c + 1 < 20) EXPECT_FALSE(sig.has_value());
+    if (c + 1 == 20) EXPECT_TRUE(sig.has_value());
+  }
+  // Windows at samples 20, 30, ..., 100 -> 9 signatures.
+  EXPECT_EQ(emitted, 9u);
+  EXPECT_EQ(stream.samples_seen(), 100u);
+}
+
+TEST(CsStream, PushAllMatchesPushLoop) {
+  const common::Matrix s = wave_matrix(5, 80, 2);
+  const CsModel model = train(s);
+  CsStream a(model, small_options());
+  CsStream b(model, small_options());
+  const auto batch = a.push_all(s);
+  std::vector<Signature> loop;
+  std::vector<double> column(5);
+  for (std::size_t c = 0; c < 80; ++c) {
+    for (std::size_t r = 0; r < 5; ++r) column[r] = s(r, c);
+    if (auto sig = b.push(column)) loop.push_back(std::move(*sig));
+  }
+  ASSERT_EQ(batch.size(), loop.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], loop[i]);
+  }
+}
+
+TEST(CsStream, MatchesOfflinePipeline) {
+  // Streaming signatures must match the offline pipeline's output exactly:
+  // same sorting, same seeded derivatives.
+  const common::Matrix s = wave_matrix(6, 90, 3);
+  const CsModel model = train(s);
+  StreamOptions opts = small_options();
+  CsStream stream(model, opts);
+  const auto streamed = stream.push_all(s);
+
+  const CsPipeline pipeline(model, opts.cs);
+  const auto offline = pipeline.transform(
+      s, data::WindowSpec{opts.window_length, opts.window_step});
+  ASSERT_EQ(streamed.size(), offline.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    for (std::size_t b = 0; b < streamed[i].length(); ++b) {
+      EXPECT_NEAR(streamed[i].real()[b], offline[i].real()[b], 1e-12)
+          << "signature " << i << " block " << b;
+      EXPECT_NEAR(streamed[i].imag()[b], offline[i].imag()[b], 1e-12)
+          << "signature " << i << " block " << b;
+    }
+  }
+}
+
+TEST(CsStream, BoundedHistory) {
+  const common::Matrix s = wave_matrix(4, 500, 4);
+  StreamOptions opts = small_options();
+  opts.history_length = 25;  // Barely above wl + seed.
+  CsStream stream(train(s), opts);
+  const auto sigs = stream.push_all(s);
+  EXPECT_GT(sigs.size(), 40u);  // Still emits throughout the stream.
+}
+
+TEST(CsStream, RetrainsOnSchedule) {
+  const common::Matrix s = wave_matrix(4, 200, 5);
+  StreamOptions opts = small_options();
+  opts.retrain_interval = 50;
+  opts.history_length = 64;
+  CsStream stream(train(s.sub_cols(0, 30)), opts);
+  stream.push_all(s);
+  EXPECT_EQ(stream.retrain_count(), 4u);  // At samples 50/100/150/200.
+}
+
+TEST(CsStream, NoRetrainByDefault) {
+  const common::Matrix s = wave_matrix(4, 200, 6);
+  CsStream stream(train(s), small_options());
+  stream.push_all(s);
+  EXPECT_EQ(stream.retrain_count(), 0u);
+}
+
+TEST(CsStream, RetrainedModelDiffersWhenDataShifts) {
+  // Feed a stream whose correlation structure changes halfway; with
+  // retraining enabled the model must adapt (different permutation).
+  common::Rng rng(7);
+  const std::size_t n = 6;
+  common::Matrix s(n, 300);
+  for (std::size_t c = 0; c < 300; ++c) {
+    const double f = std::sin(0.1 * static_cast<double>(c));
+    for (std::size_t r = 0; r < n; ++r) {
+      // First half: rows 0-2 follow f; second half: rows 3-5 follow f.
+      const bool active = c < 150 ? r < 3 : r >= 3;
+      s(r, c) = (active ? f : 0.0) + 0.05 * rng.gaussian();
+    }
+  }
+  StreamOptions opts = small_options();
+  opts.retrain_interval = 100;
+  opts.history_length = 120;
+  CsStream stream(train(s.sub_cols(0, 100)), opts);
+  const auto before = stream.model().permutation();
+  stream.push_all(s);
+  EXPECT_GT(stream.retrain_count(), 0u);
+  EXPECT_NE(stream.model().permutation(), before);
+}
+
+TEST(CsStream, InputValidation) {
+  const common::Matrix s = wave_matrix(4, 60, 8);
+  CsStream stream(train(s), small_options());
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(stream.push(wrong), std::invalid_argument);
+  EXPECT_THROW(stream.push_all(common::Matrix(5, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::core

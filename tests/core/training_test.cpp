@@ -1,0 +1,147 @@
+#include "core/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+
+namespace csm::core {
+namespace {
+
+// Builds a matrix with two anti-correlated groups plus one noise row:
+// rows 0-3 follow +sin, rows 4-5 follow -sin, row 6 is noise. The positive
+// group is the largest so its rows carry the highest global coefficients
+// (with equal group sizes the shifted coefficients of group rows and pure
+// noise all average out to exactly 1, making the start row a coin toss).
+common::Matrix grouped_matrix() {
+  common::Rng rng(99);
+  common::Matrix s(7, 400);
+  for (std::size_t c = 0; c < 400; ++c) {
+    const double base = std::sin(0.07 * static_cast<double>(c));
+    s(0, c) = base + 0.02 * rng.gaussian();
+    s(1, c) = 1.5 * base + 0.02 * rng.gaussian();
+    s(2, c) = base + 3.0 + 0.02 * rng.gaussian();
+    s(3, c) = 0.7 * base - 1.0 + 0.02 * rng.gaussian();
+    s(4, c) = -base + 0.02 * rng.gaussian();
+    s(5, c) = -2.0 * base + 0.02 * rng.gaussian();
+    s(6, c) = rng.gaussian();
+  }
+  return s;
+}
+
+constexpr std::size_t kRows = 7;
+constexpr std::size_t kNoiseRow = 6;
+
+TEST(CorrelationOrdering, IsAPermutation) {
+  const common::Matrix s = grouped_matrix();
+  const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+  const auto p =
+      correlation_ordering(shifted, stats::global_coefficients(shifted));
+  ASSERT_EQ(p.size(), kRows);
+  std::vector<bool> seen(kRows, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, kRows);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(CorrelationOrdering, StartsAtMaxGlobalCoefficient) {
+  const common::Matrix s = grouped_matrix();
+  const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+  const auto global = stats::global_coefficients(shifted);
+  const auto p = correlation_ordering(shifted, global);
+  const std::size_t argmax = static_cast<std::size_t>(
+      std::max_element(global.begin(), global.end()) - global.begin());
+  EXPECT_EQ(p.front(), argmax);
+}
+
+TEST(CorrelationOrdering, GroupsCorrelatedRowsTogether) {
+  const common::Matrix s = grouped_matrix();
+  const CsModel model = train(s);
+  const auto& p = model.permutation();
+  // Find positions of the positive group {0,1,2,3} and negative group
+  // {4,5}.
+  std::vector<std::size_t> pos(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) pos[p[i]] = i;
+  // Each group must sit entirely on one side of the noise row, which lands
+  // strictly between the two groups (it correlates with neither).
+  const std::size_t noise_pos = pos[kNoiseRow];
+  auto side = [&](std::size_t row) { return pos[row] < noise_pos; };
+  EXPECT_EQ(side(0), side(1));
+  EXPECT_EQ(side(1), side(2));
+  EXPECT_EQ(side(2), side(3));
+  EXPECT_EQ(side(4), side(5));
+  EXPECT_NE(side(0), side(4));
+}
+
+TEST(CorrelationOrdering, ValidatesInputs) {
+  common::Matrix not_square(2, 3);
+  EXPECT_THROW(correlation_ordering(not_square, {1.0, 1.0}),
+               std::invalid_argument);
+  common::Matrix square(2, 2);
+  EXPECT_THROW(correlation_ordering(square, {1.0}), std::invalid_argument);
+}
+
+TEST(Train, EmptyMatrixThrows) {
+  EXPECT_THROW(train(common::Matrix()), std::invalid_argument);
+}
+
+TEST(Train, SingleRowMatrix) {
+  common::Matrix s{{1.0, 2.0, 3.0}};
+  const CsModel model = train(s);
+  EXPECT_EQ(model.permutation(), std::vector<std::size_t>{0});
+  EXPECT_DOUBLE_EQ(model.bounds()[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(model.bounds()[0].hi, 3.0);
+}
+
+TEST(Train, BoundsMatchRowExtrema) {
+  const common::Matrix s = grouped_matrix();
+  const CsModel model = train(s);
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const auto row = s.row(r);
+    EXPECT_DOUBLE_EQ(model.bounds()[r].lo,
+                     *std::min_element(row.begin(), row.end()));
+    EXPECT_DOUBLE_EQ(model.bounds()[r].hi,
+                     *std::max_element(row.begin(), row.end()));
+  }
+}
+
+TEST(Train, DeterministicForSameData) {
+  const common::Matrix s = grouped_matrix();
+  EXPECT_EQ(train(s).permutation(), train(s).permutation());
+}
+
+TEST(TrainWithStrategy, IdentityKeepsOrder) {
+  const common::Matrix s = grouped_matrix();
+  const CsModel model = train_with_strategy(s, OrderingStrategy::kIdentity);
+  for (std::size_t i = 0; i < kRows; ++i) EXPECT_EQ(model.permutation()[i], i);
+}
+
+TEST(TrainWithStrategy, GlobalOnlySortsDescending) {
+  const common::Matrix s = grouped_matrix();
+  const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+  const auto global = stats::global_coefficients(shifted);
+  const CsModel model = train_with_strategy(s, OrderingStrategy::kGlobalOnly);
+  const auto& p = model.permutation();
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GE(global[p[i - 1]], global[p[i]]);
+  }
+}
+
+TEST(TrainWithStrategy, RandomIsValidPermutation) {
+  const common::Matrix s = grouped_matrix();
+  const CsModel model = train_with_strategy(s, OrderingStrategy::kRandom);
+  std::vector<bool> seen(kRows, false);
+  for (std::size_t v : model.permutation()) {
+    ASSERT_LT(v, kRows);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace csm::core

@@ -1,0 +1,117 @@
+#include "data/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csm::data {
+namespace {
+
+TimeSeries series(std::string name,
+                  std::vector<std::pair<std::int64_t, double>> points) {
+  TimeSeries s;
+  s.name = std::move(name);
+  for (auto [t, v] : points) s.samples.push_back({t, v});
+  return s;
+}
+
+TEST(Align, AlreadyAlignedIsIdentity) {
+  const std::vector<TimeSeries> in{
+      series("a", {{0, 1.0}, {100, 2.0}, {200, 3.0}}),
+      series("b", {{0, 4.0}, {100, 5.0}, {200, 6.0}})};
+  const AlignedSensors out = align(in, 100);
+  EXPECT_EQ(out.matrix.rows(), 2u);
+  EXPECT_EQ(out.matrix.cols(), 3u);
+  EXPECT_DOUBLE_EQ(out.matrix(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(out.matrix(1, 2), 6.0);
+  EXPECT_EQ(out.names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(out.start_timestamp, 0);
+}
+
+TEST(Align, InterpolatesBetweenSamples) {
+  const std::vector<TimeSeries> in{series("a", {{0, 0.0}, {200, 2.0}})};
+  const AlignedSensors out = align(in, 100);
+  ASSERT_EQ(out.matrix.cols(), 3u);
+  EXPECT_DOUBLE_EQ(out.matrix(0, 1), 1.0);
+}
+
+TEST(Align, UsesOverlapOfAllSeries) {
+  const std::vector<TimeSeries> in{
+      series("early", {{0, 1.0}, {300, 4.0}}),
+      series("late", {{100, 10.0}, {400, 40.0}})};
+  const AlignedSensors out = align(in, 100);
+  EXPECT_EQ(out.start_timestamp, 100);
+  EXPECT_EQ(out.matrix.cols(), 3u);  // 100, 200, 300.
+}
+
+TEST(Align, MismatchedRatesResample) {
+  const std::vector<TimeSeries> in{
+      series("fast", {{0, 0.0}, {50, 0.5}, {100, 1.0}, {150, 1.5},
+                      {200, 2.0}}),
+      series("slow", {{0, 0.0}, {200, 20.0}})};
+  const AlignedSensors out = align(in, 100);
+  EXPECT_DOUBLE_EQ(out.matrix(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(out.matrix(1, 1), 10.0);
+}
+
+TEST(Align, Validation) {
+  EXPECT_THROW(align({}, 100), std::invalid_argument);
+  const std::vector<TimeSeries> empty_series{series("x", {})};
+  EXPECT_THROW(align(empty_series, 100), std::invalid_argument);
+  const std::vector<TimeSeries> one{series("a", {{0, 1.0}, {100, 2.0}})};
+  EXPECT_THROW(align(one, 0), std::invalid_argument);
+  const std::vector<TimeSeries> disjoint{
+      series("a", {{0, 1.0}, {100, 2.0}}),
+      series("b", {{500, 1.0}, {600, 2.0}})};
+  EXPECT_THROW(align(disjoint, 100), std::invalid_argument);
+}
+
+TEST(Align, UnsortedSeriesRejected) {
+  const std::vector<TimeSeries> in{
+      series("a", {{100, 1.0}, {0, 2.0}})};
+  EXPECT_THROW(align(in, 50), std::invalid_argument);
+}
+
+TEST(AlignAuto, PicksMedianInterval) {
+  const std::vector<TimeSeries> in{
+      series("a", {{0, 0.0}, {100, 1.0}, {200, 2.0}, {300, 3.0}})};
+  const AlignedSensors out = align_auto(in);
+  EXPECT_EQ(out.interval_ms, 100);
+  EXPECT_EQ(out.matrix.cols(), 4u);
+}
+
+TEST(AlignAuto, NotEnoughSamplesThrows) {
+  const std::vector<TimeSeries> in{series("a", {{0, 1.0}})};
+  EXPECT_THROW(align_auto(in), std::invalid_argument);
+}
+
+TEST(Reorder, PermutesRowsByName) {
+  const std::vector<TimeSeries> in{
+      series("a", {{0, 1.0}, {100, 1.0}}),
+      series("b", {{0, 2.0}, {100, 2.0}}),
+      series("c", {{0, 3.0}, {100, 3.0}})};
+  AlignedSensors aligned = align(in, 100);
+  aligned.reorder({"c", "a", "b"});
+  EXPECT_EQ(aligned.names, (std::vector<std::string>{"c", "a", "b"}));
+  EXPECT_DOUBLE_EQ(aligned.matrix(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(aligned.matrix(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(aligned.matrix(2, 0), 2.0);
+}
+
+TEST(Reorder, Validation) {
+  const std::vector<TimeSeries> in{
+      series("a", {{0, 1.0}, {100, 1.0}}),
+      series("b", {{0, 2.0}, {100, 2.0}})};
+  AlignedSensors aligned = align(in, 100);
+  EXPECT_THROW(aligned.reorder({"a"}), std::invalid_argument);
+  EXPECT_THROW(aligned.reorder({"a", "nope"}), std::invalid_argument);
+  EXPECT_THROW(aligned.reorder({"a", "a"}), std::invalid_argument);
+}
+
+TEST(Reorder, RejectsDuplicateSourceNames) {
+  AlignedSensors aligned;
+  aligned.matrix = common::Matrix(2, 1);
+  aligned.names = {"x", "x"};
+  EXPECT_THROW(aligned.reorder({"x", "x"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::data

@@ -1,0 +1,111 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace csm::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("csm_csv_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CsvTest, ParsesSimpleBody) {
+  const TimeSeries s =
+      parse_sensor_csv("0,1.5\n1000,2.5\n2000,-3.0\n", "power");
+  EXPECT_EQ(s.name, "power");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.samples[0], (Sample{0, 1.5}));
+  EXPECT_EQ(s.samples[2], (Sample{2000, -3.0}));
+}
+
+TEST_F(CsvTest, SkipsHeaderCommentsAndBlankLines) {
+  const TimeSeries s = parse_sensor_csv(
+      "timestamp,value\n# a comment\n\n10,1\n\n20,2\n", "x");
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST_F(CsvTest, HeaderIsCaseInsensitive) {
+  const TimeSeries s = parse_sensor_csv("TIMESTAMP,VALUE\n5,9\n", "x");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.samples[0].timestamp, 5);
+}
+
+TEST_F(CsvTest, ToleratesSurroundingWhitespace) {
+  const TimeSeries s = parse_sensor_csv("  10 , 2.5 \r\n", "x");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.samples[0].value, 2.5);
+}
+
+TEST_F(CsvTest, MalformedRowsThrow) {
+  EXPECT_THROW(parse_sensor_csv("10;1.5\n", "x"), std::runtime_error);
+  EXPECT_THROW(parse_sensor_csv("abc,1.5\n", "x"), std::runtime_error);
+  EXPECT_THROW(parse_sensor_csv("10,xyz\n", "x"), std::runtime_error);
+  EXPECT_THROW(parse_sensor_csv("10,\n", "x"), std::runtime_error);
+}
+
+TEST_F(CsvTest, FileRoundTrip) {
+  TimeSeries s;
+  s.name = "temp";
+  s.samples = {{0, 1.25}, {500, -2.75}, {1000, 1e-7}};
+  const fs::path file = dir_ / "temp.csv";
+  write_sensor_csv(file, s);
+  const TimeSeries back = read_sensor_csv(file);
+  EXPECT_EQ(back.name, "temp");
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.samples[i].timestamp, s.samples[i].timestamp);
+    EXPECT_DOUBLE_EQ(back.samples[i].value, s.samples[i].value);
+  }
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_sensor_csv(dir_ / "nope.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, DirRoundTripPreservesMatrix) {
+  common::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  write_sensor_dir(dir_ / "sensors", m, {}, 100, 250);
+  const auto series = read_sensor_dir(dir_ / "sensors");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "sensor_0000");
+  EXPECT_EQ(series[0].samples[0].timestamp, 100);
+  EXPECT_EQ(series[0].samples[1].timestamp, 350);
+  EXPECT_DOUBLE_EQ(series[1].samples[2].value, 6.0);
+}
+
+TEST_F(CsvTest, DirReadSortsByFilename) {
+  common::Matrix m{{1, 1}, {2, 2}, {3, 3}};
+  write_sensor_dir(dir_ / "named", m, {"zeta", "alpha", "mid"});
+  const auto series = read_sensor_dir(dir_ / "named");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].name, "alpha");
+  EXPECT_EQ(series[1].name, "mid");
+  EXPECT_EQ(series[2].name, "zeta");
+}
+
+TEST_F(CsvTest, EmptyDirThrows) {
+  fs::create_directories(dir_ / "empty");
+  EXPECT_THROW(read_sensor_dir(dir_ / "empty"), std::runtime_error);
+}
+
+TEST_F(CsvTest, NameCountMismatchThrows) {
+  common::Matrix m(2, 2);
+  EXPECT_THROW(write_sensor_dir(dir_ / "bad", m, {"only_one"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::data

@@ -1,0 +1,123 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace csm::data {
+namespace {
+
+Dataset classification_set() {
+  Dataset ds;
+  ds.features = common::Matrix{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  ds.labels = {0, 1, 0, 1};
+  ds.class_names = {"a", "b"};
+  return ds;
+}
+
+Dataset regression_set() {
+  Dataset ds;
+  ds.features = common::Matrix{{1}, {2}, {3}};
+  ds.targets = {0.1, 0.2, 0.3};
+  return ds;
+}
+
+TEST(Dataset, KindInference) {
+  EXPECT_EQ(classification_set().kind(), TaskKind::kClassification);
+  EXPECT_EQ(regression_set().kind(), TaskKind::kRegression);
+}
+
+TEST(Dataset, NClasses) {
+  EXPECT_EQ(classification_set().n_classes(), 2u);
+  EXPECT_EQ(regression_set().n_classes(), 0u);
+}
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  EXPECT_NO_THROW(classification_set().validate());
+  EXPECT_NO_THROW(regression_set().validate());
+}
+
+TEST(Dataset, ValidateRejectsBothLabelKinds) {
+  Dataset ds = classification_set();
+  ds.targets = {1, 2, 3, 4};
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsCountMismatch) {
+  Dataset ds = classification_set();
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsNegativeLabels) {
+  Dataset ds = classification_set();
+  ds.labels[0] = -1;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsUnlabelledSamples) {
+  Dataset ds;
+  ds.features = common::Matrix(2, 2);
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRowsAndLabels) {
+  const Dataset ds = classification_set();
+  const Dataset sub = ds.subset({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.features(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.features(1, 0), 1.0);
+  EXPECT_EQ(sub.labels, (std::vector<int>{0, 0}));
+  EXPECT_EQ(sub.class_names, ds.class_names);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  EXPECT_THROW(classification_set().subset({9}), std::out_of_range);
+}
+
+TEST(Dataset, ShufflePreservesPairing) {
+  Dataset ds = classification_set();
+  common::Rng rng(3);
+  ds.shuffle(rng);
+  ASSERT_EQ(ds.size(), 4u);
+  // Feature value i+1 was paired with label (i % 2); verify it still is.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const int expected =
+        (static_cast<int>(ds.features(i, 0)) - 1) % 2;
+    EXPECT_EQ(ds.labels[i], expected);
+  }
+}
+
+TEST(Dataset, MergeConcatenates) {
+  Dataset a = classification_set();
+  Dataset b = classification_set();
+  a.merge(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.labels.size(), 8u);
+}
+
+TEST(Dataset, MergeIntoEmptyAdopts) {
+  Dataset a;
+  a.merge(regression_set());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.kind(), TaskKind::kRegression);
+}
+
+TEST(Dataset, MergeRejectsMismatchedFeatureLength) {
+  Dataset a = classification_set();
+  Dataset b;
+  b.features = common::Matrix(1, 5);
+  b.labels = {0};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Dataset, MergeRejectsMixedKinds) {
+  Dataset a = classification_set();
+  Dataset b;
+  b.features = common::Matrix(1, 2);
+  b.targets = {1.0};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::data

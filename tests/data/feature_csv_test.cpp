@@ -1,0 +1,107 @@
+#include "data/feature_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace csm::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FeatureCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("csm_fcsv_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path file(const std::string& name) const { return dir_ / name; }
+
+  fs::path dir_;
+};
+
+Dataset classification_set() {
+  Dataset ds;
+  ds.features = common::Matrix{{1.5, -2.0}, {0.25, 1e-9}, {3.0, 4.0}};
+  ds.labels = {0, 2, 1};
+  return ds;
+}
+
+Dataset regression_set() {
+  Dataset ds;
+  ds.features = common::Matrix{{0.5}, {0.75}};
+  ds.targets = {312.25, -17.5};
+  return ds;
+}
+
+TEST_F(FeatureCsvTest, ClassificationRoundTrip) {
+  const Dataset ds = classification_set();
+  write_feature_csv(file("cls.csv"), ds);
+  const Dataset back = read_feature_csv(file("cls.csv"));
+  EXPECT_EQ(back.kind(), TaskKind::kClassification);
+  EXPECT_EQ(back.labels, ds.labels);
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    for (std::size_t c = 0; c < ds.feature_length(); ++c) {
+      EXPECT_DOUBLE_EQ(back.features(r, c), ds.features(r, c));
+    }
+  }
+}
+
+TEST_F(FeatureCsvTest, RegressionRoundTrip) {
+  const Dataset ds = regression_set();
+  write_feature_csv(file("reg.csv"), ds);
+  const Dataset back = read_feature_csv(file("reg.csv"));
+  EXPECT_EQ(back.kind(), TaskKind::kRegression);
+  ASSERT_EQ(back.targets.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.targets[0], 312.25);
+  EXPECT_DOUBLE_EQ(back.targets[1], -17.5);
+}
+
+TEST_F(FeatureCsvTest, HeaderNamesColumns) {
+  write_feature_csv(file("h.csv"), classification_set());
+  std::ifstream in(file("h.csv"));
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "f0,f1,label");
+}
+
+TEST_F(FeatureCsvTest, WriteValidatesDataset) {
+  Dataset bad;
+  bad.features = common::Matrix(2, 2);
+  EXPECT_THROW(write_feature_csv(file("bad.csv"), bad),
+               std::invalid_argument);
+}
+
+TEST_F(FeatureCsvTest, ReadRejectsMalformed) {
+  auto write = [&](const std::string& name, const std::string& body) {
+    std::ofstream out(file(name));
+    out << body;
+  };
+  write("empty.csv", "");
+  EXPECT_THROW(read_feature_csv(file("empty.csv")), std::runtime_error);
+  write("badhdr.csv", "f0,f1,oops\n1,2,3\n");
+  EXPECT_THROW(read_feature_csv(file("badhdr.csv")), std::runtime_error);
+  write("short.csv", "f0,f1,label\n1.0,0\n");
+  EXPECT_THROW(read_feature_csv(file("short.csv")), std::runtime_error);
+  write("long.csv", "f0,label\n1.0,0,9\n");
+  EXPECT_THROW(read_feature_csv(file("long.csv")), std::runtime_error);
+  write("nan.csv", "f0,label\nxyz,0\n");
+  EXPECT_THROW(read_feature_csv(file("nan.csv")), std::runtime_error);
+  EXPECT_THROW(read_feature_csv(file("missing.csv")), std::runtime_error);
+}
+
+TEST_F(FeatureCsvTest, SkipsBlankLines) {
+  std::ofstream out(file("blank.csv"));
+  out << "f0,label\n1.0,0\n\n2.0,1\n";
+  out.close();
+  const Dataset ds = read_feature_csv(file("blank.csv"));
+  EXPECT_EQ(ds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace csm::data

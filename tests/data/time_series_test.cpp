@@ -1,0 +1,52 @@
+#include "data/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csm::data {
+namespace {
+
+TimeSeries make_series() {
+  TimeSeries s;
+  s.name = "cpu0";
+  s.samples = {{0, 1.0}, {1000, 2.0}, {2000, 3.0}};
+  return s;
+}
+
+TEST(TimeSeries, BasicAccessors) {
+  const TimeSeries s = make_series();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.first_timestamp(), 0);
+  EXPECT_EQ(s.last_timestamp(), 2000);
+}
+
+TEST(TimeSeries, IsSortedDetectsOrder) {
+  TimeSeries s = make_series();
+  EXPECT_TRUE(s.is_sorted());
+  s.samples.push_back({1500, 9.0});
+  EXPECT_FALSE(s.is_sorted());
+}
+
+TEST(TimeSeries, IsSortedRejectsDuplicates) {
+  TimeSeries s;
+  s.samples = {{10, 1.0}, {10, 2.0}};
+  EXPECT_FALSE(s.is_sorted());
+}
+
+TEST(TimeSeries, SortByTimeOrders) {
+  TimeSeries s;
+  s.samples = {{30, 3.0}, {10, 1.0}, {20, 2.0}};
+  s.sort_by_time();
+  EXPECT_EQ(s.samples[0].timestamp, 10);
+  EXPECT_EQ(s.samples[2].timestamp, 30);
+}
+
+TEST(TimeSeries, SplitVectors) {
+  const TimeSeries s = make_series();
+  EXPECT_EQ(s.timestamps_as_double(),
+            (std::vector<double>{0.0, 1000.0, 2000.0}));
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace csm::data

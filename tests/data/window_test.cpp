@@ -1,0 +1,58 @@
+#include "data/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csm::data {
+namespace {
+
+TEST(WindowSpec, CountBasicCases) {
+  const WindowSpec w{10, 5};
+  EXPECT_EQ(w.count(9), 0u);    // Too short.
+  EXPECT_EQ(w.count(10), 1u);   // Exactly one window.
+  EXPECT_EQ(w.count(14), 1u);   // No room to step.
+  EXPECT_EQ(w.count(15), 2u);
+  EXPECT_EQ(w.count(100), 19u);
+}
+
+TEST(WindowSpec, NonOverlappingWindows) {
+  const WindowSpec w{10, 10};
+  EXPECT_EQ(w.count(100), 10u);
+  EXPECT_EQ(w.start(3), 30u);
+}
+
+TEST(WindowSpec, DegenerateSpecsCountZero) {
+  EXPECT_EQ((WindowSpec{0, 5}).count(100), 0u);
+  EXPECT_EQ((WindowSpec{5, 0}).count(100), 0u);
+}
+
+TEST(WindowSpec, ValidateThrows) {
+  EXPECT_THROW((WindowSpec{0, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((WindowSpec{1, 0}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((WindowSpec{1, 1}).validate());
+}
+
+TEST(ExtractWindows, ProducesCorrectSubMatrices) {
+  common::Matrix s{{0, 1, 2, 3, 4, 5}, {10, 11, 12, 13, 14, 15}};
+  const auto windows = extract_windows(s, WindowSpec{3, 2});
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].first_col, 0u);
+  EXPECT_EQ(windows[0].data(0, 0), 0.0);
+  EXPECT_EQ(windows[0].data(1, 2), 12.0);
+  EXPECT_EQ(windows[1].first_col, 2u);
+  EXPECT_EQ(windows[1].data(0, 0), 2.0);
+  EXPECT_EQ(windows[1].data(1, 2), 14.0);
+}
+
+TEST(ExtractWindows, TailShorterThanWindowDropped) {
+  common::Matrix s(1, 7);
+  const auto windows = extract_windows(s, WindowSpec{3, 3});
+  EXPECT_EQ(windows.size(), 2u);  // Columns 0-2, 3-5; 6 is dropped.
+}
+
+TEST(ExtractWindows, InvalidSpecThrows) {
+  common::Matrix s(1, 10);
+  EXPECT_THROW(extract_windows(s, WindowSpec{0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::data

@@ -1,0 +1,129 @@
+#include "hpcoda/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/alignment.hpp"
+
+namespace csm::hpcoda {
+namespace {
+
+common::Matrix ramp_matrix(std::size_t n, std::size_t t) {
+  common::Matrix m(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      m(r, c) = static_cast<double>(r * 100 + c);
+    }
+  }
+  return m;
+}
+
+TEST(CollectorOptions, Validation) {
+  CollectorOptions opts;
+  opts.interval_ms = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = CollectorOptions{};
+  opts.jitter_fraction = 0.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = CollectorOptions{};
+  opts.drop_probability = 1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = CollectorOptions{};
+  opts.max_phase_ms = -1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(CollectorOptions{}.validate());
+}
+
+TEST(Collect, PerfectCollectorReproducesTruth) {
+  const common::Matrix truth = ramp_matrix(3, 50);
+  CollectorOptions opts;
+  opts.jitter_fraction = 0.0;
+  opts.drop_probability = 0.0;
+  common::Rng rng(1);
+  const auto series = collect(truth, opts, rng);
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(series[r].size(), 50u);
+    for (std::size_t k = 0; k < 50; ++k) {
+      EXPECT_EQ(series[r].samples[k].timestamp,
+                static_cast<std::int64_t>(k) * 1000);
+      EXPECT_DOUBLE_EQ(series[r].samples[k].value, truth(r, k));
+    }
+  }
+}
+
+TEST(Collect, TimestampsStrictlyIncreasing) {
+  const common::Matrix truth = ramp_matrix(4, 200);
+  CollectorOptions opts;
+  opts.jitter_fraction = 0.2;
+  opts.drop_probability = 0.05;
+  opts.max_phase_ms = 500;
+  common::Rng rng(2);
+  for (const auto& s : collect(truth, opts, rng)) {
+    EXPECT_TRUE(s.is_sorted()) << s.name;
+  }
+}
+
+TEST(Collect, DropsReduceSampleCount) {
+  const common::Matrix truth = ramp_matrix(2, 1000);
+  CollectorOptions opts;
+  opts.drop_probability = 0.2;
+  common::Rng rng(3);
+  const auto series = collect(truth, opts, rng);
+  for (const auto& s : series) {
+    EXPECT_LT(s.size(), 950u);
+    EXPECT_GT(s.size(), 650u);
+  }
+}
+
+TEST(Collect, NamesPropagate) {
+  const common::Matrix truth = ramp_matrix(2, 20);
+  common::Rng rng(4);
+  const auto series =
+      collect(truth, CollectorOptions{}, rng, {"alpha", "beta"});
+  EXPECT_EQ(series[0].name, "alpha");
+  EXPECT_EQ(series[1].name, "beta");
+  EXPECT_THROW(collect(truth, CollectorOptions{}, rng, {"only_one"}),
+               std::invalid_argument);
+}
+
+TEST(Collect, AlignRecoversTruthApproximately) {
+  // The full acquisition loop: jittered, dropped samples -> align() ->
+  // values close to the dense truth.
+  common::Matrix truth(3, 300);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 300; ++c) {
+      truth(r, c) =
+          std::sin(0.05 * static_cast<double>(c) + static_cast<double>(r));
+    }
+  }
+  CollectorOptions opts;
+  opts.jitter_fraction = 0.1;
+  opts.drop_probability = 0.02;
+  common::Rng rng(5);
+  const auto series = collect(truth, opts, rng);
+  const data::AlignedSensors aligned = data::align(series, 1000);
+  ASSERT_EQ(aligned.matrix.rows(), 3u);
+  // Compare overlapping columns; jitter of 10% of the interval on a
+  // slow signal keeps the reconstruction within a tight envelope.
+  double max_err = 0.0;
+  const auto offset = static_cast<std::size_t>(
+      aligned.start_timestamp / 1000);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c + 2 < aligned.matrix.cols(); ++c) {
+      max_err = std::max(max_err, std::abs(aligned.matrix(r, c) -
+                                           truth(r, c + offset)));
+    }
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(Collect, EmptyTruthThrows) {
+  common::Rng rng(6);
+  EXPECT_THROW(collect(common::Matrix(), CollectorOptions{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::hpcoda

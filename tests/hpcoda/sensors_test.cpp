@@ -1,0 +1,155 @@
+#include "hpcoda/sensors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hpcoda/workload.hpp"
+#include "stats/correlation.hpp"
+
+namespace csm::hpcoda {
+namespace {
+
+TEST(SensorBanks, ArchitectureCountsMatchPaper) {
+  EXPECT_EQ(node_sensor_bank(Architecture::kSkylake).size(), 52u);
+  EXPECT_EQ(node_sensor_bank(Architecture::kKnl).size(), 46u);
+  EXPECT_EQ(node_sensor_bank(Architecture::kRome).size(), 39u);
+  EXPECT_EQ(architecture_sensor_count(Architecture::kSkylake), 52u);
+  EXPECT_EQ(architecture_sensor_count(Architecture::kKnl), 46u);
+  EXPECT_EQ(architecture_sensor_count(Architecture::kRome), 39u);
+}
+
+TEST(SensorBanks, SpecialBankSizes) {
+  EXPECT_EQ(fault_node_bank().size(), 128u);
+  EXPECT_EQ(power_node_bank().size(), 47u);
+  EXPECT_EQ(infrastructure_rack_bank().size(), 31u);
+}
+
+TEST(SensorBanks, PowerSensorIsWherePromised) {
+  const auto bank = power_node_bank();
+  EXPECT_EQ(bank[power_sensor_index()].name.substr(0, 10), "node_power");
+}
+
+TEST(SensorBanks, NamesAreUniqueWithinBank) {
+  for (const auto& bank :
+       {node_sensor_bank(Architecture::kSkylake), fault_node_bank(),
+        power_node_bank(), infrastructure_rack_bank()}) {
+    std::set<std::string> names;
+    for (const SensorSpec& s : bank) {
+      EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+    }
+  }
+}
+
+TEST(SensorBanks, DeterministicAcrossCalls) {
+  const auto a = node_sensor_bank(Architecture::kKnl);
+  const auto b = node_sensor_bank(Architecture::kKnl);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].w_cpu, b[i].w_cpu);
+    EXPECT_EQ(a[i].scale, b[i].scale);
+  }
+}
+
+TEST(SensorSpec, ResponseIsLinearInLatents) {
+  SensorSpec s;
+  s.w_cpu = 2.0;
+  s.w_mem = -1.0;
+  s.bias = 0.5;
+  LatentState l;
+  l.cpu = 0.5;
+  l.mem = 0.25;
+  l.freq = 0.0;
+  EXPECT_DOUBLE_EQ(s.response(l), 0.5 + 1.0 - 0.25);
+}
+
+TEST(RenderSensors, ShapeMatchesBankAndTrace) {
+  common::Rng rng(1);
+  const auto bank = infrastructure_rack_bank();
+  const auto trace = generate_app_latents(AppId::kLammps, 0, 120, rng);
+  const common::Matrix m = render_sensors(bank, trace, rng);
+  EXPECT_EQ(m.rows(), bank.size());
+  EXPECT_EQ(m.cols(), 120u);
+}
+
+TEST(RenderSensors, Validation) {
+  common::Rng rng(2);
+  const auto bank = power_node_bank();
+  EXPECT_THROW(render_sensors({}, std::vector<LatentState>(5), rng),
+               std::invalid_argument);
+  EXPECT_THROW(render_sensors(bank, {}, rng), std::invalid_argument);
+}
+
+TEST(RenderSensors, GroupMembersAreCorrelated) {
+  common::Rng rng(3);
+  const auto bank = node_sensor_bank(Architecture::kSkylake);
+  const auto trace = generate_app_latents(AppId::kKripke, 0, 500, rng);
+  const common::Matrix m = render_sensors(bank, trace, rng);
+  // Sensors 0 and 1 are both instruction counters: strongly correlated.
+  EXPECT_GT(stats::pearson(m.row(0), m.row(1)), 0.7);
+}
+
+TEST(RenderSensors, InvertedSensorsAntiCorrelate) {
+  common::Rng rng(4);
+  const auto bank = node_sensor_bank(Architecture::kSkylake);
+  const auto trace = generate_app_latents(AppId::kKripke, 0, 500, rng);
+  const common::Matrix m = render_sensors(bank, trace, rng);
+  // Find an idlepct row and an osload row; they must anti-correlate.
+  std::size_t idle = bank.size(), load = bank.size();
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    if (bank[i].name.starts_with("idlepct") && idle == bank.size()) idle = i;
+    if (bank[i].name.starts_with("osload") && load == bank.size()) load = i;
+  }
+  ASSERT_LT(idle, bank.size());
+  ASSERT_LT(load, bank.size());
+  EXPECT_LT(stats::pearson(m.row(idle), m.row(load)), -0.3);
+}
+
+TEST(RenderSensors, ConstantSensorsAreConstant) {
+  common::Rng rng(5);
+  const auto bank = node_sensor_bank(Architecture::kSkylake);
+  const auto trace = generate_app_latents(AppId::kAmg, 0, 200, rng);
+  const common::Matrix m = render_sensors(bank, trace, rng);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    if (!bank[i].name.starts_with("constant")) continue;
+    const auto row = m.row(i);
+    for (double v : row) EXPECT_DOUBLE_EQ(v, row[0]);
+  }
+}
+
+TEST(RenderSensors, NoiseChangesBetweenRngStates) {
+  common::Rng rng(6);
+  const auto bank = power_node_bank();
+  const auto trace = generate_app_latents(AppId::kLinpack, 0, 100, rng);
+  const common::Matrix a = render_sensors(bank, trace, rng);
+  const common::Matrix b = render_sensors(bank, trace, rng);
+  EXPECT_NE(a, b);  // Measurement noise differs run to run.
+}
+
+TEST(RenderSensors, SmoothedSensorsLagStepChanges) {
+  // Temperature sensors (EMA alpha 0.08) must respond slower than
+  // unsmoothed counters to a load step.
+  const auto bank = node_sensor_bank(Architecture::kSkylake);
+  std::vector<LatentState> step(100);
+  for (std::size_t t = 50; t < 100; ++t) step[t].cpu = 1.0;
+  common::Rng rng(7);
+  const common::Matrix m = render_sensors(bank, step, rng);
+  std::size_t temp = bank.size(), instr = bank.size();
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    if (bank[i].name.starts_with("temp") && temp == bank.size()) temp = i;
+    if (bank[i].name.starts_with("instr") && instr == bank.size()) instr = i;
+  }
+  ASSERT_LT(temp, bank.size());
+  // Relative rise right after the step vs at the end.
+  auto rise_fraction = [&](std::size_t row) {
+    const double before = m(row, 49);
+    const double just_after = m(row, 54);
+    const double settled = m(row, 99);
+    return (just_after - before) / (settled - before + 1e-12);
+  };
+  EXPECT_LT(rise_fraction(temp), rise_fraction(instr));
+}
+
+}  // namespace
+}  // namespace csm::hpcoda

@@ -1,0 +1,202 @@
+#include "hpcoda/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace csm::hpcoda {
+namespace {
+
+std::vector<double> channel(const std::vector<LatentState>& trace,
+                            double LatentState::*member) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const LatentState& s : trace) out.push_back(s.*member);
+  return out;
+}
+
+TEST(Workload, AllAppsProduceBoundedChannels) {
+  common::Rng rng(1);
+  for (std::size_t app = 0; app < kNumApps; ++app) {
+    for (int cfg = 0; cfg < kNumConfigs; ++cfg) {
+      const auto trace =
+          generate_app_latents(static_cast<AppId>(app), cfg, 300, rng);
+      ASSERT_EQ(trace.size(), 300u);
+      for (const LatentState& s : trace) {
+        for (double v : {s.cpu, s.mem, s.cache, s.net, s.io, s.freq}) {
+          EXPECT_GE(v, 0.0);
+          EXPECT_LE(v, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Workload, Validation) {
+  common::Rng rng(2);
+  EXPECT_THROW(generate_app_latents(AppId::kAmg, -1, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_app_latents(AppId::kAmg, kNumConfigs, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_app_latents(AppId::kAmg, 0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, IdleIsQuiet) {
+  common::Rng rng(3);
+  const auto idle = generate_app_latents(AppId::kIdle, 0, 400, rng);
+  EXPECT_LT(stats::mean(channel(idle, &LatentState::cpu)), 0.15);
+  EXPECT_LT(stats::mean(channel(idle, &LatentState::net)), 0.15);
+}
+
+TEST(Workload, LinpackLoadsCpuHarderThanQuicksilver) {
+  common::Rng rng(4);
+  const auto hpl = generate_app_latents(AppId::kLinpack, 0, 400, rng);
+  const auto qs = generate_app_latents(AppId::kQuicksilver, 0, 400, rng);
+  EXPECT_GT(stats::mean(channel(hpl, &LatentState::cpu)),
+            stats::mean(channel(qs, &LatentState::cpu)) + 0.3);
+}
+
+TEST(Workload, AmgMemoryRampsUp) {
+  common::Rng rng(5);
+  const auto amg = generate_app_latents(AppId::kAmg, 0, 400, rng);
+  const auto mem = channel(amg, &LatentState::mem);
+  const double early =
+      stats::mean(std::span(mem).subspan(0, 100));
+  const double late = stats::mean(std::span(mem).subspan(300, 100));
+  EXPECT_GT(late, early + 0.2);
+}
+
+TEST(Workload, QuicksilverFrequencyOscillates) {
+  common::Rng rng(6);
+  const auto qs = generate_app_latents(AppId::kQuicksilver, 0, 400, rng);
+  const auto freq = channel(qs, &LatentState::freq);
+  // The oscillation spans a wide range; Linpack's clock barely moves.
+  const double qs_range = stats::max(freq) - stats::min(freq);
+  const auto hpl = generate_app_latents(AppId::kLinpack, 0, 400, rng);
+  const auto hpl_freq = channel(hpl, &LatentState::freq);
+  const double hpl_range = stats::max(hpl_freq) - stats::min(hpl_freq);
+  EXPECT_GT(qs_range, 0.3);
+  EXPECT_GT(qs_range, 2.0 * hpl_range);
+}
+
+TEST(Workload, KripkeIsStronglyPeriodic) {
+  common::Rng rng(7);
+  const auto kripke = generate_app_latents(AppId::kKripke, 0, 320, rng);
+  const auto cpu = channel(kripke, &LatentState::cpu);
+  // Autocorrelation at the iteration period (16 samples at config 0) must
+  // exceed autocorrelation at half the period.
+  auto autocorr = [&](std::size_t lag) {
+    std::vector<double> a(cpu.begin(), cpu.end() - lag);
+    std::vector<double> b(cpu.begin() + lag, cpu.end());
+    return stats::covariance(a, b);
+  };
+  EXPECT_GT(autocorr(16), autocorr(8));
+}
+
+TEST(Workload, ConfigChangesPeriod) {
+  common::Rng rng(8);
+  const auto fast = generate_app_latents(AppId::kLammps, 0, 300, rng);
+  const auto slow = generate_app_latents(AppId::kLammps, 2, 300, rng);
+  // Larger config -> longer period -> fewer direction changes in cpu.
+  auto direction_changes = [](const std::vector<LatentState>& trace) {
+    int changes = 0;
+    for (std::size_t i = 2; i < trace.size(); ++i) {
+      const double d1 = trace[i - 1].cpu - trace[i - 2].cpu;
+      const double d2 = trace[i].cpu - trace[i - 1].cpu;
+      if (d1 * d2 < 0) ++changes;
+    }
+    return changes;
+  };
+  EXPECT_GT(direction_changes(fast), 0);
+}
+
+TEST(ApplyFault, NoneIsNoOp) {
+  common::Rng rng(9);
+  auto trace = generate_app_latents(AppId::kLammps, 0, 100, rng);
+  const auto before = trace;
+  apply_fault(trace, FaultId::kNone, 1, 0, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].cpu, before[i].cpu);
+    EXPECT_EQ(trace[i].mem, before[i].mem);
+  }
+}
+
+TEST(ApplyFault, LeakGrowsMemoryOverTime) {
+  common::Rng rng(10);
+  auto trace = generate_app_latents(AppId::kKripke, 0, 200, rng);
+  const auto before = trace;
+  apply_fault(trace, FaultId::kLeak, 1, 0, trace.size());
+  // Late in the fault the memory channel must exceed the clean trace.
+  double delta_late = 0.0;
+  for (std::size_t i = 150; i < 200; ++i) {
+    delta_late += trace[i].mem - before[i].mem;
+  }
+  EXPECT_GT(delta_late / 50.0, 0.2);
+}
+
+TEST(ApplyFault, CpuFreqDropsClock) {
+  common::Rng rng(11);
+  auto trace = generate_app_latents(AppId::kLinpack, 0, 100, rng);
+  const auto before = trace;
+  apply_fault(trace, FaultId::kCpuFreq, 1, 0, trace.size());
+  for (std::size_t i = 10; i < 100; ++i) {
+    EXPECT_LT(trace[i].freq, before[i].freq);
+  }
+}
+
+TEST(ApplyFault, HeavySettingStrongerThanLight) {
+  common::Rng rng(12);
+  auto light = generate_app_latents(AppId::kLammps, 0, 100, rng);
+  auto heavy = light;
+  apply_fault(light, FaultId::kCacheCopy, 0, 0, light.size());
+  apply_fault(heavy, FaultId::kCacheCopy, 1, 0, heavy.size());
+  double cache_light = 0.0, cache_heavy = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    cache_light += light[i].cache;
+    cache_heavy += heavy[i].cache;
+  }
+  EXPECT_GT(cache_heavy, cache_light);
+}
+
+TEST(ApplyFault, RangeRestricted) {
+  common::Rng rng(13);
+  auto trace = generate_app_latents(AppId::kLammps, 0, 100, rng);
+  const auto before = trace;
+  apply_fault(trace, FaultId::kIoErr, 1, 40, 60);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(trace[i].io, before[i].io);
+  }
+  for (std::size_t i = 60; i < 100; ++i) {
+    EXPECT_EQ(trace[i].io, before[i].io);
+  }
+  EXPECT_GT(trace[50].io, before[50].io);
+}
+
+TEST(ApplyFault, Validation) {
+  common::Rng rng(14);
+  auto trace = generate_app_latents(AppId::kLammps, 0, 50, rng);
+  EXPECT_THROW(apply_fault(trace, FaultId::kLeak, 2, 0, 50),
+               std::invalid_argument);
+  EXPECT_THROW(apply_fault(trace, FaultId::kLeak, 0, 40, 30),
+               std::invalid_argument);
+  EXPECT_THROW(apply_fault(trace, FaultId::kLeak, 0, 0, 51),
+               std::invalid_argument);
+}
+
+TEST(Names, AllEnumeratorsNamed) {
+  for (std::size_t i = 0; i < kNumApps; ++i) {
+    EXPECT_FALSE(app_name(static_cast<AppId>(i)).empty());
+  }
+  for (std::size_t i = 0; i < kNumFaults; ++i) {
+    EXPECT_FALSE(fault_name(static_cast<FaultId>(i)).empty());
+  }
+  EXPECT_EQ(app_name(AppId::kIdle), "idle");
+  EXPECT_EQ(fault_name(FaultId::kNone), "healthy");
+}
+
+}  // namespace
+}  // namespace csm::hpcoda

@@ -1,0 +1,128 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+
+namespace csm::ml {
+namespace {
+
+data::Dataset blob_dataset(std::size_t per_class, std::uint64_t seed) {
+  common::Rng rng(seed);
+  data::Dataset ds;
+  ds.features = common::Matrix(2 * per_class, 2);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const int cls = static_cast<int>(i / per_class);
+    ds.features(i, 0) = rng.gaussian(cls == 0 ? -2.0 : 2.0, 0.5);
+    ds.features(i, 1) = rng.gaussian(0.0, 0.5);
+    ds.labels.push_back(cls);
+  }
+  return ds;
+}
+
+data::Dataset linear_regression_dataset(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  data::Dataset ds;
+  ds.features = common::Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.features(i, 0) = rng.uniform(0.0, 1.0);
+    ds.targets.push_back(2.0 * ds.features(i, 0) + 0.02 * rng.gaussian());
+  }
+  return ds;
+}
+
+ClassifierFactory small_forest_classifier() {
+  return [] {
+    ForestParams params;
+    params.n_estimators = 15;
+    return std::make_unique<RandomForestClassifier>(params);
+  };
+}
+
+RegressorFactory small_forest_regressor() {
+  return [] {
+    ForestParams params;
+    params.n_estimators = 15;
+    return std::make_unique<RandomForestRegressor>(params);
+  };
+}
+
+TEST(CrossValidation, ClassificationScoresHighOnEasyData) {
+  const data::Dataset ds = blob_dataset(50, 41);
+  common::Rng rng(1);
+  const CvResult result =
+      cross_validate_classification(ds, 5, small_forest_classifier(), rng);
+  EXPECT_EQ(result.fold_scores.size(), 5u);
+  EXPECT_GT(result.mean_score, 0.95);
+  EXPECT_GT(result.train_seconds, 0.0);
+}
+
+TEST(CrossValidation, MeanIsAverageOfFolds) {
+  const data::Dataset ds = blob_dataset(30, 42);
+  common::Rng rng(2);
+  const CvResult result =
+      cross_validate_classification(ds, 5, small_forest_classifier(), rng);
+  double acc = 0.0;
+  for (double s : result.fold_scores) acc += s;
+  EXPECT_NEAR(result.mean_score, acc / 5.0, 1e-12);
+}
+
+TEST(CrossValidation, RegressionScoresHighOnEasyData) {
+  const data::Dataset ds = linear_regression_dataset(200, 43);
+  common::Rng rng(3);
+  const CvResult result =
+      cross_validate_regression(ds, 5, small_forest_regressor(), rng);
+  EXPECT_EQ(result.fold_scores.size(), 5u);
+  EXPECT_GT(result.mean_score, 0.9);
+}
+
+TEST(CrossValidation, KindMismatchThrows) {
+  const data::Dataset cls = blob_dataset(20, 44);
+  const data::Dataset reg = linear_regression_dataset(40, 45);
+  common::Rng rng(4);
+  EXPECT_THROW(
+      cross_validate_regression(cls, 5, small_forest_regressor(), rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cross_validate_classification(reg, 5, small_forest_classifier(), rng),
+      std::invalid_argument);
+}
+
+TEST(CrossValidation, DispatcherPicksRightFactory) {
+  ModelFactories factories;
+  factories.classifier = small_forest_classifier();
+  factories.regressor = small_forest_regressor();
+  common::Rng rng(5);
+  const CvResult c = cross_validate(blob_dataset(30, 46), 5, factories, rng);
+  EXPECT_GT(c.mean_score, 0.9);
+  const CvResult r =
+      cross_validate(linear_regression_dataset(100, 47), 5, factories, rng);
+  EXPECT_GT(r.mean_score, 0.85);
+}
+
+TEST(CrossValidation, MissingFactoryThrows) {
+  ModelFactories only_classifier;
+  only_classifier.classifier = small_forest_classifier();
+  common::Rng rng(6);
+  EXPECT_THROW(cross_validate(linear_regression_dataset(50, 48), 5,
+                              only_classifier, rng),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, RandomLabelsScoreNearChance) {
+  // Shuffled labels must not be learnable: guards against train/test
+  // leakage in the fold construction.
+  data::Dataset ds = blob_dataset(60, 49);
+  common::Rng label_rng(50);
+  label_rng.shuffle(ds.labels);
+  common::Rng rng(7);
+  const CvResult result =
+      cross_validate_classification(ds, 5, small_forest_classifier(), rng);
+  EXPECT_LT(result.mean_score, 0.65);
+}
+
+}  // namespace
+}  // namespace csm::ml

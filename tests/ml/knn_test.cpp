@@ -1,0 +1,78 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace csm::ml {
+namespace {
+
+TEST(SquaredDistance, KnownValues) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+  const std::vector<double> c{1.0};
+  EXPECT_THROW(squared_distance(a, c), std::invalid_argument);
+}
+
+TEST(KnnClassifier, OneNearestNeighbourMemorises) {
+  common::Matrix x{{0.0, 0.0}, {1.0, 1.0}, {5.0, 5.0}};
+  const std::vector<int> y{0, 0, 1};
+  KnnClassifier knn(1);
+  knn.fit(x, y);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(knn.predict_one(x.row(i)), y[i]);
+  }
+}
+
+TEST(KnnClassifier, MajorityVoteSmoothsOutliers) {
+  // One mislabelled point surrounded by the other class: k=3 out-votes it.
+  common::Matrix x{{0.0}, {0.1}, {0.2}, {5.0}};
+  const std::vector<int> y{0, 1, 0, 1};
+  KnnClassifier knn(3);
+  knn.fit(x, y);
+  const std::vector<double> probe{0.1};
+  EXPECT_EQ(knn.predict_one(probe), 0);
+}
+
+TEST(KnnClassifier, LearnsBlobs) {
+  common::Rng rng(1);
+  common::Matrix x(120, 2);
+  std::vector<int> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    x(i, 0) = rng.gaussian(3.0 * cls, 0.5);
+    x(i, 1) = rng.gaussian(-2.0 * cls, 0.5);
+    y[i] = cls;
+  }
+  KnnClassifier knn(5);
+  knn.fit(x, y);
+  EXPECT_GT(macro_f1(y, knn.predict(x)), 0.97);
+}
+
+TEST(KnnClassifier, KLargerThanTrainingSetClamped) {
+  common::Matrix x{{0.0}, {1.0}};
+  const std::vector<int> y{0, 1};
+  KnnClassifier knn(50);
+  knn.fit(x, y);
+  const std::vector<double> probe{0.4};
+  EXPECT_NO_THROW(knn.predict_one(probe));
+}
+
+TEST(KnnClassifier, Validation) {
+  EXPECT_THROW(KnnClassifier(0), std::invalid_argument);
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.fit(common::Matrix(), {}), std::invalid_argument);
+  common::Matrix x{{1.0}};
+  const std::vector<int> negative{-1};
+  EXPECT_THROW(knn.fit(x, negative), std::invalid_argument);
+  const std::vector<double> probe{1.0};
+  EXPECT_THROW(knn.predict_one(probe), std::logic_error);
+}
+
+}  // namespace
+}  // namespace csm::ml

@@ -1,0 +1,130 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace csm::ml {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, ZeroClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, BadLabelsThrow) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(-1, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, 2), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, PerfectPredictionsScoreOne) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    cm.add(c, c);
+    cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallKnownValues) {
+  // truth:     0 0 0 1 1
+  // predicted: 0 1 0 1 0
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), (2.0 / 3.0 + 0.5) / 2.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassScoresZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(MacroF1, FromLabelVectors) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> pred{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(truth, pred), 1.0);
+}
+
+TEST(MacroF1, InfersClassCountFromBothVectors) {
+  const std::vector<int> truth{0, 0};
+  const std::vector<int> pred{0, 2};  // Class 2 only in predictions.
+  EXPECT_NO_THROW(macro_f1(truth, pred));
+  EXPECT_LT(macro_f1(truth, pred), 1.0);
+}
+
+TEST(MacroF1, Validation) {
+  const std::vector<int> a{0};
+  const std::vector<int> b{0, 1};
+  EXPECT_THROW(macro_f1(a, b), std::invalid_argument);
+  EXPECT_THROW(macro_f1(std::vector<int>{}, std::vector<int>{}),
+               std::invalid_argument);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> truth{0.0, 0.0};
+  const std::vector<double> pred{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), std::sqrt(12.5));
+}
+
+TEST(Rmse, PerfectPredictionIsZero) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+}
+
+TEST(Rmse, Validation) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(rmse({}, {}), std::invalid_argument);
+}
+
+TEST(Nrmse, NormalizesByTruthRange) {
+  const std::vector<double> truth{0.0, 10.0};
+  const std::vector<double> pred{1.0, 9.0};
+  EXPECT_DOUBLE_EQ(nrmse(truth, pred), 0.1);
+}
+
+TEST(Nrmse, ConstantTruthEdgeCases) {
+  const std::vector<double> truth{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(nrmse(truth, truth), 0.0);
+  const std::vector<double> off{5.0, 6.0};
+  EXPECT_DOUBLE_EQ(nrmse(truth, off), 1.0);
+}
+
+TEST(MlScoreRegression, ComplementsNrmseAndClamps) {
+  const std::vector<double> truth{0.0, 10.0};
+  const std::vector<double> pred{1.0, 9.0};
+  EXPECT_DOUBLE_EQ(ml_score_regression(truth, pred), 0.9);
+  const std::vector<double> terrible{100.0, -100.0};
+  EXPECT_DOUBLE_EQ(ml_score_regression(truth, terrible), 0.0);
+}
+
+}  // namespace
+}  // namespace csm::ml

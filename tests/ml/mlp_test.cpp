@@ -1,0 +1,141 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace csm::ml {
+namespace {
+
+MlpParams fast_params() {
+  MlpParams params;
+  params.hidden = {16, 16};  // Small net keeps the tests quick.
+  params.epochs = 60;
+  return params;
+}
+
+TEST(MlpClassifier, LearnsLinearlySeparableBlobs) {
+  common::Rng rng(31);
+  common::Matrix x(120, 2);
+  std::vector<int> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    x(i, 0) = rng.gaussian(cls == 0 ? -2.0 : 2.0, 0.5);
+    x(i, 1) = rng.gaussian(cls == 0 ? 1.0 : -1.0, 0.5);
+    y[i] = cls;
+  }
+  MlpClassifier clf(fast_params());
+  clf.fit(x, y);
+  EXPECT_GT(macro_f1(y, clf.predict(x)), 0.97);
+}
+
+TEST(MlpClassifier, LearnsXorWithHiddenLayers) {
+  // XOR is not linearly separable; solving it proves the hidden layers and
+  // backprop actually work.
+  common::Rng rng(32);
+  common::Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = (x(i, 0) > 0.0) != (x(i, 1) > 0.0) ? 1 : 0;
+  }
+  MlpParams params = fast_params();
+  params.epochs = 200;
+  MlpClassifier clf(params);
+  clf.fit(x, y);
+  EXPECT_GT(macro_f1(y, clf.predict(x)), 0.9);
+}
+
+TEST(MlpClassifier, ProbabilitiesSumToOne) {
+  common::Rng rng(33);
+  common::Matrix x(60, 2);
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.gaussian();
+    x(i, 1) = rng.gaussian();
+    y[i] = static_cast<int>(i % 3);
+  }
+  MlpClassifier clf(fast_params());
+  clf.fit(x, y);
+  const auto proba = clf.predict_proba(x.row(0));
+  ASSERT_EQ(proba.size(), 3u);
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MlpClassifier, DeterministicForSeed) {
+  common::Rng rng(34);
+  common::Matrix x(40, 2);
+  std::vector<int> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.gaussian();
+    x(i, 1) = rng.gaussian();
+    y[i] = x(i, 0) > 0.0 ? 1 : 0;
+  }
+  MlpClassifier a(fast_params()), b(fast_params());
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(MlpClassifier, Validation) {
+  MlpClassifier clf(fast_params());
+  EXPECT_THROW(clf.fit(common::Matrix(), {}), std::invalid_argument);
+  common::Matrix x{{1.0}, {2.0}};
+  const std::vector<int> negative{0, -1};
+  EXPECT_THROW(clf.fit(x, negative), std::invalid_argument);
+  const std::vector<double> probe{1.0};
+  EXPECT_THROW(clf.predict_one(probe), std::logic_error);
+}
+
+TEST(MlpRegressor, FitsLinearMap) {
+  common::Rng rng(35);
+  common::Matrix x(150, 2);
+  std::vector<double> y(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 5.0;
+  }
+  MlpParams params = fast_params();
+  params.epochs = 150;
+  MlpRegressor reg(params);
+  reg.fit(x, y);
+  EXPECT_GT(ml_score_regression(y, reg.predict(x)), 0.93);
+}
+
+TEST(MlpRegressor, HandlesLargeTargetScale) {
+  // Internal target standardisation must cope with raw Watt-scale values.
+  common::Rng rng(36);
+  common::Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = 300.0 + 100.0 * x(i, 0);
+  }
+  MlpParams params = fast_params();
+  params.epochs = 150;
+  MlpRegressor reg(params);
+  reg.fit(x, y);
+  const std::vector<double> probe{0.5};
+  EXPECT_NEAR(reg.predict_one(probe), 350.0, 25.0);
+}
+
+TEST(MlpRegressor, Validation) {
+  MlpRegressor reg(fast_params());
+  EXPECT_THROW(reg.fit(common::Matrix(), {}), std::invalid_argument);
+  const std::vector<double> probe{1.0};
+  EXPECT_THROW(reg.predict_one(probe), std::logic_error);
+}
+
+}  // namespace
+}  // namespace csm::ml

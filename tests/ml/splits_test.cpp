@@ -1,0 +1,123 @@
+#include "ml/splits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace csm::ml {
+namespace {
+
+void check_fold_invariants(const std::vector<Fold>& folds, std::size_t n) {
+  std::set<std::size_t> all_test;
+  for (const Fold& fold : folds) {
+    // Train and test are disjoint and cover everything.
+    std::set<std::size_t> test(fold.test_indices.begin(),
+                               fold.test_indices.end());
+    std::set<std::size_t> train(fold.train_indices.begin(),
+                                fold.train_indices.end());
+    EXPECT_EQ(test.size() + train.size(), n);
+    for (std::size_t idx : test) {
+      EXPECT_EQ(train.count(idx), 0u);
+      EXPECT_TRUE(all_test.insert(idx).second)
+          << "index " << idx << " tested twice";
+    }
+  }
+  EXPECT_EQ(all_test.size(), n);  // Every sample tested exactly once.
+}
+
+TEST(Kfold, PartitionInvariants) {
+  common::Rng rng(1);
+  const auto folds = kfold(103, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  check_fold_invariants(folds, 103);
+}
+
+TEST(Kfold, UniformFoldSizes) {
+  common::Rng rng(2);
+  const auto folds = kfold(100, 5, rng);
+  for (const Fold& fold : folds) EXPECT_EQ(fold.test_indices.size(), 20u);
+}
+
+TEST(Kfold, NearUniformWithRemainder) {
+  common::Rng rng(3);
+  const auto folds = kfold(102, 5, rng);
+  for (const Fold& fold : folds) {
+    EXPECT_GE(fold.test_indices.size(), 20u);
+    EXPECT_LE(fold.test_indices.size(), 21u);
+  }
+}
+
+TEST(Kfold, Validation) {
+  common::Rng rng(4);
+  EXPECT_THROW(kfold(10, 1, rng), std::invalid_argument);
+  EXPECT_THROW(kfold(3, 5, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKfold, PartitionInvariants) {
+  common::Rng rng(5);
+  std::vector<int> labels(90);
+  for (std::size_t i = 0; i < 90; ++i) labels[i] = static_cast<int>(i % 3);
+  const auto folds = stratified_kfold(labels, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  check_fold_invariants(folds, 90);
+}
+
+TEST(StratifiedKfold, PreservesClassProportions) {
+  common::Rng rng(6);
+  // 60 of class 0, 30 of class 1, 10 of class 2.
+  std::vector<int> labels;
+  labels.insert(labels.end(), 60, 0);
+  labels.insert(labels.end(), 30, 1);
+  labels.insert(labels.end(), 10, 2);
+  const auto folds = stratified_kfold(labels, 5, rng);
+  for (const Fold& fold : folds) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t idx : fold.test_indices) ++counts[labels[idx]];
+    EXPECT_EQ(counts[0], 12u);
+    EXPECT_EQ(counts[1], 6u);
+    EXPECT_EQ(counts[2], 2u);
+  }
+}
+
+TEST(StratifiedKfold, TinyClassAppearsInSomeFolds) {
+  common::Rng rng(7);
+  std::vector<int> labels(20, 0);
+  labels[3] = 1;
+  labels[11] = 1;  // Class 1 has 2 samples, fewer than k=5.
+  const auto folds = stratified_kfold(labels, 5, rng);
+  std::size_t folds_with_class1 = 0;
+  for (const Fold& fold : folds) {
+    for (std::size_t idx : fold.test_indices) {
+      if (labels[idx] == 1) {
+        ++folds_with_class1;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(folds_with_class1, 2u);
+}
+
+TEST(StratifiedKfold, Validation) {
+  common::Rng rng(8);
+  const std::vector<int> labels{0, 1, 0, 1};
+  EXPECT_THROW(stratified_kfold(labels, 1, rng), std::invalid_argument);
+  const std::vector<int> negative{0, -1, 0, 1, 1};
+  EXPECT_THROW(stratified_kfold(negative, 2, rng), std::invalid_argument);
+  const std::vector<int> too_few{0, 1};
+  EXPECT_THROW(stratified_kfold(too_few, 3, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKfold, DifferentSeedsDifferentAssignments) {
+  std::vector<int> labels(50);
+  for (std::size_t i = 0; i < 50; ++i) labels[i] = static_cast<int>(i % 2);
+  common::Rng rng_a(10), rng_b(11);
+  const auto a = stratified_kfold(labels, 5, rng_a);
+  const auto b = stratified_kfold(labels, 5, rng_b);
+  EXPECT_NE(a[0].test_indices, b[0].test_indices);
+}
+
+}  // namespace
+}  // namespace csm::ml

@@ -1,0 +1,135 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace csm::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesCorrelatesZero) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> c{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Pearson, ScaleAndShiftInvariant) {
+  common::Rng rng(5);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.gaussian();
+    y[i] = 3.0 * x[i] + 10.0;
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-9);
+}
+
+TEST(Pearson, LengthMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_THROW(pearson(a, b), std::invalid_argument);
+}
+
+TEST(ShiftedCorrelationMatrix, DiagonalIsTwo) {
+  common::Matrix s{{1, 2, 3, 4}, {4, 3, 2, 1}, {1, 5, 2, 8}};
+  const common::Matrix m = shifted_correlation_matrix(s);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m(i, i), 2.0);
+}
+
+TEST(ShiftedCorrelationMatrix, IsSymmetric) {
+  common::Rng rng(9);
+  common::Matrix s(6, 50);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 50; ++c) s(r, c) = rng.gaussian();
+  }
+  const common::Matrix m = shifted_correlation_matrix(s);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+    }
+  }
+}
+
+TEST(ShiftedCorrelationMatrix, ValuesInZeroTwo) {
+  common::Rng rng(11);
+  common::Matrix s(8, 40);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 40; ++c) s(r, c) = rng.uniform();
+  }
+  const common::Matrix m = shifted_correlation_matrix(s);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 0.0);
+    EXPECT_LE(m.data()[i], 2.0);
+  }
+}
+
+TEST(ShiftedCorrelationMatrix, MatchesPairwisePearson) {
+  common::Matrix s{{1, 2, 3, 4, 5}, {2, 1, 4, 3, 6}, {5, 4, 3, 2, 1}};
+  const common::Matrix m = shifted_correlation_matrix(s);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(m(i, j), pearson(s.row(i), s.row(j)) + 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ShiftedCorrelationMatrix, ConstantRowShiftsToOne) {
+  common::Matrix s{{1, 2, 3, 4}, {7, 7, 7, 7}};
+  const common::Matrix m = shifted_correlation_matrix(s);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);  // pearson 0 shifted by +1.
+}
+
+TEST(GlobalCoefficients, AveragesOffDiagonal) {
+  common::Matrix shifted{{2.0, 1.5, 0.5}, {1.5, 2.0, 1.0}, {0.5, 1.0, 2.0}};
+  const std::vector<double> g = global_coefficients(shifted);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 1.25);
+  EXPECT_DOUBLE_EQ(g[2], 0.75);
+}
+
+TEST(GlobalCoefficients, SingleRowIsZero) {
+  common::Matrix shifted{{2.0}};
+  EXPECT_EQ(global_coefficients(shifted), std::vector<double>{0.0});
+}
+
+TEST(GlobalCoefficients, NonSquareThrows) {
+  common::Matrix bad(2, 3);
+  EXPECT_THROW(global_coefficients(bad), std::invalid_argument);
+}
+
+TEST(GlobalCoefficients, CorrelatedGroupScoresHigher) {
+  // Three correlated rows plus one pure-noise row: the noise row must have
+  // the lowest global coefficient.
+  common::Rng rng(13);
+  common::Matrix s(4, 300);
+  for (std::size_t c = 0; c < 300; ++c) {
+    const double base = std::sin(0.1 * static_cast<double>(c));
+    s(0, c) = base + 0.01 * rng.gaussian();
+    s(1, c) = 2.0 * base + 0.01 * rng.gaussian();
+    s(2, c) = base + 0.5 + 0.01 * rng.gaussian();
+    s(3, c) = rng.gaussian();
+  }
+  const auto g = global_coefficients(shifted_correlation_matrix(s));
+  EXPECT_LT(g[3], g[0]);
+  EXPECT_LT(g[3], g[1]);
+  EXPECT_LT(g[3], g[2]);
+}
+
+}  // namespace
+}  // namespace csm::stats

@@ -1,0 +1,133 @@
+#include "stats/divergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace csm::stats {
+namespace {
+
+TEST(ShannonEntropy, UniformIsLogN) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(shannon_entropy(p), 2.0, 1e-12);
+}
+
+TEST(ShannonEntropy, DegenerateIsZero) {
+  const std::vector<double> p{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(p), 0.0);
+}
+
+TEST(KlDivergence, IdenticalIsZero) {
+  const std::vector<double> p{0.3, 0.7};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, AbsentSupportIsInfinite) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_EQ(kl_divergence(p, q), std::numeric_limits<double>::infinity());
+}
+
+TEST(KlDivergence, KnownValue) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(kl_divergence(p, q), 1.0, 1e-12);  // log2(2).
+}
+
+TEST(JsDivergence, IdenticalIsZero) {
+  const std::vector<double> p{0.2, 0.5, 0.3};
+  EXPECT_NEAR(js_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(JsDivergence, DisjointIsOne) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_NEAR(js_divergence(p, q), 1.0, 1e-12);
+}
+
+TEST(JsDivergence, SymmetricAndBounded) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> p(8), q(8);
+    double sp = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      p[i] = rng.uniform();
+      q[i] = rng.uniform();
+      sp += p[i];
+      sq += q[i];
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      p[i] /= sp;
+      q[i] /= sq;
+    }
+    const double pq = js_divergence(p, q);
+    const double qp = js_divergence(q, p);
+    EXPECT_NEAR(pq, qp, 1e-12);
+    EXPECT_GE(pq, 0.0);
+    EXPECT_LE(pq, 1.0);
+  }
+}
+
+TEST(DimensionValueDistribution, SumsToOne) {
+  common::Matrix m{{0.1, 0.9, 0.5}, {0.2, 0.2, 0.8}};
+  const common::Matrix d = dimension_value_distribution(m, 16, 0.0, 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) sum += d.data()[i];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DimensionValueDistribution, RowsAreMarginals) {
+  common::Matrix m{{0.0, 0.0, 1.0, 1.0}};
+  const common::Matrix d = dimension_value_distribution(m, 2, 0.0, 1.0);
+  EXPECT_NEAR(d(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(d(0, 1), 0.5, 1e-12);
+}
+
+TEST(JsDivergence2d, IdenticalMatricesIsZero) {
+  common::Matrix m{{0.1, 0.4}, {0.9, 0.2}};
+  EXPECT_NEAR(js_divergence_2d(m, m), 0.0, 1e-12);
+}
+
+TEST(JsDivergence2d, RowCountMismatchThrows) {
+  common::Matrix a(2, 4);
+  common::Matrix b(3, 4);
+  EXPECT_THROW(js_divergence_2d(a, b), std::invalid_argument);
+}
+
+TEST(JsDivergence2d, DifferentColumnCountsAllowed) {
+  // Distributions are over values; time axes may differ.
+  common::Matrix a{{0.0, 0.5, 1.0, 0.5}};
+  common::Matrix b{{0.0, 1.0}};
+  EXPECT_NO_THROW(js_divergence_2d(a, b));
+}
+
+TEST(JsDivergence2d, CoarserApproximationDivergesMore) {
+  // A fine-grained signal vs (a) itself lightly smoothed and (b) its global
+  // mean: the mean-collapse must lose strictly more information.
+  common::Rng rng(17);
+  common::Matrix orig(4, 400), near_copy(4, 400), collapsed(4, 400);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < 400; ++c) {
+      orig(r, c) = std::sin(0.05 * static_cast<double>(c) +
+                            static_cast<double>(r)) +
+                   0.1 * rng.gaussian();
+      mean += orig(r, c);
+    }
+    mean /= 400.0;
+    for (std::size_t c = 0; c < 400; ++c) {
+      near_copy(r, c) = orig(r, c) + 0.01 * rng.gaussian();
+      collapsed(r, c) = mean;
+    }
+  }
+  const double js_near = js_divergence_2d(orig, near_copy);
+  const double js_far = js_divergence_2d(orig, collapsed);
+  EXPECT_LT(js_near, js_far);
+}
+
+}  // namespace
+}  // namespace csm::stats

@@ -1,0 +1,138 @@
+#include "stats/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csm::stats {
+namespace {
+
+TEST(CovarianceMatrix, MatchesHandComputedValues) {
+  common::Matrix s{{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}};
+  const common::Matrix cov = covariance_matrix(s);
+  EXPECT_NEAR(cov(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-15);
+}
+
+TEST(CovarianceMatrix, EmptyThrows) {
+  EXPECT_THROW(covariance_matrix(common::Matrix()), std::invalid_argument);
+}
+
+TEST(JacobiEigen, DiagonalMatrixTrivial) {
+  common::Matrix d{{3.0, 0.0}, {0.0, 1.0}};
+  const EigenDecomposition eig = jacobi_eigen(d);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  common::Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenDecomposition eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 1)), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(JacobiEigen, ValuesSortedDescending) {
+  common::Rng rng(3);
+  common::Matrix a(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i; j < 6; ++j) {
+      a(i, j) = a(j, i) = rng.gaussian();
+    }
+  }
+  const EigenDecomposition eig = jacobi_eigen(a);
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  // A = sum_k lambda_k v_k v_k^T must reproduce the input.
+  common::Rng rng(5);
+  const std::size_t n = 8;
+  common::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const EigenDecomposition eig = jacobi_eigen(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += eig.values[k] * eig.vectors(k, i) * eig.vectors(k, j);
+      }
+      EXPECT_NEAR(acc, a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  common::Rng rng(7);
+  const std::size_t n = 10;
+  common::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.gaussian();
+    }
+  }
+  const EigenDecomposition eig = jacobi_eigen(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        dot += eig.vectors(i, k) * eig.vectors(j, k);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceEqualsSumOfEigenvalues) {
+  common::Rng rng(9);
+  common::Matrix a(12, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i; j < 12; ++j) {
+      a(i, j) = a(j, i) = rng.uniform();
+    }
+  }
+  const EigenDecomposition eig = jacobi_eigen(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) trace += a(i, i);
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(JacobiEigen, Validation) {
+  EXPECT_THROW(jacobi_eigen(common::Matrix()), std::invalid_argument);
+  EXPECT_THROW(jacobi_eigen(common::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(JacobiEigen, CovariancePrincipalAxis) {
+  // Points spread along (1, 1): the top eigenvector of the covariance must
+  // align with that direction.
+  common::Rng rng(11);
+  common::Matrix s(2, 500);
+  for (std::size_t c = 0; c < 500; ++c) {
+    const double major = rng.gaussian(0.0, 3.0);
+    const double minor = rng.gaussian(0.0, 0.3);
+    s(0, c) = major + minor;
+    s(1, c) = major - minor;
+  }
+  const EigenDecomposition eig = jacobi_eigen(covariance_matrix(s));
+  EXPECT_GT(eig.values[0], 5.0 * eig.values[1]);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::abs(eig.vectors(0, 1)),
+              0.05);
+}
+
+}  // namespace
+}  // namespace csm::stats

@@ -1,0 +1,68 @@
+#include "stats/finite_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace csm::stats {
+namespace {
+
+TEST(BackwardDiff, FirstElementIsZero) {
+  const std::vector<double> x{5.0, 6.0, 4.0};
+  const auto d = backward_diff(x);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(BackwardDiff, ComputesDifferences) {
+  const std::vector<double> x{1.0, 4.0, 2.0, 2.0};
+  const auto d = backward_diff(x);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], -2.0);
+  EXPECT_DOUBLE_EQ(d[3], 0.0);
+}
+
+TEST(BackwardDiff, EmptyAndSingleton) {
+  EXPECT_TRUE(backward_diff(std::vector<double>{}).empty());
+  const auto d = backward_diff(std::vector<double>{7.0});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(BackwardDiff, MonotonicSeriesBecomesConstant) {
+  // The paper's recommended transform for energy-style counters.
+  std::vector<double> energy(10);
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    energy[i] = 100.0 + 2.5 * static_cast<double>(i);
+  }
+  const auto d = backward_diff(energy);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_NEAR(d[i], 2.5, 1e-12);
+}
+
+TEST(BackwardDiffRows, AppliesPerRow) {
+  common::Matrix m{{1, 2, 4}, {10, 5, 5}};
+  const common::Matrix d = backward_diff_rows(m);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), -5.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 0.0);
+}
+
+TEST(BackwardDiffRowsSeeded, UsesPreviousColumn) {
+  common::Matrix m{{3, 4}, {10, 10}};
+  const std::vector<double> prev{1.0, 12.0};
+  const common::Matrix d = backward_diff_rows_seeded(m, prev);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);   // 3 - 1.
+  EXPECT_DOUBLE_EQ(d(1, 0), -2.0);  // 10 - 12.
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+}
+
+TEST(BackwardDiffRowsSeeded, BadSeedLengthThrows) {
+  common::Matrix m(2, 3);
+  const std::vector<double> seed{1.0};
+  EXPECT_THROW(backward_diff_rows_seeded(m, seed), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::stats

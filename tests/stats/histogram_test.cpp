@@ -1,0 +1,72 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace csm::stats {
+namespace {
+
+TEST(Histogram, ConstructorValidates) {
+  EXPECT_THROW(Histogram(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Histogram(4, 1.0, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(Histogram(4, 0.0, 0.0));  // Degenerate but legal.
+}
+
+TEST(Histogram, BinIndexCoversRangeUniformly) {
+  Histogram h(4, 0.0, 4.0);
+  EXPECT_EQ(h.bin_index(0.5), 0u);
+  EXPECT_EQ(h.bin_index(1.5), 1u);
+  EXPECT_EQ(h.bin_index(2.5), 2u);
+  EXPECT_EQ(h.bin_index(3.5), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(4, 0.0, 4.0);
+  EXPECT_EQ(h.bin_index(-100.0), 0u);
+  EXPECT_EQ(h.bin_index(100.0), 3u);
+  EXPECT_EQ(h.bin_index(4.0), 3u);  // Upper edge belongs to the last bin.
+}
+
+TEST(Histogram, AddAccumulatesCounts) {
+  Histogram h(2, 0.0, 2.0);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(1.5);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, AddSpan) {
+  Histogram h(2, 0.0, 1.0);
+  const std::vector<double> values{0.1, 0.2, 0.9};
+  h.add(values);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, PmfSumsToOne) {
+  Histogram h(8, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i) / 100.0);
+  }
+  const auto pmf = h.pmf();
+  double sum = 0.0;
+  for (double p : pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyPmfIsAllZeros) {
+  Histogram h(4, 0.0, 1.0);
+  for (double p : h.pmf()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Histogram, DegenerateRangePutsEverythingInBinZero) {
+  Histogram h(4, 2.0, 2.0);
+  h.add(2.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+}  // namespace
+}  // namespace csm::stats

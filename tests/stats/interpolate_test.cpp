@@ -1,0 +1,131 @@
+#include "stats/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace csm::stats {
+namespace {
+
+TEST(ResizeNearest, IdentityWhenSameSize) {
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_EQ(resize_nearest(x, 4), x);
+}
+
+TEST(ResizeNearest, UpsampleRepeatsValues) {
+  const std::vector<double> x{1.0, 2.0};
+  const auto up = resize_nearest(x, 4);
+  EXPECT_EQ(up, (std::vector<double>{1.0, 1.0, 2.0, 2.0}));
+}
+
+TEST(ResizeNearest, DownsamplePicksCentres) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const auto down = resize_nearest(x, 2);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], 2.0);  // Centre of the first half.
+  EXPECT_EQ(down[1], 5.0);
+}
+
+TEST(ResizeNearest, Validation) {
+  EXPECT_THROW(resize_nearest(std::vector<double>{}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(resize_nearest(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+}
+
+TEST(ResizeLinear, EndpointsPreserved) {
+  const std::vector<double> x{10.0, 20.0, 30.0};
+  const auto y = resize_linear(x, 5);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_DOUBLE_EQ(y.front(), 10.0);
+  EXPECT_DOUBLE_EQ(y.back(), 30.0);
+}
+
+TEST(ResizeLinear, MidpointsInterpolated) {
+  const std::vector<double> x{0.0, 10.0};
+  const auto y = resize_linear(x, 3);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(ResizeLinear, RoundTripPreservesLinearSignal) {
+  std::vector<double> x(9);
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<double>(i);
+  const auto up = resize_linear(x, 17);
+  const auto back = resize_linear(up, 9);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(back[i], x[i], 1e-12);
+}
+
+TEST(ResizeLinear, SingletonReplicates) {
+  const std::vector<double> x{4.2};
+  const auto y = resize_linear(x, 3);
+  EXPECT_EQ(y, (std::vector<double>{4.2, 4.2, 4.2}));
+}
+
+TEST(ResizeRowsNearest, ResamplesDimensionAxisOnly) {
+  common::Matrix m{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  const common::Matrix r = resize_rows_nearest(m, 2);
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.cols(), 2u);
+  // Target centres land exactly between source rows (0.5 and 2.5); the
+  // round-half-away tie rule picks rows 1 and 3.
+  EXPECT_EQ(r(0, 0), 3.0);
+  EXPECT_EQ(r(1, 1), 8.0);
+}
+
+TEST(ResizeRowsNearest, UpscaleDuplicatesRows) {
+  common::Matrix m{{1, 1}, {9, 9}};
+  const common::Matrix r = resize_rows_nearest(m, 4);
+  EXPECT_EQ(r(0, 0), 1.0);
+  EXPECT_EQ(r(1, 0), 1.0);
+  EXPECT_EQ(r(2, 0), 9.0);
+  EXPECT_EQ(r(3, 0), 9.0);
+}
+
+TEST(ResizeBilinear, IdentityAtSameShape) {
+  common::Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(resize_bilinear(m, 2, 2), m);
+}
+
+TEST(ResizeBilinear, CornersPreserved) {
+  common::Matrix m{{1, 2}, {3, 4}};
+  const common::Matrix r = resize_bilinear(m, 5, 5);
+  EXPECT_DOUBLE_EQ(r(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(r(4, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r(4, 4), 4.0);
+}
+
+TEST(ResizeBilinear, CentreIsAverage) {
+  common::Matrix m{{0, 0}, {2, 2}};
+  const common::Matrix r = resize_bilinear(m, 3, 3);
+  EXPECT_DOUBLE_EQ(r(1, 1), 1.0);
+}
+
+TEST(InterpLinear, ExactKnots) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{5.0, 7.0, 6.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 7.0);
+}
+
+TEST(InterpLinear, Interpolates) {
+  const std::vector<double> xs{0.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 2.5);
+}
+
+TEST(InterpLinear, ClampsOutsideDomain) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, -10.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 10.0), 4.0);
+}
+
+TEST(InterpLinear, BadInputThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> short_ys{1.0};
+  EXPECT_THROW(interp_linear(xs, short_ys, 1.5), std::invalid_argument);
+  EXPECT_THROW(interp_linear({}, {}, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::stats

@@ -1,0 +1,201 @@
+// csmcli — command-line front-end to the CS library.
+//
+// Lets operators run the full offline workflow from a shell, against sensor
+// data in the HPC-ODA on-disk layout (a directory of per-sensor
+// "timestamp,value" CSVs):
+//
+//   csmcli train   <sensor_dir> <model_file> [--interval MS]
+//       Align the sensors and train a CS model (Algorithm 1 + bounds).
+//
+//   csmcli info    <model_file>
+//       Print a model summary: sensor count, permutation, bounds.
+//
+//   csmcli extract <sensor_dir> <model_file> <out_csv>
+//           [--blocks L] [--window WL] [--step WS] [--interval MS]
+//           [--real-only]
+//       Compute signatures over sliding windows and write them as a
+//       feature CSV (label column fixed to 0; relabel downstream).
+//
+//   csmcli sort    <sensor_dir> <model_file> <out_pgm> [--interval MS]
+//       Render the sorted (normalised + permuted) matrix as a PGM image.
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/training.hpp"
+#include "data/alignment.hpp"
+#include "data/csv.hpp"
+#include "data/feature_csv.hpp"
+#include "harness/heatmap.hpp"
+
+namespace {
+
+using namespace csm;
+
+struct Options {
+  std::vector<std::string> positional;
+  std::int64_t interval_ms = 0;  // 0 = auto.
+  std::size_t blocks = 20;
+  std::size_t window = 60;
+  std::size_t step = 10;
+  bool real_only = false;
+};
+
+void usage() {
+  std::cerr << "usage:\n"
+            << "  csmcli train   <sensor_dir> <model_file> [--interval MS]\n"
+            << "  csmcli info    <model_file>\n"
+            << "  csmcli extract <sensor_dir> <model_file> <out_csv>\n"
+            << "                 [--blocks L] [--window WL] [--step WS]\n"
+            << "                 [--interval MS] [--real-only]\n"
+            << "  csmcli sort    <sensor_dir> <model_file> <out_pgm>"
+            << " [--interval MS]\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--interval") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.interval_ms = std::atoll(v);
+    } else if (arg == "--blocks") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.blocks = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--window") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.window = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--step") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.step = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--real-only") {
+      opts.real_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      return false;
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+data::AlignedSensors load_aligned(const std::string& dir,
+                                  std::int64_t interval_ms) {
+  const auto series = data::read_sensor_dir(dir);
+  return interval_ms > 0 ? data::align(series, interval_ms)
+                         : data::align_auto(series);
+}
+
+int cmd_train(const Options& opts) {
+  if (opts.positional.size() != 2) {
+    usage();
+    return 1;
+  }
+  const data::AlignedSensors aligned =
+      load_aligned(opts.positional[0], opts.interval_ms);
+  std::cout << "aligned " << aligned.matrix.rows() << " sensors x "
+            << aligned.matrix.cols() << " samples (interval "
+            << aligned.interval_ms << " ms)\n";
+  const core::CsModel model = core::train(aligned.matrix);
+  model.save(opts.positional[1]);
+  std::cout << "model written to " << opts.positional[1] << '\n';
+  return 0;
+}
+
+int cmd_info(const Options& opts) {
+  if (opts.positional.size() != 1) {
+    usage();
+    return 1;
+  }
+  const core::CsModel model = core::CsModel::load(opts.positional[0]);
+  std::cout << "sensors: " << model.n_sensors() << "\npermutation:";
+  for (std::size_t idx : model.permutation()) std::cout << ' ' << idx;
+  std::cout << "\nbounds:\n";
+  for (std::size_t i = 0; i < model.n_sensors(); ++i) {
+    std::cout << "  row " << i << ": [" << model.bounds()[i].lo << ", "
+              << model.bounds()[i].hi << "]\n";
+  }
+  return 0;
+}
+
+int cmd_extract(const Options& opts) {
+  if (opts.positional.size() != 3) {
+    usage();
+    return 1;
+  }
+  const data::AlignedSensors aligned =
+      load_aligned(opts.positional[0], opts.interval_ms);
+  const core::CsModel model = core::CsModel::load(opts.positional[1]);
+  const core::CsPipeline pipeline(
+      model, core::CsOptions{opts.blocks, opts.real_only});
+  const auto sigs = pipeline.transform(
+      aligned.matrix, data::WindowSpec{opts.window, opts.step});
+  if (sigs.empty()) {
+    std::cerr << "no complete windows (have " << aligned.matrix.cols()
+              << " samples, window is " << opts.window << ")\n";
+    return 2;
+  }
+  data::Dataset ds;
+  for (const core::Signature& sig : sigs) {
+    ds.features.append_row(sig.flatten(opts.real_only));
+    ds.labels.push_back(0);
+  }
+  data::write_feature_csv(opts.positional[2], ds);
+  std::cout << "wrote " << ds.size() << " signatures of length "
+            << ds.feature_length() << " to " << opts.positional[2] << '\n';
+  return 0;
+}
+
+int cmd_sort(const Options& opts) {
+  if (opts.positional.size() != 3) {
+    usage();
+    return 1;
+  }
+  const data::AlignedSensors aligned =
+      load_aligned(opts.positional[0], opts.interval_ms);
+  const core::CsModel model = core::CsModel::load(opts.positional[1]);
+  harness::write_pgm(opts.positional[2], model.sort(aligned.matrix));
+  std::cout << "wrote sorted heatmap (" << aligned.matrix.rows() << " x "
+            << aligned.matrix.cols() << ") to " << opts.positional[2]
+            << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") return cmd_train(opts);
+    if (command == "info") return cmd_info(opts);
+    if (command == "extract") return cmd_extract(opts);
+    if (command == "sort") return cmd_sort(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  std::cerr << "unknown command: " << command << '\n';
+  usage();
+  return 1;
+}
