@@ -69,14 +69,18 @@ CsModel CsModel::deserialize(const std::string& text) {
 
 void CsModel::save(const std::filesystem::path& file) const {
   std::ofstream out(file, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("CsModel::save: cannot open " + file.string());
+  if (!out) {
+    throw std::runtime_error("CsModel::save: cannot open " + file.string());
+  }
   out << serialize();
   if (!out) throw std::runtime_error("CsModel::save: write failed");
 }
 
 CsModel CsModel::load(const std::filesystem::path& file) {
   std::ifstream in(file, std::ios::binary);
-  if (!in) throw std::runtime_error("CsModel::load: cannot open " + file.string());
+  if (!in) {
+    throw std::runtime_error("CsModel::load: cannot open " + file.string());
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   return deserialize(buf.str());

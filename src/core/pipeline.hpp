@@ -56,7 +56,9 @@ class CsPipeline {
 
   /// Sorted (normalised + permuted) view of the full matrix — the "sorting
   /// stage" output used for visualisation and the JS-divergence reference.
-  common::Matrix sorted(const common::Matrix& s) const { return model_.sort(s); }
+  common::Matrix sorted(const common::Matrix& s) const {
+    return model_.sort(s);
+  }
 
  private:
   CsModel model_;

@@ -40,8 +40,9 @@ Signature Signature::pruned_center(std::size_t n_pruned) const {
   std::vector<double> re, im;
   re.reserve(keep);
   im.reserve(keep);
-  re.insert(re.end(), re_.begin(), re_.begin() + static_cast<std::ptrdiff_t>(head));
-  im.insert(im.end(), im_.begin(), im_.begin() + static_cast<std::ptrdiff_t>(head));
+  const auto h = static_cast<std::ptrdiff_t>(head);
+  re.insert(re.end(), re_.begin(), re_.begin() + h);
+  im.insert(im.end(), im_.begin(), im_.begin() + h);
   re.insert(re.end(), re_.end() - static_cast<std::ptrdiff_t>(tail), re_.end());
   im.insert(im.end(), im_.end() - static_cast<std::ptrdiff_t>(tail), im_.end());
   return Signature(std::move(re), std::move(im));

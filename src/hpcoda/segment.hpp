@@ -22,7 +22,7 @@ struct ComponentBlock {
   std::string name;                      ///< e.g. "node03", "rack0".
   common::Matrix sensors;                ///< n x t sensor matrix.
   std::vector<std::string> sensor_names; ///< Per-row names.
-  std::vector<double> target;            ///< Regression target series (may be empty).
+  std::vector<double> target;  ///< Regression target series (may be empty).
 };
 
 /// One run in the shared schedule: class `label` active over columns

@@ -22,7 +22,7 @@ namespace csm::ml {
 struct TreeParams {
   std::size_t max_depth = 0;          ///< 0 = unlimited.
   std::size_t min_samples_split = 2;  ///< Nodes smaller than this are leaves.
-  std::size_t min_samples_leaf = 1;   ///< Splits creating smaller children are rejected.
+  std::size_t min_samples_leaf = 1;  ///< Smaller children are rejected.
   std::size_t max_features = 0;       ///< Features tried per split; 0 = all.
 };
 

@@ -15,7 +15,8 @@ std::size_t Histogram::bin_index(double v) const noexcept {
   if (v <= lo_ || hi_ == lo_) return 0;
   if (v >= hi_) return counts_.size() - 1;
   const double frac = (v - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  const double scaled = frac * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>(scaled);
   return idx >= counts_.size() ? counts_.size() - 1 : idx;
 }
 

@@ -56,8 +56,12 @@ TEST(CsStream, EmitsAtWindowBoundaries) {
       EXPECT_EQ(sig->length(), 4u);
     }
     // First emission exactly when wl samples have arrived.
-    if (c + 1 < 20) EXPECT_FALSE(sig.has_value());
-    if (c + 1 == 20) EXPECT_TRUE(sig.has_value());
+    if (c + 1 < 20) {
+      EXPECT_FALSE(sig.has_value());
+    }
+    if (c + 1 == 20) {
+      EXPECT_TRUE(sig.has_value());
+    }
   }
   // Windows at samples 20, 30, ..., 100 -> 9 signatures.
   EXPECT_EQ(emitted, 9u);
