@@ -1,0 +1,52 @@
+#include "common/ring_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csm::common {
+
+RingMatrix::RingMatrix(std::size_t rows, std::size_t capacity)
+    : rows_(rows), capacity_(capacity), data_(rows * capacity, 0.0) {
+  if (rows == 0 || capacity == 0) {
+    throw std::invalid_argument("RingMatrix: zero rows or capacity");
+  }
+}
+
+void RingMatrix::push(std::span<const double> column) {
+  if (column.size() != rows_) {
+    throw std::invalid_argument("RingMatrix::push: wrong column length");
+  }
+  const std::span<double> slot = push_slot();
+  std::copy(column.begin(), column.end(), slot.begin());
+}
+
+std::span<double> RingMatrix::push_slot() noexcept {
+  const std::size_t slot = head_;
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  if (size_ < capacity_) ++size_;
+  ++pushed_;
+  return {data_.data() + slot * rows_, rows_};
+}
+
+void RingMatrix::copy_latest(std::size_t n_cols, Matrix& out) const {
+  if (n_cols > size_) {
+    throw std::invalid_argument("RingMatrix::copy_latest: not enough columns");
+  }
+  if (out.rows() != rows_ || out.cols() != n_cols) {
+    throw std::invalid_argument("RingMatrix::copy_latest: shape mismatch");
+  }
+  const std::size_t first = size_ - n_cols;
+  for (std::size_t c = 0; c < n_cols; ++c) {
+    const std::span<const double> src = column(first + c);
+    double* dst = out.data() + c;
+    for (std::size_t r = 0; r < rows_; ++r) dst[r * n_cols] = src[r];
+  }
+}
+
+Matrix RingMatrix::to_matrix() const {
+  Matrix out(rows_, size_);
+  if (size_ > 0) copy_latest(size_, out);
+  return out;
+}
+
+}  // namespace csm::common

@@ -1,0 +1,74 @@
+#include "core/stream_engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace csm::core {
+
+std::size_t StreamEngine::add_node(std::string name, CsModel model) {
+  nodes_.push_back(
+      Node{std::move(name), CsStream(std::move(model), options_), {}});
+  return nodes_.size() - 1;
+}
+
+void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {
+  Node& n = nodes_.at(node);
+  const common::Timer timer;
+  auto sigs = n.stream.push_all(columns);
+  ingest_seconds_ += timer.seconds();
+  n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
+                 std::make_move_iterator(sigs.end()));
+}
+
+void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
+  if (batches.size() != nodes_.size()) {
+    throw std::invalid_argument(
+        "StreamEngine::ingest_batch: one batch per node required");
+  }
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].rows() != nodes_[i].stream.n_sensors()) {
+      throw std::invalid_argument("StreamEngine::ingest_batch: batch " +
+                                  std::to_string(i) +
+                                  " has wrong sensor count");
+    }
+  }
+  // parallel_for bodies must not throw; capture the first node failure and
+  // surface it once the whole batch has run.
+  std::vector<std::exception_ptr> errors(nodes_.size());
+  const common::Timer timer;
+  common::parallel_for(nodes_.size(), [&](std::size_t i) {
+    try {
+      auto sigs = nodes_[i].stream.push_all(batches[i]);
+      auto& queue = nodes_[i].queue;
+      queue.insert(queue.end(), std::make_move_iterator(sigs.begin()),
+                   std::make_move_iterator(sigs.end()));
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  ingest_seconds_ += timer.seconds();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<Signature> StreamEngine::drain(std::size_t node) {
+  return std::exchange(nodes_.at(node).queue, {});
+}
+
+EngineStats StreamEngine::stats() const {
+  EngineStats s;
+  s.ingest_seconds = ingest_seconds_;
+  for (const Node& n : nodes_) {
+    s.samples += n.stream.samples_seen();
+    s.signatures += n.stream.signatures_emitted();
+    s.retrains += n.stream.retrain_count();
+  }
+  return s;
+}
+
+}  // namespace csm::core

@@ -1,0 +1,102 @@
+// Fleet-wide online ingestion: one CsStream per monitored node.
+//
+// A production ODA deployment (Fig. 1) monitors hundreds of compute nodes at
+// once; each node has its own CS model (trained on its own sensors) and its
+// own signature stream. StreamEngine owns one CsStream per node, fans
+// batched ingestion across nodes with common::parallel_for (nodes are
+// independent, so the loop is embarrassingly parallel), buffers emitted
+// signatures in per-node queues for downstream consumers (classifiers,
+// dashboards), and keeps aggregate throughput counters so operators can see
+// samples/sec across the whole fleet. Memory stays bounded: each node holds
+// exactly n_sensors x history_length doubles of history plus its undrained
+// queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/cs_model.hpp"
+#include "core/signature.hpp"
+#include "core/streaming.hpp"
+
+namespace csm::core {
+
+/// Aggregate counters across all nodes of a StreamEngine.
+struct EngineStats {
+  std::uint64_t samples = 0;     ///< Columns ingested, summed over nodes.
+  std::uint64_t signatures = 0;  ///< Signatures emitted, summed over nodes.
+  std::uint64_t retrains = 0;    ///< Retraining passes, summed over nodes.
+  double ingest_seconds = 0.0;   ///< Wall time spent inside ingestion calls.
+
+  /// Samples per second over the accumulated ingestion time (0 if no time
+  /// has been accumulated yet).
+  double samples_per_second() const noexcept {
+    return ingest_seconds > 0.0
+               ? static_cast<double>(samples) / ingest_seconds
+               : 0.0;
+  }
+};
+
+/// Multi-node streaming front end over per-node CsStreams.
+class StreamEngine {
+ public:
+  /// All nodes share the same windowing/retrain configuration; models are
+  /// per node. Throws (via StreamOptions/CsStream validation) on bad
+  /// options or empty models.
+  explicit StreamEngine(StreamOptions options) : options_(options) {
+    options_.validate();
+  }
+
+  /// Registers a node and returns its index. Node names are labels only and
+  /// need not be unique.
+  std::size_t add_node(std::string name, CsModel model);
+
+  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+  const StreamOptions& options() const noexcept { return options_; }
+  const std::string& node_name(std::size_t node) const {
+    return nodes_.at(node).name;
+  }
+  /// The underlying per-node stream (e.g. to inspect the live model).
+  const CsStream& stream(std::size_t node) const {
+    return nodes_.at(node).stream;
+  }
+
+  /// Feeds a batch of columns to one node; emitted signatures are appended
+  /// to that node's queue.
+  void ingest(std::size_t node, const common::Matrix& columns);
+
+  /// Feeds one batch per node (batches.size() must equal n_nodes(); batches
+  /// may have different column counts, rows must match each node's sensor
+  /// count). Nodes are processed concurrently with common::parallel_for.
+  /// Shapes are validated up front; a mid-flight failure in any node (e.g.
+  /// a degenerate retrain) is re-thrown after the batch completes.
+  void ingest_batch(std::span<const common::Matrix> batches);
+
+  /// Number of signatures waiting in a node's queue.
+  std::size_t pending(std::size_t node) const {
+    return nodes_.at(node).queue.size();
+  }
+
+  /// Takes (moves out) all signatures queued for a node.
+  std::vector<Signature> drain(std::size_t node);
+
+  /// Aggregate counters summed over all nodes, plus accumulated wall time.
+  EngineStats stats() const;
+
+ private:
+  struct Node {
+    std::string name;
+    CsStream stream;
+    std::vector<Signature> queue;
+  };
+
+  StreamOptions options_;
+  std::vector<Node> nodes_;
+  double ingest_seconds_ = 0.0;
+};
+
+}  // namespace csm::core

@@ -1,5 +1,6 @@
 #include "core/streaming.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/smoothing.hpp"
@@ -28,7 +29,9 @@ CsStream::CsStream(CsModel model, StreamOptions options)
   if (model_.n_sensors() == 0) {
     throw std::invalid_argument("CsStream: empty model");
   }
-  history_.reserve(options_.history_length);
+  history_ = common::RingMatrix(n_sensors(), options_.history_length);
+  window_ = common::Matrix(n_sensors(), options_.window_length);
+  seed_col_ = common::Matrix(n_sensors(), 1);
   next_emit_at_ = options_.window_length;
 }
 
@@ -36,43 +39,12 @@ std::optional<Signature> CsStream::push(std::span<const double> column) {
   if (column.size() != n_sensors()) {
     throw std::invalid_argument("CsStream::push: wrong column length");
   }
-  if (history_.size() == options_.history_length) {
-    history_.erase(history_.begin());  // Bounded history; drop the oldest.
-  }
-  history_.emplace_back(column.begin(), column.end());
+  const std::span<double> slot = history_.push_slot();
+  std::copy(column.begin(), column.end(), slot.begin());
   ++samples_seen_;
 
   maybe_retrain();
-
-  if (samples_seen_ < next_emit_at_) return std::nullopt;
-  next_emit_at_ += options_.window_step;
-
-  // Assemble the window (plus one seed column when available) from the
-  // newest wl columns of the history.
-  const std::size_t wl = options_.window_length;
-  const bool have_seed = history_.size() > wl;
-  const std::size_t first = history_.size() - wl;
-  common::Matrix window(n_sensors(), wl);
-  for (std::size_t c = 0; c < wl; ++c) {
-    for (std::size_t r = 0; r < n_sensors(); ++r) {
-      window(r, c) = history_[first + c][r];
-    }
-  }
-  const common::Matrix sorted = model_.sort(window);
-
-  common::Matrix derivs;
-  if (have_seed) {
-    common::Matrix seed_col(n_sensors(), 1);
-    for (std::size_t r = 0; r < n_sensors(); ++r) {
-      seed_col(r, 0) = history_[first - 1][r];
-    }
-    const common::Matrix sorted_seed = model_.sort(seed_col);
-    derivs = stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
-  } else {
-    derivs = stats::backward_diff_rows(sorted);
-  }
-  return smooth(sorted, derivs,
-                options_.cs.resolve_blocks(model_.n_sensors()));
+  return emit_if_due();
 }
 
 std::vector<Signature> CsStream::push_all(const common::Matrix& columns) {
@@ -80,27 +52,53 @@ std::vector<Signature> CsStream::push_all(const common::Matrix& columns) {
     throw std::invalid_argument("CsStream::push_all: wrong sensor count");
   }
   std::vector<Signature> out;
-  std::vector<double> column(n_sensors());
   for (std::size_t c = 0; c < columns.cols(); ++c) {
-    for (std::size_t r = 0; r < n_sensors(); ++r) {
-      column[r] = columns(r, c);
-    }
-    if (auto sig = push(column)) out.push_back(std::move(*sig));
+    // Gather the (strided) source column straight into the recycled ring
+    // slot; no per-column temporary vector.
+    const std::span<double> slot = history_.push_slot();
+    const double* src = columns.data() + c;
+    const std::size_t stride = columns.cols();
+    for (std::size_t r = 0; r < slot.size(); ++r) slot[r] = src[r * stride];
+    ++samples_seen_;
+
+    maybe_retrain();
+    if (auto sig = emit_if_due()) out.push_back(std::move(*sig));
   }
   return out;
+}
+
+std::optional<Signature> CsStream::emit_if_due() {
+  if (samples_seen_ < next_emit_at_) return std::nullopt;
+  next_emit_at_ += options_.window_step;
+
+  // Assemble the window (plus one seed column when available) from the
+  // newest wl columns of the history ring.
+  const std::size_t wl = options_.window_length;
+  const bool have_seed = history_.size() > wl;
+  history_.copy_latest(wl, window_);
+  const common::Matrix sorted = model_.sort(window_);
+
+  common::Matrix derivs;
+  if (have_seed) {
+    // newest(wl) is the column just before the window; copy it into the
+    // n x 1 seed matrix.
+    const std::span<const double> seed = history_.newest(wl);
+    for (std::size_t r = 0; r < n_sensors(); ++r) seed_col_(r, 0) = seed[r];
+    const common::Matrix sorted_seed = model_.sort(seed_col_);
+    derivs = stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
+  } else {
+    derivs = stats::backward_diff_rows(sorted);
+  }
+  ++signatures_emitted_;
+  return smooth(sorted, derivs,
+                options_.cs.resolve_blocks(model_.n_sensors()));
 }
 
 void CsStream::maybe_retrain() {
   if (options_.retrain_interval == 0) return;
   if (samples_seen_ % options_.retrain_interval != 0) return;
   if (history_.size() < options_.window_length + 1) return;
-  common::Matrix training(n_sensors(), history_.size());
-  for (std::size_t c = 0; c < history_.size(); ++c) {
-    for (std::size_t r = 0; r < n_sensors(); ++r) {
-      training(r, c) = history_[c][r];
-    }
-  }
-  model_ = train(training);
+  model_ = train(history_.to_matrix());
   ++retrain_count_;
 }
 

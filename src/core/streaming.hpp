@@ -2,12 +2,14 @@
 //
 // In-band ODA (Section I, Fig. 1) consumes monitoring samples as they are
 // produced: one column of sensor readings per time-stamp. CsStream keeps a
-// ring buffer of the last wl columns, emits a signature every ws samples,
-// seeds the derivative channel with the column preceding the window (no
-// zero-spike at window boundaries), and can optionally repeat the training
-// stage every `retrain_interval` samples over a bounded history — the
-// "repeat training whenever required" mode of Section III-C2 for components
-// whose correlations drift over time.
+// contiguous ring buffer (common::RingMatrix) of the last `history_length`
+// columns — fixed n_sensors x history_length storage, zero per-push
+// allocation, per-push cost O(n_sensors) independent of the history length —
+// emits a signature every ws samples, seeds the derivative channel with the
+// column preceding the window (no zero-spike at window boundaries), and can
+// optionally repeat the training stage every `retrain_interval` samples over
+// the buffered history — the "repeat training whenever required" mode of
+// Section III-C2 for components whose correlations drift over time.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/ring_matrix.hpp"
 #include "core/cs_model.hpp"
 #include "core/pipeline.hpp"
 #include "core/signature.hpp"
@@ -43,7 +46,11 @@ class CsStream {
 
   std::size_t n_sensors() const noexcept { return model_.n_sensors(); }
   const CsModel& model() const noexcept { return model_; }
+  const StreamOptions& options() const noexcept { return options_; }
   std::size_t samples_seen() const noexcept { return samples_seen_; }
+  std::size_t signatures_emitted() const noexcept {
+    return signatures_emitted_;
+  }
   std::size_t retrain_count() const noexcept { return retrain_count_; }
 
   /// Feeds one column of sensor readings (length must equal n_sensors()).
@@ -52,17 +59,22 @@ class CsStream {
   std::optional<Signature> push(std::span<const double> column);
 
   /// Feeds a whole matrix column by column; returns all emitted signatures.
+  /// Columns are gathered straight into the ring buffer (no per-column
+  /// temporary), so this is the preferred bulk-ingestion entry point.
   std::vector<Signature> push_all(const common::Matrix& columns);
 
  private:
   void maybe_retrain();
+  std::optional<Signature> emit_if_due();
 
   CsModel model_;
   StreamOptions options_;
-  // History ring buffer, stored column-major as flat vectors of n sensors.
-  std::vector<std::vector<double>> history_;
+  common::RingMatrix history_;  ///< n_sensors x history_length column ring.
+  common::Matrix window_;       ///< Reused n_sensors x wl assembly buffer.
+  common::Matrix seed_col_;     ///< Reused n_sensors x 1 seed buffer.
   std::size_t samples_seen_ = 0;
   std::size_t next_emit_at_ = 0;
+  std::size_t signatures_emitted_ = 0;
   std::size_t retrain_count_ = 0;
 };
 

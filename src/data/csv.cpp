@@ -29,6 +29,15 @@ std::string_view trim(std::string_view sv) {
   return sv;
 }
 
+// Matches a "timestamp,value" header, case-insensitively and with any amount
+// of whitespace around either field (e.g. "Timestamp, Value").
+bool is_header_line(std::string_view sv) {
+  const std::size_t comma = sv.find(',');
+  if (comma == std::string_view::npos) return false;
+  return to_lower(std::string(trim(sv.substr(0, comma)))) == "timestamp" &&
+         to_lower(std::string(trim(sv.substr(comma + 1)))) == "value";
+}
+
 }  // namespace
 
 TimeSeries parse_sensor_csv(const std::string& text, std::string sensor_name) {
@@ -44,7 +53,7 @@ TimeSeries parse_sensor_csv(const std::string& text, std::string sensor_name) {
     if (sv.empty() || sv.front() == '#') continue;
     if (first_content_line) {
       first_content_line = false;
-      if (to_lower(std::string(sv)) == "timestamp,value") continue;
+      if (is_header_line(sv)) continue;
     }
     const std::size_t comma = sv.find(',');
     if (comma == std::string_view::npos) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 
 namespace csm::ml {
@@ -72,14 +73,20 @@ double macro_f1(std::span<const int> truth, std::span<const int> predicted) {
     throw std::invalid_argument("macro_f1: length mismatch");
   }
   if (truth.empty()) throw std::invalid_argument("macro_f1: empty input");
-  int max_label = 0;
-  for (int t : truth) max_label = std::max(max_label, t);
-  for (int p : predicted) max_label = std::max(max_label, p);
-  ConfusionMatrix cm(static_cast<std::size_t>(max_label) + 1);
+  // Average over the labels that occur, not over [0, max]: with gap labels
+  // (say {0, 5}) the absent classes 1-4 would otherwise contribute F1 = 0
+  // each and silently drag the macro average down.
+  std::set<int> present(truth.begin(), truth.end());
+  present.insert(predicted.begin(), predicted.end());
+  // Negative labels still throw via ConfusionMatrix::add below.
+  ConfusionMatrix cm(static_cast<std::size_t>(std::max(*present.rbegin(), 0)) +
+                     1);
   for (std::size_t i = 0; i < truth.size(); ++i) {
     cm.add(truth[i], predicted[i]);
   }
-  return cm.macro_f1();
+  double acc = 0.0;
+  for (int cls : present) acc += cm.f1(static_cast<std::size_t>(cls));
+  return acc / static_cast<double>(present.size());
 }
 
 double rmse(std::span<const double> truth, std::span<const double> predicted) {

@@ -44,7 +44,9 @@ class ConfusionMatrix {
   std::uint64_t total_ = 0;
 };
 
-/// Macro F1 straight from label vectors; class count inferred from the data.
+/// Macro F1 straight from label vectors. Averages only over labels that
+/// actually occur in `truth` or `predicted` — gap labels (e.g. {0, 5} with
+/// nothing in between) contribute no zero-F1 phantom classes.
 double macro_f1(std::span<const int> truth, std::span<const int> predicted);
 
 /// Root mean square error. Throws std::invalid_argument on length mismatch

@@ -1,5 +1,6 @@
 #include "stats/histogram.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
@@ -12,7 +13,9 @@ Histogram::Histogram(std::size_t bins, double lo, double hi)
 }
 
 std::size_t Histogram::bin_index(double v) const noexcept {
-  if (v <= lo_ || hi_ == lo_) return 0;
+  // NaN must not reach the double->size_t cast below (UB); it is treated as
+  // underflow and lands in bin 0.
+  if (std::isnan(v) || v <= lo_ || hi_ == lo_) return 0;
   if (v >= hi_) return counts_.size() - 1;
   const double frac = (v - lo_) / (hi_ - lo_);
   const double scaled = frac * static_cast<double>(counts_.size());
@@ -21,6 +24,11 @@ std::size_t Histogram::bin_index(double v) const noexcept {
 }
 
 void Histogram::add(double v) noexcept {
+  if (std::isnan(v) || v < lo_) {
+    ++underflow_;
+  } else if (v > hi_) {
+    ++overflow_;
+  }
   ++counts_[bin_index(v)];
   ++total_;
 }

@@ -12,8 +12,15 @@
 
 namespace csm::stats {
 
-/// Equal-width histogram over the closed range [lo, hi]. Values outside the
-/// range are clamped to the first/last bin so probability mass is conserved.
+/// Equal-width histogram over the closed range [lo, hi].
+///
+/// Clamp policy: values outside the range are NOT dropped — underflow
+/// (v < lo) lands in the first bin and overflow (v > hi) in the last, so
+/// probability mass is conserved and pmf() always sums to 1. That is the
+/// right behaviour for the JS-divergence comparison (both sides share one
+/// range), but it silently skews the tail bins when the range is chosen too
+/// narrow; underflow()/overflow() count the clamped samples so callers can
+/// detect a mis-sized range instead of ingesting a distorted PMF.
 class Histogram {
  public:
   /// Throws std::invalid_argument if bins == 0 or hi < lo.
@@ -26,7 +33,14 @@ class Histogram {
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const noexcept { return total_; }
 
-  /// Index of the bin that v falls into.
+  /// Samples clamped into bin 0 because v < lo (v == lo is in range).
+  /// NaN samples also land in bin 0 and count here.
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  /// Samples clamped into the last bin because v > hi (v == hi is in range).
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Index of the bin that v falls into, after clamping out-of-range values
+  /// to the first/last bin.
   std::size_t bin_index(double v) const noexcept;
 
   /// Probability mass function; all zeros if the histogram is empty.
@@ -37,6 +51,8 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace csm::stats

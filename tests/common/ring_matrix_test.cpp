@@ -1,0 +1,123 @@
+#include "common/ring_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace csm::common {
+namespace {
+
+std::vector<double> col_of(double base, std::size_t rows) {
+  std::vector<double> v(rows);
+  std::iota(v.begin(), v.end(), base);
+  return v;
+}
+
+TEST(RingMatrix, ConstructionValidation) {
+  EXPECT_THROW(RingMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(RingMatrix(4, 0), std::invalid_argument);
+  const RingMatrix ring(3, 5);
+  EXPECT_EQ(ring.rows(), 3u);
+  EXPECT_EQ(ring.capacity(), 5u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+}
+
+TEST(RingMatrix, PushValidatesColumnLength) {
+  RingMatrix ring(3, 4);
+  EXPECT_THROW(ring.push(col_of(0, 2)), std::invalid_argument);
+  EXPECT_THROW(ring.push(col_of(0, 4)), std::invalid_argument);
+}
+
+TEST(RingMatrix, LogicalOrderBeforeWrap) {
+  RingMatrix ring(2, 4);
+  for (double k = 0; k < 3; ++k) ring.push(col_of(10 * k, 2));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.column(0)[0], 0.0);
+  EXPECT_EQ(ring.column(1)[0], 10.0);
+  EXPECT_EQ(ring.column(2)[1], 21.0);
+  EXPECT_EQ(ring.newest()[0], 20.0);
+  EXPECT_EQ(ring.newest(2)[0], 0.0);
+}
+
+TEST(RingMatrix, OverwritesOldestAfterWrap) {
+  RingMatrix ring(2, 3);
+  for (double k = 0; k < 5; ++k) ring.push(col_of(10 * k, 2));
+  // Pushed 0,10,20,30,40; capacity 3 keeps 20,30,40.
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.column(0)[0], 20.0);
+  EXPECT_EQ(ring.column(1)[0], 30.0);
+  EXPECT_EQ(ring.column(2)[0], 40.0);
+}
+
+TEST(RingMatrix, PushSlotWritesInPlace) {
+  RingMatrix ring(3, 2);
+  std::span<double> slot = ring.push_slot();
+  for (std::size_t r = 0; r < 3; ++r) slot[r] = static_cast<double>(r);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.newest()[2], 2.0);
+}
+
+TEST(RingMatrix, CopyLatestAcrossWrapBoundary) {
+  RingMatrix ring(2, 3);
+  for (double k = 0; k < 5; ++k) ring.push(col_of(10 * k, 2));
+  Matrix out(2, 2);
+  ring.copy_latest(2, out);  // The two newest columns: 30, 40.
+  EXPECT_EQ(out(0, 0), 30.0);
+  EXPECT_EQ(out(1, 0), 31.0);
+  EXPECT_EQ(out(0, 1), 40.0);
+  EXPECT_EQ(out(1, 1), 41.0);
+}
+
+TEST(RingMatrix, CopyLatestValidation) {
+  RingMatrix ring(2, 3);
+  ring.push(col_of(0, 2));
+  Matrix out(2, 2);
+  EXPECT_THROW(ring.copy_latest(2, out), std::invalid_argument);  // size 1.
+  ring.push(col_of(1, 2));
+  Matrix bad(3, 2);
+  EXPECT_THROW(ring.copy_latest(2, bad), std::invalid_argument);
+  EXPECT_NO_THROW(ring.copy_latest(2, out));
+}
+
+TEST(RingMatrix, ToMatrixMatchesLogicalOrder) {
+  RingMatrix ring(2, 3);
+  for (double k = 0; k < 4; ++k) ring.push(col_of(10 * k, 2));
+  const Matrix m = ring.to_matrix();
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 10.0);
+  EXPECT_EQ(m(0, 1), 20.0);
+  EXPECT_EQ(m(0, 2), 30.0);
+}
+
+TEST(RingMatrix, ClearKeepsCapacity) {
+  RingMatrix ring(2, 3);
+  for (double k = 0; k < 4; ++k) ring.push(col_of(k, 2));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  ring.push(col_of(7, 2));
+  EXPECT_EQ(ring.column(0)[0], 7.0);
+}
+
+TEST(RingMatrix, LongStreamNeverReallocates) {
+  RingMatrix ring(4, 8);
+  ring.push(col_of(0, 4));
+  const double* storage = ring.column(0).data();
+  bool same_block = true;
+  for (double k = 1; k < 1000; ++k) {
+    ring.push(col_of(k, 4));
+    const double* p = ring.newest().data();
+    same_block = same_block && p >= storage && p < storage + 4 * 8;
+  }
+  EXPECT_TRUE(same_block);
+  EXPECT_EQ(ring.newest()[0], 999.0);
+}
+
+}  // namespace
+}  // namespace csm::common

@@ -1,0 +1,145 @@
+#include "core/stream_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/training.hpp"
+
+namespace csm::core {
+namespace {
+
+common::Matrix node_matrix(std::size_t n, std::size_t t, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      s(r, c) = std::sin(0.07 * static_cast<double>(c) +
+                         0.4 * static_cast<double>(r)) +
+                0.05 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+StreamOptions engine_options() {
+  StreamOptions opts;
+  opts.window_length = 20;
+  opts.window_step = 10;
+  opts.cs.blocks = 4;
+  return opts;
+}
+
+TEST(StreamEngine, MatchesPerNodeCsStreams) {
+  const std::size_t n_nodes = 4;
+  StreamEngine engine(engine_options());
+  std::vector<common::Matrix> batches;
+  std::vector<CsModel> models;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    batches.push_back(node_matrix(6, 90, 100 + i));
+    models.push_back(train(batches.back()));
+    std::string name = "node";  // GCC 12 -Wrestrict trips on operator+.
+    name += std::to_string(i);
+    engine.add_node(std::move(name), models.back());
+  }
+  engine.ingest_batch(batches);
+
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    CsStream reference(models[i], engine_options());
+    const auto expected = reference.push_all(batches[i]);
+    const auto got = engine.drain(i);
+    ASSERT_EQ(got.size(), expected.size()) << "node " << i;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k], expected[k]) << "node " << i << " signature " << k;
+    }
+  }
+}
+
+TEST(StreamEngine, QueuesAccumulateAcrossBatchesAndDrainEmpties) {
+  StreamEngine engine(engine_options());
+  const common::Matrix s = node_matrix(5, 120, 7);
+  engine.add_node("n0", train(s));
+
+  engine.ingest(0, s.sub_cols(0, 60));   // Windows at 20, 30, ..., 60 -> 5.
+  EXPECT_EQ(engine.pending(0), 5u);
+  engine.ingest(0, s.sub_cols(60, 60));  // Six more (70, ..., 120).
+  EXPECT_EQ(engine.pending(0), 11u);
+
+  const auto sigs = engine.drain(0);
+  EXPECT_EQ(sigs.size(), 11u);
+  EXPECT_EQ(engine.pending(0), 0u);
+
+  // Equivalent to one uninterrupted stream over the same columns.
+  CsStream reference(train(s), engine_options());
+  const auto expected = reference.push_all(s);
+  ASSERT_EQ(sigs.size(), expected.size());
+  for (std::size_t k = 0; k < sigs.size(); ++k) {
+    EXPECT_EQ(sigs[k], expected[k]);
+  }
+}
+
+TEST(StreamEngine, AggregateStats) {
+  StreamEngine engine(engine_options());
+  std::vector<common::Matrix> batches;
+  for (std::size_t i = 0; i < 3; ++i) {
+    batches.push_back(node_matrix(4, 50, 200 + i));
+    std::string name = "n";
+    name += std::to_string(i);
+    engine.add_node(std::move(name), train(batches.back()));
+  }
+  engine.ingest_batch(batches);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.samples, 150u);
+  // Each node: windows at 20, 30, 40, 50 -> 4 signatures.
+  EXPECT_EQ(stats.signatures, 12u);
+  EXPECT_EQ(stats.retrains, 0u);
+  EXPECT_GT(stats.ingest_seconds, 0.0);
+  EXPECT_GT(stats.samples_per_second(), 0.0);
+}
+
+TEST(StreamEngine, HeterogeneousNodesAndBatchLengths) {
+  // Nodes may have different sensor counts and per-batch column counts.
+  StreamEngine engine(engine_options());
+  std::vector<common::Matrix> batches;
+  batches.push_back(node_matrix(4, 40, 1));
+  batches.push_back(node_matrix(9, 65, 2));
+  for (const auto& b : batches) engine.add_node("n", train(b));
+  engine.ingest_batch(batches);
+  EXPECT_EQ(engine.stream(0).samples_seen(), 40u);
+  EXPECT_EQ(engine.stream(1).samples_seen(), 65u);
+  EXPECT_EQ(engine.pending(0), 3u);  // 20, 30, 40.
+  EXPECT_EQ(engine.pending(1), 5u);  // 20, ..., 60.
+}
+
+TEST(StreamEngine, IngestBatchValidation) {
+  StreamEngine engine(engine_options());
+  engine.add_node("n0", train(node_matrix(4, 40, 3)));
+  std::vector<common::Matrix> wrong_count;
+  EXPECT_THROW(engine.ingest_batch(wrong_count), std::invalid_argument);
+  std::vector<common::Matrix> wrong_rows{node_matrix(5, 30, 4)};
+  EXPECT_THROW(engine.ingest_batch(wrong_rows), std::invalid_argument);
+  // Failed validation must not have ingested anything.
+  EXPECT_EQ(engine.stream(0).samples_seen(), 0u);
+}
+
+TEST(StreamEngine, NodeIndexOutOfRangeThrows) {
+  StreamEngine engine(engine_options());
+  EXPECT_THROW(engine.drain(0), std::out_of_range);
+  EXPECT_THROW((void)engine.pending(0), std::out_of_range);
+  EXPECT_THROW((void)engine.node_name(0), std::out_of_range);
+}
+
+TEST(StreamEngine, RetrainsPropagateToStats) {
+  StreamOptions opts = engine_options();
+  opts.retrain_interval = 50;
+  opts.history_length = 64;
+  StreamEngine engine(opts);
+  const common::Matrix s = node_matrix(4, 200, 9);
+  engine.add_node("n0", train(s.sub_cols(0, 30)));
+  engine.ingest(0, s);
+  EXPECT_EQ(engine.stats().retrains, 4u);  // At samples 50/100/150/200.
+}
+
+}  // namespace
+}  // namespace csm::core

@@ -43,6 +43,25 @@ TEST_F(CsvTest, HeaderIsCaseInsensitive) {
   EXPECT_EQ(s.samples[0].timestamp, 5);
 }
 
+TEST_F(CsvTest, HeaderToleratesInnerWhitespace) {
+  // Regression: "timestamp, value" (space after the comma) used to miss the
+  // header check and then throw "bad timestamp 'timestamp'".
+  const TimeSeries s = parse_sensor_csv("timestamp, value\n5,9\n", "x");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.samples[0].timestamp, 5);
+  EXPECT_EQ(parse_sensor_csv("Timestamp ,\tValue\n5,9\n", "x").size(), 1u);
+  EXPECT_EQ(parse_sensor_csv("  timestamp  ,  value  \n5,9\n", "x").size(),
+            1u);
+}
+
+TEST_F(CsvTest, NonHeaderFirstLineStillRejected) {
+  // Whitespace normalisation must not turn arbitrary bad lines into headers.
+  EXPECT_THROW(parse_sensor_csv("time, value\n5,9\n", "x"),
+               std::runtime_error);
+  EXPECT_THROW(parse_sensor_csv("timestamp, values\n5,9\n", "x"),
+               std::runtime_error);
+}
+
 TEST_F(CsvTest, ToleratesSurroundingWhitespace) {
   const TimeSeries s = parse_sensor_csv("  10 , 2.5 \r\n", "x");
   ASSERT_EQ(s.size(), 1u);

@@ -79,6 +79,23 @@ TEST(MacroF1, InfersClassCountFromBothVectors) {
   EXPECT_LT(macro_f1(truth, pred), 1.0);
 }
 
+TEST(MacroF1, GapLabelsDoNotDragTheAverageDown) {
+  // Labels {0, 5}: classes 1-4 never occur and must not contribute F1 = 0
+  // phantom terms. Perfect predictions must score a perfect macro F1.
+  const std::vector<int> truth{0, 0, 5, 5};
+  const std::vector<int> pred{0, 0, 5, 5};
+  EXPECT_DOUBLE_EQ(macro_f1(truth, pred), 1.0);
+}
+
+TEST(MacroF1, GapLabelsAverageOnlyOverPresentClasses) {
+  // One of the two present classes fully right, the other fully wrong
+  // (predicted as a third class): average of {1, 0, 0} over the three
+  // present labels {0, 5, 7}.
+  const std::vector<int> truth{0, 0, 5, 5};
+  const std::vector<int> pred{0, 0, 7, 7};
+  EXPECT_NEAR(macro_f1(truth, pred), 1.0 / 3.0, 1e-12);
+}
+
 TEST(MacroF1, Validation) {
   const std::vector<int> a{0};
   const std::vector<int> b{0, 1};

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "core/smoothing.hpp"
+#include "core/streaming.hpp"
 #include "core/training.hpp"
 #include "ml/splits.hpp"
 #include "stats/correlation.hpp"
@@ -74,6 +75,34 @@ TEST_P(BlockSchemeProperty, OverlapAtMostOneSensor) {
     const core::BlockRange cur = core::block_range(i, l, n);
     // Eq. 2 shares at most the single boundary sensor.
     EXPECT_LE(prev.end - cur.begin, 1u);
+  }
+}
+
+TEST_P(BlockSchemeProperty, OverlapExactlyMatchesEq2) {
+  // Quantify the "partially overlapping ranges" of Eq. 2: consecutive
+  // blocks i-1 and i share exactly one boundary sensor iff l does not
+  // divide i*n, and never more than one. In particular the blocks tile the
+  // sensor rows disjointly whenever l | n.
+  const auto [n, l] = GetParam();
+  if (l > n) GTEST_SKIP() << "duplicated sensors expected when l > n";
+  std::size_t total_overlap = 0;
+  std::size_t total_size = 0;
+  for (std::size_t i = 0; i < l; ++i) {
+    total_size += core::block_range(i, l, n).size();
+    if (i == 0) continue;
+    const core::BlockRange prev = core::block_range(i - 1, l, n);
+    const core::BlockRange cur = core::block_range(i, l, n);
+    const std::size_t overlap =
+        prev.end > cur.begin ? prev.end - cur.begin : 0;
+    EXPECT_EQ(overlap, (i * n) % l != 0 ? 1u : 0u)
+        << "blocks " << i - 1 << "/" << i << " of l=" << l << " n=" << n;
+    total_overlap += overlap;
+  }
+  // Coverage accounting: sizes sum to n plus one sensor per overlap, and
+  // disjoint tiling is recovered exactly when l | n.
+  EXPECT_EQ(total_size, n + total_overlap);
+  if (n % l == 0) {
+    EXPECT_EQ(total_overlap, 0u);
   }
 }
 
@@ -181,6 +210,52 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, SmoothingProperty,
     ::testing::Combine(::testing::Values(8, 12, 20, 40),
                        ::testing::Values(1, 2, 4, 5, 8, 10, 13)));
+
+// ---------------------------------------------------------------------------
+// Streaming equivalence: with retraining disabled, a CsStream must produce
+// bit-for-bit the same signatures as the offline pipeline over the same
+// data, for any history length — including ones small enough that the ring
+// buffer wraps many times mid-stream.
+
+class StreamEquivalenceProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(StreamEquivalenceProperty, StreamMatchesOfflinePipeline) {
+  const auto [n, history, seed] = GetParam();
+  const std::size_t t = 160;
+  const common::Matrix s = random_matrix(n, t, seed);
+  const core::CsModel model = core::train(s);
+
+  core::StreamOptions opts;
+  opts.window_length = 20;
+  opts.window_step = 7;
+  opts.cs.blocks = 5;
+  opts.history_length = history;  // retrain_interval stays 0.
+  core::CsStream stream(model, opts);
+  const auto streamed = stream.push_all(s);
+
+  const core::CsPipeline pipeline(model, opts.cs);
+  const auto offline = pipeline.transform(
+      s, data::WindowSpec{opts.window_length, opts.window_step});
+  ASSERT_EQ(streamed.size(), offline.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    for (std::size_t b = 0; b < streamed[i].length(); ++b) {
+      EXPECT_NEAR(streamed[i].real()[b], offline[i].real()[b], 1e-12)
+          << "signature " << i << " block " << b;
+      EXPECT_NEAR(streamed[i].imag()[b], offline[i].imag()[b], 1e-12)
+          << "signature " << i << " block " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamEquivalenceProperty,
+    ::testing::Combine(::testing::Values(4, 11, 24),
+                       // wl + 1 (minimum legal, wraps every push once full),
+                       // a mid-size ring, and one larger than the stream.
+                       ::testing::Values(21, 40, 1024),
+                       ::testing::Values(3, 17)));
 
 // ---------------------------------------------------------------------------
 // JS divergence properties: monotone fidelity in block count.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace csm::stats {
@@ -66,6 +67,38 @@ TEST(Histogram, DegenerateRangePutsEverythingInBinZero) {
   h.add(2.0);
   h.add(5.0);
   EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, CountsClampedSamplesOnBothTails) {
+  Histogram h(4, 0.0, 1.0);
+  h.add(-0.5);  // Underflow -> bin 0.
+  h.add(-2.0);  // Underflow -> bin 0.
+  h.add(0.5);   // In range.
+  h.add(1.5);   // Overflow -> last bin.
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 2u);           // Clamped mass is retained...
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);            // ...and still counted in the PMF.
+}
+
+TEST(Histogram, NanCountsAsUnderflowIntoBinZero) {
+  Histogram h(4, 0.0, 1.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.bin_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(Histogram, ExactBoundsAreInRangeNotClamped) {
+  Histogram h(4, 0.0, 1.0);
+  h.add(0.0);
+  h.add(1.0);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
 }
 
 }  // namespace

@@ -19,18 +19,29 @@
 //   csmcli sort    <sensor_dir> <model_file> <out_pgm> [--interval MS]
 //       Render the sorted (normalised + permuted) matrix as a PGM image.
 //
+//   csmcli stream  <segment> [--scale S] [--blocks L] [--window WL]
+//           [--step WS] [--history H] [--retrain N] [--batch B]
+//       Replay a synthetic HPC-ODA segment (fault, application, power,
+//       infrastructure, cross-arch) through a StreamEngine — one CsStream
+//       per component — in batches of B columns, and report per-node
+//       signature counts plus aggregate ingestion throughput.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/stream_engine.hpp"
 #include "core/training.hpp"
 #include "data/alignment.hpp"
 #include "data/csv.hpp"
 #include "data/feature_csv.hpp"
 #include "harness/heatmap.hpp"
+#include "hpcoda/generator.hpp"
 
 namespace {
 
@@ -42,7 +53,13 @@ struct Options {
   std::size_t blocks = 20;
   std::size_t window = 60;
   std::size_t step = 10;
+  bool window_set = false;  // Whether --window/--step were given explicitly
+  bool step_set = false;    // (stream uses the segment's wl/ws otherwise).
   bool real_only = false;
+  double scale = 1.0;
+  std::size_t history = 1024;
+  std::size_t retrain = 0;
+  std::size_t batch = 256;
 };
 
 void usage() {
@@ -53,7 +70,12 @@ void usage() {
             << "                 [--blocks L] [--window WL] [--step WS]\n"
             << "                 [--interval MS] [--real-only]\n"
             << "  csmcli sort    <sensor_dir> <model_file> <out_pgm>"
-            << " [--interval MS]\n";
+            << " [--interval MS]\n"
+            << "  csmcli stream  <segment> [--scale S] [--blocks L]\n"
+            << "                 [--window WL] [--step WS] [--history H]\n"
+            << "                 [--retrain N] [--batch B]\n"
+            << "                 (segment: fault | application | power |\n"
+            << "                  infrastructure | cross-arch)\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -75,10 +97,28 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next_value();
       if (!v) return false;
       opts.window = static_cast<std::size_t>(std::atoll(v));
+      opts.window_set = true;
     } else if (arg == "--step") {
       const char* v = next_value();
       if (!v) return false;
       opts.step = static_cast<std::size_t>(std::atoll(v));
+      opts.step_set = true;
+    } else if (arg == "--scale") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.scale = std::atof(v);
+    } else if (arg == "--history") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.history = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--retrain") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.retrain = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--batch") {
+      const char* v = next_value();
+      if (!v) return false;
+      opts.batch = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -173,6 +213,73 @@ int cmd_sort(const Options& opts) {
   return 0;
 }
 
+hpcoda::Segment make_segment(const std::string& name, double scale) {
+  hpcoda::GeneratorConfig config;
+  config.scale = scale;
+  if (name == "fault") return hpcoda::make_fault_segment(config);
+  if (name == "application") return hpcoda::make_application_segment(config);
+  if (name == "power") return hpcoda::make_power_segment(config);
+  if (name == "infrastructure") {
+    return hpcoda::make_infrastructure_segment(config);
+  }
+  if (name == "cross-arch") return hpcoda::make_cross_arch_segment(config);
+  throw std::runtime_error("unknown segment: " + name);
+}
+
+int cmd_stream(const Options& opts) {
+  if (opts.positional.size() != 1) {
+    usage();
+    return 1;
+  }
+  const hpcoda::Segment seg = make_segment(opts.positional[0], opts.scale);
+
+  core::StreamOptions stream_opts;
+  stream_opts.window_length = opts.window_set ? opts.window : seg.window.length;
+  stream_opts.window_step = opts.step_set ? opts.step : seg.window.step;
+  stream_opts.cs.blocks = opts.blocks;
+  stream_opts.cs.real_only = opts.real_only;
+  stream_opts.history_length = opts.history;
+  stream_opts.retrain_interval = opts.retrain;
+
+  std::cout << "segment " << seg.name << ": " << seg.n_blocks()
+            << " components, " << seg.length() << " samples @"
+            << seg.interval_ms << " ms (wl=" << stream_opts.window_length
+            << ", ws=" << stream_opts.window_step << ", history="
+            << stream_opts.history_length << ")\n";
+
+  // One stream per component, each with a model trained on its own sensors
+  // — the per-node out-of-band training pass of Fig. 1.
+  core::StreamEngine engine(stream_opts);
+  for (const hpcoda::ComponentBlock& block : seg.blocks) {
+    engine.add_node(block.name, core::train(block.sensors));
+  }
+
+  // Replay the shared timeline in batches of --batch columns, the way a
+  // monitoring bus delivers one flush per node per collection round.
+  const std::size_t batch = opts.batch == 0 ? seg.length() : opts.batch;
+  std::vector<common::Matrix> batches(seg.n_blocks());
+  for (std::size_t start = 0; start < seg.length(); start += batch) {
+    const std::size_t len = std::min(batch, seg.length() - start);
+    for (std::size_t b = 0; b < seg.n_blocks(); ++b) {
+      batches[b] = seg.blocks[b].sensors.sub_cols(start, len);
+    }
+    engine.ingest_batch(batches);
+  }
+
+  for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+    std::printf("  %-12s %6zu signatures (%zu retrains)\n",
+                engine.node_name(b).c_str(), engine.pending(b),
+                engine.stream(b).retrain_count());
+  }
+  const core::EngineStats stats = engine.stats();
+  std::printf("ingested %llu samples -> %llu signatures in %.3f s "
+              "(%.0f samples/s aggregate)\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              stats.ingest_seconds, stats.samples_per_second());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +298,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(opts);
     if (command == "extract") return cmd_extract(opts);
     if (command == "sort") return cmd_sort(opts);
+    if (command == "stream") return cmd_stream(opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
