@@ -34,9 +34,9 @@ const char* strategy_name(core::OrderingStrategy s) {
   return "?";
 }
 
-harness::MethodSpec strategy_method(core::OrderingStrategy strategy,
-                                    std::size_t blocks) {
-  return harness::MethodSpec{
+harness::BlockMethod strategy_method(core::OrderingStrategy strategy,
+                                     std::size_t blocks) {
+  return harness::BlockMethod{
       strategy_name(strategy),
       [strategy, blocks](const hpcoda::ComponentBlock& block) {
         auto pipeline = std::make_shared<const core::CsPipeline>(

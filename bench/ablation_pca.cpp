@@ -13,7 +13,6 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "baselines/pca.hpp"
 #include "harness/experiment.hpp"
 #include "hpcoda/generator.hpp"
 
@@ -21,13 +20,9 @@ namespace {
 
 using namespace csm;
 
-harness::MethodSpec pca_method(std::size_t components) {
-  return harness::MethodSpec{
-      "PCA-" + std::to_string(components),
-      [components](const hpcoda::ComponentBlock& block) {
-        return std::make_unique<baselines::PcaMethod>(
-            baselines::PcaModel::fit(block.sensors, components));
-      }};
+harness::BlockMethod pca_method(std::size_t components) {
+  return harness::method_from_spec("pca:components=" +
+                                   std::to_string(components));
 }
 
 }  // namespace
@@ -46,7 +41,7 @@ int main(int argc, char** argv) {
                                       hpcoda::make_application_segment(config)};
   for (const hpcoda::Segment& segment : segments) {
     for (std::size_t k : {std::size_t{5}, std::size_t{20}}) {
-      for (const harness::MethodSpec& method :
+      for (const harness::BlockMethod& method :
            {harness::make_cs_method(k), pca_method(k)}) {
         const harness::MethodEvaluation eval =
             harness::evaluate_method(segment, method, models);

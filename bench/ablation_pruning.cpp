@@ -43,8 +43,8 @@ class PrunedCsMethod final : public core::SignatureMethod {
   std::size_t pruned_;
 };
 
-harness::MethodSpec pruned_method(std::size_t pruned) {
-  return harness::MethodSpec{
+harness::BlockMethod pruned_method(std::size_t pruned) {
+  return harness::BlockMethod{
       "CS-40-p" + std::to_string(pruned),
       [pruned](const hpcoda::ComponentBlock& block) {
         auto pipeline = std::make_shared<const core::CsPipeline>(

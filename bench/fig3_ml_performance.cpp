@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   const auto models = harness::random_forest_factories();
   for (const hpcoda::Segment& segment :
        hpcoda::make_primary_segments(config)) {
-    for (const harness::MethodSpec& method : methods) {
+    for (const harness::BlockMethod& method : methods) {
       const harness::MethodEvaluation eval =
           harness::evaluate_method(segment, method, models, 5, repeats);
       std::printf("%-16s %-8s %9zu %8zu %9.2fs %9.2fs %9.4f\n",

@@ -149,7 +149,7 @@ bool engine_matches_per_node_streams(const core::StreamOptions& opts) {
     const auto got = engine.drain(i);
     if (got.size() != expected.size()) return false;
     for (std::size_t k = 0; k < got.size(); ++k) {
-      if (!(got[k] == expected[k])) return false;
+      if (!(got[k] == expected[k].flatten())) return false;
     }
   }
   return true;

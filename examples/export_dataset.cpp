@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   // Extracted feature sets for two CS resolutions plus the Tuncer baseline.
   std::filesystem::create_directories(out_dir / "features");
   const auto methods = harness::standard_methods();
-  for (const harness::MethodSpec* method :
+  for (const harness::BlockMethod* method :
        {&methods[0] /*Tuncer*/, &methods[5] /*CS-20*/}) {
     const data::Dataset ds = harness::build_dataset(seg, *method);
     const auto file = out_dir / "features" / (method->name + ".csv");

@@ -3,7 +3,7 @@
 // Where online_fault_detection replays a single node, this example runs the
 // in-band ODA loop of Fig. 1 across a whole fleet: the Application segment's
 // 16 compute nodes each get their own CS model (trained out-of-band on that
-// node's sensors) and their own ring-buffered CsStream inside one
+// node's sensors) and their own ring-buffered MethodStream inside one
 // StreamEngine. A shared random-forest classifier is fitted on signatures
 // from the first 60% of every run; the remaining 40% is then ingested in
 // per-node batches — fanned across nodes with parallel_for — and every
@@ -91,8 +91,8 @@ int main(int argc, char** argv) {
     engine.ingest_batch(batches);
 
     for (std::size_t b = 0; b < n_nodes; ++b) {
-      for (const core::Signature& sig : engine.drain(b)) {
-        const int predicted = forest.predict_one(sig.flatten());
+      for (const std::vector<double>& features : engine.drain(b)) {
+        const int predicted = forest.predict_one(features);
         cm.add(run.label, predicted);
         ++per_node_total[b];
         if (predicted == run.label) ++per_node_hits[b];

@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/method_registry.hpp"
 #include "stats/descriptive.hpp"
 
 namespace csm::baselines {
@@ -21,6 +22,15 @@ std::vector<double> BodikMethod::compute(const common::Matrix& window) const {
     out.insert(out.end(), ps.begin(), ps.end());
   }
   return out;
+}
+
+std::unique_ptr<core::SignatureMethod> BodikMethod::fit(
+    const common::Matrix& /*train*/) const {
+  return std::make_unique<BodikMethod>(*this);
+}
+
+std::string BodikMethod::serialize() const {
+  return core::method_header("bodik");
 }
 
 }  // namespace csm::baselines

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/method_registry.hpp"
+
 namespace csm::baselines {
 
 LanMethod::LanMethod(std::size_t wr) : wr_(wr) {
@@ -34,6 +36,15 @@ std::vector<double> LanMethod::compute(const common::Matrix& window) const {
     out.insert(out.end(), sub.begin(), sub.end());
   }
   return out;
+}
+
+std::unique_ptr<core::SignatureMethod> LanMethod::fit(
+    const common::Matrix& /*train*/) const {
+  return std::make_unique<LanMethod>(*this);
+}
+
+std::string LanMethod::serialize() const {
+  return core::method_header("lan") + "wr " + std::to_string(wr_) + "\n";
 }
 
 }  // namespace csm::baselines

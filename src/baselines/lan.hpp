@@ -25,6 +25,11 @@ class LanMethod final : public core::SignatureMethod {
   }
   std::vector<double> compute(const common::Matrix& window) const override;
 
+  // Stateless lifecycle: fit() is a copy; serialisation keeps wr.
+  std::unique_ptr<core::SignatureMethod> fit(
+      const common::Matrix& train) const override;
+  std::string serialize() const override;
+
  private:
   std::size_t wr_;
 };

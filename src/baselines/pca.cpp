@@ -1,14 +1,51 @@
 #include "baselines/pca.hpp"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "core/method_registry.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/eigen.hpp"
 #include "stats/finite_diff.hpp"
 
 namespace csm::baselines {
+
+namespace {
+
+// Sanity cap on deserialised dimensions (see CsModel::deserialize).
+constexpr std::size_t kMaxPcaDim = 1u << 24;
+
+void check_all_finite(std::span<const double> values, const char* what) {
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(std::string("PcaModel: non-finite ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+PcaModel::PcaModel(std::vector<double> means, std::vector<double> inv_std,
+                   common::Matrix components, std::vector<double> explained) {
+  const std::size_t n = means.size();
+  const std::size_t k = components.rows();
+  if (n == 0 || k == 0 || k > n || inv_std.size() != n ||
+      components.cols() != n || explained.size() != k) {
+    throw std::invalid_argument("PcaModel: inconsistent part shapes");
+  }
+  check_all_finite(means, "means");
+  check_all_finite(inv_std, "inverse deviations");
+  check_all_finite(explained, "explained variances");
+  for (std::size_t r = 0; r < k; ++r) {
+    check_all_finite(components.row(r), "component coefficients");
+  }
+  means_ = std::move(means);
+  inv_std_ = std::move(inv_std);
+  components_ = std::move(components);
+  explained_ = std::move(explained);
+}
 
 PcaModel PcaModel::fit(const common::Matrix& s, std::size_t components) {
   if (s.empty()) throw std::invalid_argument("PcaModel::fit: empty matrix");
@@ -75,8 +112,66 @@ std::vector<double> PcaModel::project_centered(
   return project_impl(components_, x, means_, inv_std_, false);
 }
 
+std::string PcaModel::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "pcamodel v1\n" << n_sensors() << ' ' << n_components() << "\n";
+  for (std::size_t i = 0; i < n_sensors(); ++i) {
+    out << means_[i] << ' ' << inv_std_[i] << "\n";
+  }
+  for (std::size_t c = 0; c < n_components(); ++c) {
+    out << explained_[c];
+    for (double v : components_.row(c)) out << ' ' << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+PcaModel PcaModel::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "pcamodel" || version != "v1") {
+    throw std::runtime_error("PcaModel::deserialize: bad header");
+  }
+  std::size_t n = 0, k = 0;
+  in >> n >> k;
+  if (!in || n == 0 || n > kMaxPcaDim || k == 0 || k > n) {
+    throw std::runtime_error("PcaModel::deserialize: bad dimensions");
+  }
+  std::vector<double> means(n), inv_std(n), explained(k);
+  common::Matrix components(k, n);
+  for (std::size_t i = 0; i < n; ++i) in >> means[i] >> inv_std[i];
+  for (std::size_t c = 0; c < k; ++c) {
+    in >> explained[c];
+    for (std::size_t i = 0; i < n; ++i) in >> components(c, i);
+  }
+  if (!in) throw std::runtime_error("PcaModel::deserialize: truncated body");
+  std::string extra;
+  if (in >> extra) {
+    throw std::runtime_error(
+        "PcaModel::deserialize: trailing data after the model body");
+  }
+  try {
+    return PcaModel(std::move(means), std::move(inv_std),
+                    std::move(components), std::move(explained));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("PcaModel::deserialize: ") +
+                             e.what());
+  }
+}
+
+PcaMethod::PcaMethod(std::size_t components) : components_(components) {
+  if (components_ == 0) {
+    throw std::invalid_argument("PcaMethod: zero components");
+  }
+  name_ = "PCA-" + std::to_string(components_);
+}
+
 PcaMethod::PcaMethod(PcaModel model, std::string display_name)
-    : model_(std::move(model)), name_(std::move(display_name)) {
+    : model_(std::move(model)),
+      components_(model_.n_components()),
+      name_(std::move(display_name)) {
   if (model_.n_sensors() == 0) {
     throw std::invalid_argument("PcaMethod: untrained model");
   }
@@ -86,10 +181,30 @@ PcaMethod::PcaMethod(PcaModel model, std::string display_name)
 }
 
 std::size_t PcaMethod::signature_length(std::size_t /*n_sensors*/) const {
-  return 2 * model_.n_components();
+  return 2 * (trained() ? model_.n_components() : components_);
+}
+
+std::unique_ptr<core::SignatureMethod> PcaMethod::fit(
+    const common::Matrix& train) const {
+  return std::make_unique<PcaMethod>(PcaModel::fit(train, components_));
+}
+
+std::string PcaMethod::serialize() const {
+  if (!trained()) {
+    throw std::logic_error("PcaMethod: serialize() before fit()");
+  }
+  return core::method_header("pca") + model_.serialize();
+}
+
+std::unique_ptr<PcaMethod> PcaMethod::deserialize_body(
+    const std::string& body) {
+  return std::make_unique<PcaMethod>(PcaModel::deserialize(body));
 }
 
 std::vector<double> PcaMethod::compute(const common::Matrix& window) const {
+  if (!trained()) {
+    throw std::logic_error("PcaMethod: compute() before fit()");
+  }
   if (window.rows() != model_.n_sensors()) {
     throw std::invalid_argument("PcaMethod: sensor count mismatch");
   }

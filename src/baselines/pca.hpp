@@ -22,6 +22,11 @@ class PcaModel {
  public:
   PcaModel() = default;
 
+  /// Builds a model from its parts (e.g. when deserialising). Throws
+  /// std::invalid_argument on inconsistent shapes or non-finite values.
+  PcaModel(std::vector<double> means, std::vector<double> inv_std,
+           common::Matrix components, std::vector<double> explained);
+
   /// Trains on historical data (rows = sensors): standardises each sensor
   /// row and extracts the top `components` covariance eigenvectors.
   /// Throws std::invalid_argument if `s` is empty or components == 0.
@@ -29,9 +34,18 @@ class PcaModel {
 
   std::size_t n_sensors() const noexcept { return means_.size(); }
   std::size_t n_components() const noexcept { return components_.rows(); }
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& inv_std() const noexcept { return inv_std_; }
+  const common::Matrix& components() const noexcept { return components_; }
   const std::vector<double>& explained_variance() const noexcept {
     return explained_;
   }
+
+  /// Human-readable text blob ("pcamodel v1 ..."), mirroring CsModel.
+  std::string serialize() const;
+  /// Throws std::runtime_error on malformed input (bad header, truncated
+  /// body, NaN values, shape mismatches).
+  static PcaModel deserialize(const std::string& text);
 
   /// Projects an n-vector (standardised internally) onto the components.
   std::vector<double> project(std::span<const double> x) const;
@@ -48,17 +62,37 @@ class PcaModel {
 };
 
 /// SignatureMethod adapter: signature = [projected window mean,
-/// projected window mean-derivative], length 2k.
+/// projected window mean-derivative], length 2k. Exists untrained (requested
+/// component count only — the registry's "pca:components=8" form) or trained
+/// (holding a fitted PcaModel).
 class PcaMethod final : public core::SignatureMethod {
  public:
+  /// Untrained prototype; compute()/serialize() throw until fit().
+  /// Throws std::invalid_argument if components == 0.
+  explicit PcaMethod(std::size_t components);
+
+  /// Trained method. Throws std::invalid_argument on an untrained model.
   PcaMethod(PcaModel model, std::string display_name = {});
 
   std::string name() const override { return name_; }
   std::size_t signature_length(std::size_t n_sensors) const override;
   std::vector<double> compute(const common::Matrix& window) const override;
 
+  bool trained() const override { return model_.n_sensors() > 0; }
+  std::size_t n_sensors() const override { return model_.n_sensors(); }
+  /// Fits the standardisation + eigenbasis on `train`.
+  std::unique_ptr<core::SignatureMethod> fit(
+      const common::Matrix& train) const override;
+  std::string serialize() const override;
+
+  const PcaModel& model() const noexcept { return model_; }
+
+  /// Parses the body of the tagged "csmethod v1 pca" format.
+  static std::unique_ptr<PcaMethod> deserialize_body(const std::string& body);
+
  private:
-  PcaModel model_;
+  PcaModel model_;            ///< Default-constructed = untrained.
+  std::size_t components_;    ///< Requested k (model may clamp to n).
   std::string name_;
 };
 

@@ -1,0 +1,102 @@
+#include "baselines/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/bodik.hpp"
+#include "baselines/lan.hpp"
+#include "baselines/pca.hpp"
+#include "baselines/tuncer.hpp"
+
+namespace csm::baselines {
+
+namespace {
+
+using core::MethodRegistry;
+using core::MethodSpec;
+using core::SignatureMethod;
+
+// Stateless methods serialise as a bare header; reject bodies so corrupt
+// files fail loudly instead of silently reviving a default-configured method.
+void expect_empty_body(const std::string& body, const char* method) {
+  if (body.find_first_not_of(" \t\r\n") != std::string::npos) {
+    throw std::runtime_error(std::string(method) +
+                             ": unexpected serialised body");
+  }
+}
+
+}  // namespace
+
+void register_baseline_methods(core::MethodRegistry& registry) {
+  registry.add(MethodRegistry::Entry{
+      "tuncer", "tuncer",
+      "Eleven per-sensor statistical indicators (Sec. III-B [15]); stateless",
+      [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
+        spec.expect_only({});
+        return std::make_unique<TuncerMethod>();
+      },
+      [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
+        expect_empty_body(body, "TuncerMethod");
+        return std::make_unique<TuncerMethod>();
+      }});
+
+  registry.add(MethodRegistry::Entry{
+      "bodik", "bodik",
+      "Nine per-sensor quantile indicators (Sec. III-B [16]); stateless",
+      [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
+        spec.expect_only({});
+        return std::make_unique<BodikMethod>();
+      },
+      [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
+        expect_empty_body(body, "BodikMethod");
+        return std::make_unique<BodikMethod>();
+      }});
+
+  registry.add(MethodRegistry::Entry{
+      "lan", "lan[:wr=N]",
+      "Per-sensor mean-filter sub-sampling to wr samples (Sec. III-B [13]); "
+      "stateless",
+      [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
+        spec.expect_only({"wr"});
+        return std::make_unique<LanMethod>(spec.get_size_t("wr", 10));
+      },
+      [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
+        std::istringstream in(body);
+        std::string kw;
+        std::size_t wr = 0;
+        in >> kw >> wr;
+        if (!in || kw != "wr" || wr == 0) {
+          throw std::runtime_error("LanMethod: malformed serialised body");
+        }
+        std::string extra;
+        if (in >> extra) {
+          throw std::runtime_error(
+              "LanMethod: trailing data after the serialised body");
+        }
+        return std::make_unique<LanMethod>(wr);
+      }});
+
+  registry.add(MethodRegistry::Entry{
+      "pca", "pca[:components=K]",
+      "Top-K covariance eigenprojections of window mean + mean derivative "
+      "(Sec. I-A); trainable",
+      [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
+        spec.expect_only({"components"});
+        return std::make_unique<PcaMethod>(spec.get_size_t("components", 8));
+      },
+      [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
+        return PcaMethod::deserialize_body(body);
+      }});
+}
+
+const core::MethodRegistry& default_registry() {
+  static const core::MethodRegistry registry = [] {
+    core::MethodRegistry r;
+    core::register_cs_method(r);
+    register_baseline_methods(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace csm::baselines

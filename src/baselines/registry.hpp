@@ -1,0 +1,23 @@
+// Registration of the baseline signature methods, and the default registry.
+//
+// core::MethodRegistry is the mechanism; this header is the policy: it wires
+// the paper's full method line-up (CS plus the Tuncer/Bodik/Lan/PCA
+// comparators) into one shared registry so the harness, csmcli, the benches
+// and the examples can all construct methods from spec strings such as
+// "cs:blocks=20,real-only", "tuncer" or "pca:components=8". It lives in the
+// baselines layer because core must not depend on the baseline
+// implementations.
+#pragma once
+
+#include "core/method_registry.hpp"
+
+namespace csm::baselines {
+
+/// Registers tuncer, bodik, lan[:wr=N] and pca[:components=K].
+void register_baseline_methods(core::MethodRegistry& registry);
+
+/// The process-wide registry with every built-in method registered (CS and
+/// the four baselines). Built once, thread-safe to read concurrently.
+const core::MethodRegistry& default_registry();
+
+}  // namespace csm::baselines

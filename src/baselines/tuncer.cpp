@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/method_registry.hpp"
 #include "stats/descriptive.hpp"
 
 namespace csm::baselines {
@@ -24,6 +25,15 @@ std::vector<double> TuncerMethod::compute(const common::Matrix& window) const {
     out.push_back(stats::abs_sum_of_changes(row));
   }
   return out;
+}
+
+std::unique_ptr<core::SignatureMethod> TuncerMethod::fit(
+    const common::Matrix& /*train*/) const {
+  return std::make_unique<TuncerMethod>(*this);
+}
+
+std::string TuncerMethod::serialize() const {
+  return core::method_header("tuncer");
 }
 
 }  // namespace csm::baselines

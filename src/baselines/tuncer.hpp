@@ -21,6 +21,11 @@ class TuncerMethod final : public core::SignatureMethod {
     return n_sensors * kFeaturesPerSensor;
   }
   std::vector<double> compute(const common::Matrix& window) const override;
+
+  // Stateless lifecycle: fit() is a copy, serialisation is header-only.
+  std::unique_ptr<core::SignatureMethod> fit(
+      const common::Matrix& train) const override;
+  std::string serialize() const override;
 };
 
 }  // namespace csm::baselines

@@ -1,5 +1,6 @@
 #include "core/cs_model.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,10 @@ namespace csm::core {
 
 namespace {
 
+// Sanity cap on deserialised sensor counts: a corrupt header must not turn
+// into a multi-gigabyte allocation before the body check can fail.
+constexpr std::size_t kMaxSensors = 1u << 24;
+
 void check_permutation(const std::vector<std::size_t>& p) {
   std::vector<bool> seen(p.size(), false);
   for (std::size_t v : p) {
@@ -15,6 +20,14 @@ void check_permutation(const std::vector<std::size_t>& p) {
       throw std::invalid_argument("CsModel: not a valid permutation");
     }
     seen[v] = true;
+  }
+}
+
+void check_bounds_finite(const std::vector<stats::MinMaxBounds>& bounds) {
+  for (const stats::MinMaxBounds& b : bounds) {
+    if (!std::isfinite(b.lo) || !std::isfinite(b.hi)) {
+      throw std::invalid_argument("CsModel: non-finite normalisation bounds");
+    }
   }
 }
 
@@ -27,6 +40,7 @@ CsModel::CsModel(std::vector<std::size_t> permutation,
   if (bounds_.size() != permutation_.size()) {
     throw std::invalid_argument("CsModel: bounds/permutation size mismatch");
   }
+  check_bounds_finite(bounds_);
 }
 
 common::Matrix CsModel::sort(const common::Matrix& s) const {
@@ -57,14 +71,27 @@ CsModel CsModel::deserialize(const std::string& text) {
   }
   std::size_t n = 0;
   in >> n;
-  if (!in) throw std::runtime_error("CsModel::deserialize: bad sensor count");
+  if (!in || n > kMaxSensors) {
+    throw std::runtime_error("CsModel::deserialize: bad sensor count");
+  }
   std::vector<std::size_t> perm(n);
   std::vector<stats::MinMaxBounds> bounds(n);
   for (std::size_t i = 0; i < n; ++i) {
     in >> perm[i] >> bounds[i].lo >> bounds[i].hi;
     if (!in) throw std::runtime_error("CsModel::deserialize: truncated body");
   }
-  return CsModel(std::move(perm), std::move(bounds));
+  std::string extra;
+  if (in >> extra) {
+    throw std::runtime_error(
+        "CsModel::deserialize: trailing data after the model body");
+  }
+  try {
+    return CsModel(std::move(perm), std::move(bounds));
+  } catch (const std::invalid_argument& e) {
+    // Surface structural problems (non-permutation p, NaN bounds) with the
+    // same exception type as the other malformed-blob paths.
+    throw std::runtime_error(std::string("CsModel::deserialize: ") + e.what());
+  }
 }
 
 void CsModel::save(const std::filesystem::path& file) const {

@@ -1,0 +1,98 @@
+#include "core/method_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csm::core {
+
+MethodStream::MethodStream(std::shared_ptr<const SignatureMethod> method,
+                           StreamOptions options, std::size_t n_sensors)
+    : method_(std::move(method)), options_(options) {
+  options_.validate();
+  if (!method_) {
+    throw std::invalid_argument("MethodStream: null method");
+  }
+  if (!method_->trained()) {
+    throw std::invalid_argument("MethodStream: method \"" + method_->name() +
+                                "\" is untrained; fit() it first");
+  }
+  const std::size_t bound = method_->n_sensors();
+  if (bound != 0 && n_sensors != 0 && bound != n_sensors) {
+    throw std::invalid_argument(
+        "MethodStream: sensor count contradicts the method's");
+  }
+  n_sensors_ = bound != 0 ? bound : n_sensors;
+  if (n_sensors_ == 0) {
+    throw std::invalid_argument(
+        "MethodStream: sensor count required for method \"" +
+        method_->name() + "\"");
+  }
+  history_ = common::RingMatrix(n_sensors_, options_.history_length);
+  window_ = common::Matrix(n_sensors_, options_.window_length);
+  seed_col_ = common::Matrix(n_sensors_, 1);
+  next_emit_at_ = options_.window_length;
+}
+
+std::optional<std::vector<double>> MethodStream::push(
+    std::span<const double> column) {
+  if (column.size() != n_sensors_) {
+    throw std::invalid_argument("MethodStream::push: wrong column length");
+  }
+  const std::span<double> slot = history_.push_slot();
+  std::copy(column.begin(), column.end(), slot.begin());
+  ++samples_seen_;
+
+  maybe_retrain();
+  return emit_if_due();
+}
+
+std::vector<std::vector<double>> MethodStream::push_all(
+    const common::Matrix& columns) {
+  if (columns.rows() != n_sensors_) {
+    throw std::invalid_argument("MethodStream::push_all: wrong sensor count");
+  }
+  std::vector<std::vector<double>> out;
+  for (std::size_t c = 0; c < columns.cols(); ++c) {
+    // Gather the (strided) source column straight into the recycled ring
+    // slot; no per-column temporary vector.
+    const std::span<double> slot = history_.push_slot();
+    const double* src = columns.data() + c;
+    const std::size_t stride = columns.cols();
+    for (std::size_t r = 0; r < slot.size(); ++r) slot[r] = src[r * stride];
+    ++samples_seen_;
+
+    maybe_retrain();
+    if (auto features = emit_if_due()) out.push_back(std::move(*features));
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> MethodStream::emit_if_due() {
+  if (samples_seen_ < next_emit_at_) return std::nullopt;
+  next_emit_at_ += options_.window_step;
+
+  // Assemble the window (plus one seed column when available) from the
+  // newest wl columns of the history ring; the method decides what to do
+  // with the seed (CS feeds its derivative channel, others ignore it).
+  const std::size_t wl = options_.window_length;
+  const bool have_seed = history_.size() > wl;
+  history_.copy_latest(wl, window_);
+  ++signatures_emitted_;
+  if (have_seed) {
+    const std::span<const double> seed = history_.newest(wl);
+    for (std::size_t r = 0; r < n_sensors_; ++r) seed_col_(r, 0) = seed[r];
+    return method_->compute_streaming(window_, &seed_col_);
+  }
+  return method_->compute_streaming(window_, nullptr);
+}
+
+void MethodStream::maybe_retrain() {
+  if (options_.retrain_interval == 0) return;
+  if (samples_seen_ % options_.retrain_interval != 0) return;
+  if (history_.size() < options_.window_length + 1) return;
+  method_ = std::shared_ptr<const SignatureMethod>(
+      method_->fit(history_.to_matrix()));
+  ++retrain_count_;
+}
+
+}  // namespace csm::core

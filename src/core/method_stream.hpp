@@ -1,0 +1,72 @@
+// Method-agnostic online signature stream.
+//
+// MethodStream drives any trained SignatureMethod over the same contiguous
+// ring buffer CsStream uses: one column of sensor readings per push, a
+// feature vector emitted every ws samples once wl samples are buffered, and
+// optional periodic retraining via the method's uniform fit() entry point
+// over the buffered history. CS keeps its derivative-seeding specialisation
+// through SignatureMethod::compute_streaming, which receives the column
+// preceding the window; stateless methods fall back to plain compute().
+// MethodStream therefore emits exactly what CsStream emits (flattened) when
+// given a CS method, while also streaming Tuncer, Bodik, Lan and PCA — this
+// is what StreamEngine fans out across a fleet.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/ring_matrix.hpp"
+#include "core/signature_method.hpp"
+#include "core/streaming.hpp"
+
+namespace csm::core {
+
+/// Push-based feature-vector stream over one monitored component.
+class MethodStream {
+ public:
+  /// `n_sensors` may be 0 when the method is bound to a sensor count (CS,
+  /// PCA); sensor-count-agnostic methods (Tuncer, Bodik, Lan) require it.
+  /// Throws std::invalid_argument on a null or untrained method, a
+  /// zero/contradictory sensor count, or bad options.
+  MethodStream(std::shared_ptr<const SignatureMethod> method,
+               StreamOptions options, std::size_t n_sensors = 0);
+
+  std::size_t n_sensors() const noexcept { return n_sensors_; }
+  const SignatureMethod& method() const noexcept { return *method_; }
+  const StreamOptions& options() const noexcept { return options_; }
+  std::size_t samples_seen() const noexcept { return samples_seen_; }
+  std::size_t signatures_emitted() const noexcept {
+    return signatures_emitted_;
+  }
+  std::size_t retrain_count() const noexcept { return retrain_count_; }
+
+  /// Feeds one column of sensor readings (length must equal n_sensors()).
+  /// Returns a feature vector when a window completes, otherwise
+  /// std::nullopt.
+  std::optional<std::vector<double>> push(std::span<const double> column);
+
+  /// Feeds a whole matrix column by column; returns all emitted feature
+  /// vectors. Columns are gathered straight into the ring buffer.
+  std::vector<std::vector<double>> push_all(const common::Matrix& columns);
+
+ private:
+  void maybe_retrain();
+  std::optional<std::vector<double>> emit_if_due();
+
+  std::shared_ptr<const SignatureMethod> method_;
+  StreamOptions options_;
+  std::size_t n_sensors_ = 0;
+  common::RingMatrix history_;  ///< n_sensors x history_length column ring.
+  common::Matrix window_;       ///< Reused n_sensors x wl assembly buffer.
+  common::Matrix seed_col_;     ///< Reused n_sensors x 1 seed buffer.
+  std::size_t samples_seen_ = 0;
+  std::size_t next_emit_at_ = 0;
+  std::size_t signatures_emitted_ = 0;
+  std::size_t retrain_count_ = 0;
+};
+
+}  // namespace csm::core

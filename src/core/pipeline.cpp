@@ -1,8 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "core/method_registry.hpp"
 #include "core/smoothing.hpp"
+#include "core/training.hpp"
 #include "stats/finite_diff.hpp"
 
 namespace csm::core {
@@ -51,29 +54,105 @@ std::pair<common::Matrix, common::Matrix> signature_heatmaps(
   return {std::move(re), std::move(im)};
 }
 
+namespace {
+
+std::string cs_display_name(const CsOptions& opt) {
+  std::string name =
+      opt.blocks == 0 ? "CS-All" : "CS-" + std::to_string(opt.blocks);
+  if (opt.real_only) name += "-R";
+  return name;
+}
+
+}  // namespace
+
+CsSignatureMethod::CsSignatureMethod(CsOptions options,
+                                     std::string display_name)
+    : options_(options), name_(std::move(display_name)) {
+  if (name_.empty()) name_ = cs_display_name(options_);
+}
+
 CsSignatureMethod::CsSignatureMethod(
     std::shared_ptr<const CsPipeline> pipeline, std::string display_name)
     : pipeline_(std::move(pipeline)), name_(std::move(display_name)) {
   if (!pipeline_) {
     throw std::invalid_argument("CsSignatureMethod: null pipeline");
   }
-  if (name_.empty()) {
-    const CsOptions& opt = pipeline_->options();
-    name_ = opt.blocks == 0 ? "CS-All" : "CS-" + std::to_string(opt.blocks);
-    if (opt.real_only) name_ += "-R";
-  }
+  options_ = pipeline_->options();
+  if (name_.empty()) name_ = cs_display_name(options_);
 }
 
 std::size_t CsSignatureMethod::signature_length(std::size_t n_sensors) const {
-  const CsOptions& opt = pipeline_->options();
-  const std::size_t l = opt.resolve_blocks(n_sensors);
-  return opt.real_only ? l : 2 * l;
+  const std::size_t l = options_.resolve_blocks(n_sensors);
+  return options_.real_only ? l : 2 * l;
 }
 
 std::vector<double> CsSignatureMethod::compute(
     const common::Matrix& window) const {
-  return pipeline_->transform_window(window).flatten(
-      pipeline_->options().real_only);
+  if (!pipeline_) {
+    throw std::logic_error("CsSignatureMethod: compute() before fit()");
+  }
+  return pipeline_->transform_window(window).flatten(options_.real_only);
+}
+
+std::size_t CsSignatureMethod::n_sensors() const {
+  return pipeline_ ? pipeline_->model().n_sensors() : 0;
+}
+
+std::unique_ptr<SignatureMethod> CsSignatureMethod::fit(
+    const common::Matrix& train_data) const {
+  auto pipeline =
+      std::make_shared<const CsPipeline>(train(train_data), options_);
+  return std::make_unique<CsSignatureMethod>(std::move(pipeline), name_);
+}
+
+std::string CsSignatureMethod::serialize() const {
+  if (!pipeline_) {
+    throw std::logic_error("CsSignatureMethod: serialize() before fit()");
+  }
+  std::ostringstream out;
+  out << method_header("cs") << "blocks " << options_.blocks << "\nreal-only "
+      << (options_.real_only ? 1 : 0) << "\n"
+      << pipeline_->model().serialize();
+  return out.str();
+}
+
+std::unique_ptr<CsSignatureMethod> CsSignatureMethod::deserialize_body(
+    const std::string& body) {
+  std::istringstream in(body);
+  std::string kw_blocks, kw_real;
+  CsOptions options;
+  int real_only = 0;
+  in >> kw_blocks >> options.blocks >> kw_real >> real_only;
+  if (!in || kw_blocks != "blocks" || kw_real != "real-only" ||
+      (real_only != 0 && real_only != 1)) {
+    throw std::runtime_error("CsSignatureMethod: malformed options block");
+  }
+  options.real_only = real_only == 1;
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  std::string model_text = rest.str();
+  // Strip the newline separating the options block from the model blob.
+  if (!model_text.empty() && model_text.front() == '\n') {
+    model_text.erase(model_text.begin());
+  }
+  auto pipeline = std::make_shared<const CsPipeline>(
+      CsModel::deserialize(model_text), options);
+  return std::make_unique<CsSignatureMethod>(std::move(pipeline));
+}
+
+std::vector<double> CsSignatureMethod::compute_streaming(
+    const common::Matrix& window, const common::Matrix* prev_column) const {
+  if (!pipeline_) {
+    throw std::logic_error("CsSignatureMethod: compute() before fit()");
+  }
+  if (!prev_column) return compute(window);
+  const CsModel& model = pipeline_->model();
+  const common::Matrix sorted = model.sort(window);
+  const common::Matrix sorted_seed = model.sort(*prev_column);
+  const common::Matrix derivs =
+      stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
+  return smooth(sorted, derivs, options_.resolve_blocks(model.n_sensors()))
+      .flatten(options_.real_only);
 }
 
 }  // namespace csm::core

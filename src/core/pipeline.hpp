@@ -71,9 +71,16 @@ std::pair<common::Matrix, common::Matrix> signature_heatmaps(
     const std::vector<Signature>& sigs);
 
 /// SignatureMethod adapter so CS can be driven by the same harness as the
-/// baselines. Holds a reference-counted pipeline.
+/// baselines. Exists in two states: an untrained prototype (options only —
+/// the registry's "cs:blocks=20" form) that fit() turns into a trained
+/// method, and a trained method holding a reference-counted pipeline.
 class CsSignatureMethod final : public SignatureMethod {
  public:
+  /// Untrained prototype; compute()/serialize() throw until fit().
+  explicit CsSignatureMethod(CsOptions options, std::string display_name = {});
+
+  /// Trained method (the usual deployment). Throws std::invalid_argument on
+  /// a null pipeline.
   CsSignatureMethod(std::shared_ptr<const CsPipeline> pipeline,
                     std::string display_name = {});
 
@@ -81,8 +88,31 @@ class CsSignatureMethod final : public SignatureMethod {
   std::size_t signature_length(std::size_t n_sensors) const override;
   std::vector<double> compute(const common::Matrix& window) const override;
 
+  bool trained() const override { return pipeline_ != nullptr; }
+  std::size_t n_sensors() const override;
+  /// Trains Algorithm 1 + bounds on `train` under this method's options.
+  std::unique_ptr<SignatureMethod> fit(
+      const common::Matrix& train) const override;
+  std::string serialize() const override;
+  /// Seeds the derivative channel with the column preceding the window.
+  std::vector<double> compute_streaming(
+      const common::Matrix& window,
+      const common::Matrix* prev_column) const override;
+
+  const CsOptions& options() const noexcept { return options_; }
+  /// Null when untrained.
+  std::shared_ptr<const CsPipeline> pipeline() const noexcept {
+    return pipeline_;
+  }
+
+  /// Parses the body of the tagged "csmethod v1 cs" format (options plus an
+  /// embedded CsModel blob). Throws std::runtime_error on malformed input.
+  static std::unique_ptr<CsSignatureMethod> deserialize_body(
+      const std::string& body);
+
  private:
-  std::shared_ptr<const CsPipeline> pipeline_;
+  std::shared_ptr<const CsPipeline> pipeline_;  ///< Null = untrained.
+  CsOptions options_;
   std::string name_;
 };
 

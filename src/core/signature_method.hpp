@@ -1,11 +1,23 @@
 // Generic signature-method interface (the paper's Sig() function,
 // Section III-A): a signature method maps an n x wl window of the sensor
 // matrix to a flat feature vector of fixed length l << n * wl. The CS method
-// and the three baselines (Tuncer, Bodik, Lan) all implement this interface,
-// which is what the experiment harness and the scalability benchmark drive.
+// and the baselines (Tuncer, Bodik, Lan, PCA) all implement this interface,
+// which is what the experiment harness, the streaming layer and the
+// scalability benchmark drive.
+//
+// Methods have a full lifecycle: a method is *constructed* (usually from a
+// spec string via core::MethodRegistry) either already trained (stateless
+// baselines) or as an untrained prototype (CS, PCA), *fitted* on historical
+// data with fit(), asked to *compute* signatures window by window, and
+// *serialised* to a tagged text blob that MethodRegistry::deserialize turns
+// back into an equivalent trained method. The default implementations below
+// describe a stateless method, so ad-hoc SignatureMethod subclasses (e.g.
+// benchmark one-offs) only have to override the three compute-side members.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,8 +37,45 @@ class SignatureMethod {
   virtual std::size_t signature_length(std::size_t n_sensors) const = 0;
 
   /// Computes the feature vector for one window (rows = sensors,
-  /// cols = wl samples).
+  /// cols = wl samples). Throws std::logic_error if !trained().
   virtual std::vector<double> compute(const common::Matrix& window) const = 0;
+
+  // --- trained-state lifecycle ---------------------------------------------
+
+  /// Whether compute() may be called. Stateless methods are born trained;
+  /// trainable methods (CS, PCA) start as untrained prototypes.
+  virtual bool trained() const { return true; }
+
+  /// Sensor-row count a trained method is bound to; 0 means the method
+  /// accepts windows of any sensor count (stateless baselines, prototypes).
+  virtual std::size_t n_sensors() const { return 0; }
+
+  /// Returns a trained copy fitted on historical data (rows = sensors,
+  /// cols = samples): CS runs Algorithm 1 + bounds, PCA extracts its basis,
+  /// and the stateless baselines return a copy of themselves.
+  virtual std::unique_ptr<SignatureMethod> fit(
+      const common::Matrix& train) const {
+    (void)train;
+    throw std::logic_error(name() + ": fit() is not supported");
+  }
+
+  /// Serialises the trained state as tagged text ("csmethod v1 <key>" header
+  /// plus a method-specific body); parse back with
+  /// MethodRegistry::deserialize. Throws std::logic_error if the method is
+  /// untrained or not serialisable.
+  virtual std::string serialize() const {
+    throw std::logic_error(name() + ": serialize() is not supported");
+  }
+
+  /// Streaming variant of compute(): may additionally use the column that
+  /// immediately precedes the window (null when the stream has no history
+  /// yet). CS seeds its derivative channel with it, avoiding the zero-spike
+  /// at window boundaries; the default ignores the seed.
+  virtual std::vector<double> compute_streaming(
+      const common::Matrix& window, const common::Matrix* prev_column) const {
+    (void)prev_column;
+    return compute(window);
+  }
 };
 
 }  // namespace csm::core

@@ -6,13 +6,25 @@
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/pipeline.hpp"
 
 namespace csm::core {
 
-std::size_t StreamEngine::add_node(std::string name, CsModel model) {
-  nodes_.push_back(
-      Node{std::move(name), CsStream(std::move(model), options_), {}});
+std::size_t StreamEngine::add_node(
+    std::string name, std::shared_ptr<const SignatureMethod> method,
+    std::size_t n_sensors) {
+  nodes_.push_back(Node{
+      std::move(name),
+      MethodStream(std::move(method), options_, n_sensors), {}});
   return nodes_.size() - 1;
+}
+
+std::size_t StreamEngine::add_node(std::string name, CsModel model) {
+  auto pipeline =
+      std::make_shared<const CsPipeline>(std::move(model), options_.cs);
+  return add_node(std::move(name),
+                  std::make_shared<const CsSignatureMethod>(
+                      std::move(pipeline)));
 }
 
 void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {
@@ -56,7 +68,7 @@ void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
   }
 }
 
-std::vector<Signature> StreamEngine::drain(std::size_t node) {
+std::vector<std::vector<double>> StreamEngine::drain(std::size_t node) {
   return std::exchange(nodes_.at(node).queue, {});
 }
 

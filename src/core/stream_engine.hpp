@@ -1,11 +1,13 @@
-// Fleet-wide online ingestion: one CsStream per monitored node.
+// Fleet-wide online ingestion: one MethodStream per monitored node.
 //
 // A production ODA deployment (Fig. 1) monitors hundreds of compute nodes at
-// once; each node has its own CS model (trained on its own sensors) and its
-// own signature stream. StreamEngine owns one CsStream per node, fans
+// once; each node has its own trained signature method (CS with a per-node
+// model, a PCA basis, or a stateless baseline) and its own signature stream.
+// StreamEngine owns one MethodStream per node — any SignatureMethod can be
+// driven online, CS keeping its derivative-seeding specialisation — fans
 // batched ingestion across nodes with common::parallel_for (nodes are
 // independent, so the loop is embarrassingly parallel), buffers emitted
-// signatures in per-node queues for downstream consumers (classifiers,
+// feature vectors in per-node queues for downstream consumers (classifiers,
 // dashboards), and keeps aggregate throughput counters so operators can see
 // samples/sec across the whole fleet. Memory stays bounded: each node holds
 // exactly n_sensors x history_length doubles of history plus its undrained
@@ -14,13 +16,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "core/cs_model.hpp"
-#include "core/signature.hpp"
+#include "core/method_stream.hpp"
+#include "core/signature_method.hpp"
 #include "core/streaming.hpp"
 
 namespace csm::core {
@@ -28,7 +32,7 @@ namespace csm::core {
 /// Aggregate counters across all nodes of a StreamEngine.
 struct EngineStats {
   std::uint64_t samples = 0;     ///< Columns ingested, summed over nodes.
-  std::uint64_t signatures = 0;  ///< Signatures emitted, summed over nodes.
+  std::uint64_t signatures = 0;  ///< Feature vectors emitted, summed.
   std::uint64_t retrains = 0;    ///< Retraining passes, summed over nodes.
   double ingest_seconds = 0.0;   ///< Wall time spent inside ingestion calls.
 
@@ -41,18 +45,24 @@ struct EngineStats {
   }
 };
 
-/// Multi-node streaming front end over per-node CsStreams.
+/// Multi-node streaming front end over per-node MethodStreams.
 class StreamEngine {
  public:
-  /// All nodes share the same windowing/retrain configuration; models are
-  /// per node. Throws (via StreamOptions/CsStream validation) on bad
-  /// options or empty models.
+  /// All nodes share the same windowing/retrain configuration; methods are
+  /// per node. Throws (via StreamOptions/MethodStream validation) on bad
+  /// options or bad methods.
   explicit StreamEngine(StreamOptions options) : options_(options) {
     options_.validate();
   }
 
-  /// Registers a node and returns its index. Node names are labels only and
-  /// need not be unique.
+  /// Registers a node driven by any trained signature method and returns
+  /// its index. `n_sensors` is required for sensor-count-agnostic methods
+  /// (see MethodStream). Node names are labels only and need not be unique.
+  std::size_t add_node(std::string name,
+                       std::shared_ptr<const SignatureMethod> method,
+                       std::size_t n_sensors = 0);
+
+  /// CS convenience: wraps `model` with this engine's CsOptions.
   std::size_t add_node(std::string name, CsModel model);
 
   std::size_t n_nodes() const noexcept { return nodes_.size(); }
@@ -60,13 +70,13 @@ class StreamEngine {
   const std::string& node_name(std::size_t node) const {
     return nodes_.at(node).name;
   }
-  /// The underlying per-node stream (e.g. to inspect the live model).
-  const CsStream& stream(std::size_t node) const {
+  /// The underlying per-node stream (e.g. to inspect the live method).
+  const MethodStream& stream(std::size_t node) const {
     return nodes_.at(node).stream;
   }
 
-  /// Feeds a batch of columns to one node; emitted signatures are appended
-  /// to that node's queue.
+  /// Feeds a batch of columns to one node; emitted feature vectors are
+  /// appended to that node's queue.
   void ingest(std::size_t node, const common::Matrix& columns);
 
   /// Feeds one batch per node (batches.size() must equal n_nodes(); batches
@@ -76,13 +86,13 @@ class StreamEngine {
   /// a degenerate retrain) is re-thrown after the batch completes.
   void ingest_batch(std::span<const common::Matrix> batches);
 
-  /// Number of signatures waiting in a node's queue.
+  /// Number of feature vectors waiting in a node's queue.
   std::size_t pending(std::size_t node) const {
     return nodes_.at(node).queue.size();
   }
 
-  /// Takes (moves out) all signatures queued for a node.
-  std::vector<Signature> drain(std::size_t node);
+  /// Takes (moves out) all feature vectors queued for a node.
+  std::vector<std::vector<double>> drain(std::size_t node);
 
   /// Aggregate counters summed over all nodes, plus accumulated wall time.
   EngineStats stats() const;
@@ -90,8 +100,8 @@ class StreamEngine {
  private:
   struct Node {
     std::string name;
-    CsStream stream;
-    std::vector<Signature> queue;
+    MethodStream stream;
+    std::vector<std::vector<double>> queue;
   };
 
   StreamOptions options_;

@@ -4,10 +4,9 @@
 #include <iostream>
 #include <stdexcept>
 
-#include "baselines/bodik.hpp"
-#include "baselines/lan.hpp"
-#include "baselines/tuncer.hpp"
+#include "baselines/registry.hpp"
 #include "common/timer.hpp"
+#include "core/method_registry.hpp"
 #include "core/training.hpp"
 #include "ml/mlp.hpp"
 #include "ml/random_forest.hpp"
@@ -17,37 +16,36 @@
 
 namespace csm::harness {
 
-MethodSpec make_cs_method(std::size_t blocks, bool real_only) {
-  core::CsOptions options{blocks, real_only};
-  std::string name = blocks == 0 ? "CS-All" : "CS-" + std::to_string(blocks);
-  if (real_only) name += "-R";
-  return MethodSpec{
-      name, [options, name](const hpcoda::ComponentBlock& block) {
-        auto pipeline = std::make_shared<const core::CsPipeline>(
-            core::train(block.sensors), options);
-        return std::make_unique<core::CsSignatureMethod>(std::move(pipeline),
-                                                         name);
-      }};
+BlockMethod method_from_spec(const std::string& spec_text) {
+  const core::MethodSpec spec = core::MethodSpec::parse(spec_text);
+  // Eagerly construct a prototype so bad specs throw here, not inside a
+  // worker, and so the display name matches the configured parameters.
+  const auto prototype = baselines::default_registry().create(spec);
+  return BlockMethod{prototype->name(),
+                     [spec](const hpcoda::ComponentBlock& block) {
+                       return baselines::default_registry()
+                           .create(spec)
+                           ->fit(block.sensors);
+                     }};
 }
 
-std::vector<MethodSpec> standard_methods(bool real_only) {
-  std::vector<MethodSpec> out;
-  out.push_back(MethodSpec{"Tuncer", [](const hpcoda::ComponentBlock&) {
-                             return std::make_unique<
-                                 baselines::TuncerMethod>();
-                           }});
-  out.push_back(MethodSpec{"Bodik", [](const hpcoda::ComponentBlock&) {
-                             return std::make_unique<baselines::BodikMethod>();
-                           }});
-  out.push_back(MethodSpec{"Lan", [](const hpcoda::ComponentBlock&) {
-                             return std::make_unique<baselines::LanMethod>();
-                           }});
-  for (const MethodSpec& cs : cs_methods(real_only)) out.push_back(cs);
+BlockMethod make_cs_method(std::size_t blocks, bool real_only) {
+  std::string spec = "cs:blocks=" + std::to_string(blocks);
+  if (real_only) spec += ",real-only";
+  return method_from_spec(spec);
+}
+
+std::vector<BlockMethod> standard_methods(bool real_only) {
+  std::vector<BlockMethod> out;
+  for (const char* spec : {"tuncer", "bodik", "lan"}) {
+    out.push_back(method_from_spec(spec));
+  }
+  for (BlockMethod& cs : cs_methods(real_only)) out.push_back(std::move(cs));
   return out;
 }
 
-std::vector<MethodSpec> cs_methods(bool real_only) {
-  std::vector<MethodSpec> out;
+std::vector<BlockMethod> cs_methods(bool real_only) {
+  std::vector<BlockMethod> out;
   for (std::size_t blocks : {std::size_t{5}, std::size_t{10}, std::size_t{20},
                              std::size_t{40}, std::size_t{0}}) {
     out.push_back(make_cs_method(blocks, real_only));
@@ -68,7 +66,7 @@ double mean_target(const std::vector<double>& target, std::size_t begin,
 }  // namespace
 
 data::Dataset build_dataset(const hpcoda::Segment& segment,
-                            const MethodSpec& method) {
+                            const BlockMethod& method) {
   segment.window.validate();
   data::Dataset out;
   out.class_names = segment.class_names;
@@ -143,7 +141,7 @@ ml::ModelFactories mlp_factories(std::uint64_t seed) {
 }
 
 MethodEvaluation evaluate_method(const hpcoda::Segment& segment,
-                                 const MethodSpec& method,
+                                 const BlockMethod& method,
                                  const ml::ModelFactories& models,
                                  std::size_t k_folds, std::size_t repeats,
                                  std::uint64_t shuffle_seed) {

@@ -22,32 +22,40 @@
 
 namespace csm::harness {
 
-/// A named way to build a signature method for one component block.
-/// CS methods train a model on the block's sensors inside `make`; the
-/// baselines ignore the block.
-struct MethodSpec {
+/// A named way to build a trained signature method for one component block.
+/// Trainable methods (CS, PCA) fit on the block's sensors inside `make`;
+/// the stateless baselines ignore the block.
+struct BlockMethod {
   std::string name;
   std::function<std::unique_ptr<core::SignatureMethod>(
       const hpcoda::ComponentBlock&)>
       make;
 };
 
+/// Registry-backed entry: parses `spec` (e.g. "cs:blocks=20,real-only",
+/// "tuncer", "pca:components=8" — see baselines::default_registry()) and
+/// fits the method on each block's sensors through the uniform
+/// SignatureMethod::fit() lifecycle. Throws std::invalid_argument on an
+/// unknown method or bad parameters.
+BlockMethod method_from_spec(const std::string& spec);
+
 /// The paper's method line-up: Tuncer, Bodik, Lan, CS-5/10/20/40/All
-/// (Fig. 3). `real_only` switches the CS entries to the "-R" variant.
-std::vector<MethodSpec> standard_methods(bool real_only = false);
+/// (Fig. 3), queried from the method registry. `real_only` switches the CS
+/// entries to the "-R" variant.
+std::vector<BlockMethod> standard_methods(bool real_only = false);
 
 /// Only the CS entries (for Fig. 4 sweeps).
-std::vector<MethodSpec> cs_methods(bool real_only = false);
+std::vector<BlockMethod> cs_methods(bool real_only = false);
 
-/// Builds a CS MethodSpec with an explicit block count (0 = CS-All).
-MethodSpec make_cs_method(std::size_t blocks, bool real_only = false);
+/// Builds a CS BlockMethod with an explicit block count (0 = CS-All).
+BlockMethod make_cs_method(std::size_t blocks, bool real_only = false);
 
 /// Extracts the feature-set dataset of `segment` under `method`.
 /// Classification segments label each window with its run's class;
 /// regression segments average the block's target series over the
 /// `target_horizon` samples following the window.
 data::Dataset build_dataset(const hpcoda::Segment& segment,
-                            const MethodSpec& method);
+                            const BlockMethod& method);
 
 /// Result row of the Fig. 3 experiment.
 struct MethodEvaluation {
@@ -71,7 +79,7 @@ ml::ModelFactories mlp_factories(std::uint64_t seed = 0x31f);
 /// shuffle, 5-fold cross-validate, collect timings. `repeats` averages the
 /// ML score over multiple shuffled CV runs (the paper repeats 5 times).
 MethodEvaluation evaluate_method(const hpcoda::Segment& segment,
-                                 const MethodSpec& method,
+                                 const BlockMethod& method,
                                  const ml::ModelFactories& models,
                                  std::size_t k_folds = 5,
                                  std::size_t repeats = 1,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 
 #include "core/training.hpp"
 
@@ -58,6 +59,33 @@ TEST(CsModel, DeserializeRejectsGarbage) {
                std::runtime_error);
   EXPECT_THROW(CsModel::deserialize("csmodel v1\n3\n0 0 1\n"),
                std::runtime_error);  // Truncated body.
+}
+
+TEST(CsModel, DeserializeRejectsStructurallyInvalidBodies) {
+  // Non-permutation p: duplicate index.
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n2\n0 0 1\n0 0 1\n"),
+               std::runtime_error);
+  // Non-permutation p: out-of-range index.
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n2\n0 0 1\n5 0 1\n"),
+               std::runtime_error);
+  // NaN bounds must throw, never propagate into sort().
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n1\n0 nan 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n1\n0 0 inf\n"),
+               std::runtime_error);
+  // Trailing garbage after a complete body.
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n1\n0 0 1\nextra"),
+               std::runtime_error);
+  // Absurd sensor count must not allocate first.
+  EXPECT_THROW(CsModel::deserialize("csmodel v1\n999999999999\n"),
+               std::runtime_error);
+}
+
+TEST(CsModel, ConstructorRejectsNonFiniteBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CsModel({0}, {{nan, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(CsModel({0}, {{0.0, std::numeric_limits<double>::infinity()}}),
+               std::invalid_argument);
 }
 
 TEST(CsModel, FileRoundTrip) {

@@ -1,0 +1,155 @@
+#include "core/method_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bodik.hpp"
+#include "baselines/pca.hpp"
+#include "baselines/tuncer.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "core/training.hpp"
+
+namespace csm::core {
+namespace {
+
+common::Matrix wave_matrix(std::size_t n, std::size_t t, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      s(r, c) = std::sin(0.06 * static_cast<double>(c) +
+                         0.5 * static_cast<double>(r)) +
+                0.08 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+StreamOptions stream_options() {
+  StreamOptions opts;
+  opts.window_length = 20;
+  opts.window_step = 10;
+  opts.cs.blocks = 4;
+  return opts;
+}
+
+TEST(MethodStream, CsMatchesCsStreamExactly) {
+  const common::Matrix s = wave_matrix(6, 120, 1);
+  const CsModel model = train(s);
+  const StreamOptions opts = stream_options();
+
+  CsStream reference(model, opts);
+  auto pipeline = std::make_shared<const CsPipeline>(model, opts.cs);
+  MethodStream generic(std::make_shared<const CsSignatureMethod>(pipeline),
+                       opts);
+
+  const auto expected = reference.push_all(s);
+  const auto got = generic.push_all(s);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k], expected[k].flatten()) << "signature " << k;
+  }
+  EXPECT_EQ(generic.samples_seen(), 120u);
+  EXPECT_EQ(generic.signatures_emitted(), expected.size());
+}
+
+TEST(MethodStream, TuncerStreamingMatchesOffline) {
+  // Streaming-vs-offline equivalence for a non-CS method: every emitted
+  // feature vector equals a plain compute() over the same window.
+  const common::Matrix s = wave_matrix(5, 110, 2);
+  const StreamOptions opts = stream_options();
+  MethodStream stream(std::make_shared<const baselines::TuncerMethod>(), opts,
+                      s.rows());
+  const auto got = stream.push_all(s);
+  const baselines::TuncerMethod offline;
+  ASSERT_EQ(got.size(), 10u);  // Windows complete at 20, 30, ..., 110.
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    EXPECT_EQ(got[w], offline.compute(s.sub_cols(w * opts.window_step,
+                                                 opts.window_length)))
+        << "window " << w;
+  }
+}
+
+TEST(MethodStream, PcaStreamingMatchesOffline) {
+  const common::Matrix history = wave_matrix(6, 200, 3);
+  const common::Matrix live = wave_matrix(6, 90, 4);
+  const StreamOptions opts = stream_options();
+  const auto trained = baselines::PcaMethod(4).fit(history);
+  const auto* offline = static_cast<const baselines::PcaMethod*>(
+      trained.get());
+
+  MethodStream stream(
+      std::shared_ptr<const SignatureMethod>(trained->fit(history)), opts);
+  const auto got = stream.push_all(live);
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    const common::Matrix window = live.sub_cols(w * opts.window_step,
+                                                opts.window_length);
+    EXPECT_EQ(got[w], offline->compute(window)) << "window " << w;
+  }
+}
+
+TEST(MethodStream, PushMatchesPushAll) {
+  const common::Matrix s = wave_matrix(4, 70, 5);
+  const StreamOptions opts = stream_options();
+  MethodStream a(std::make_shared<const baselines::BodikMethod>(), opts, 4);
+  MethodStream b(std::make_shared<const baselines::BodikMethod>(), opts, 4);
+
+  const auto bulk = a.push_all(s);
+  std::vector<std::vector<double>> single;
+  for (std::size_t c = 0; c < s.cols(); ++c) {
+    if (auto f = b.push(s.col(c))) single.push_back(std::move(*f));
+  }
+  EXPECT_EQ(bulk, single);
+}
+
+TEST(MethodStream, GenericRetrainViaFit) {
+  StreamOptions opts = stream_options();
+  opts.retrain_interval = 40;
+  opts.history_length = 64;
+  const common::Matrix s = wave_matrix(5, 160, 6);
+  const auto trained = baselines::PcaMethod(3).fit(s.sub_cols(0, 50));
+  MethodStream stream(std::shared_ptr<const SignatureMethod>(
+                          trained->fit(s.sub_cols(0, 50))),
+                      opts);
+  (void)stream.push_all(s);
+  EXPECT_EQ(stream.retrain_count(), 4u);  // Samples 40/80/120/160.
+  // The live method is still a fitted PCA bound to 5 sensors.
+  EXPECT_EQ(stream.method().n_sensors(), 5u);
+  EXPECT_TRUE(stream.method().trained());
+}
+
+TEST(MethodStream, ConstructorValidation) {
+  const StreamOptions opts = stream_options();
+  // Null method.
+  EXPECT_THROW(MethodStream(nullptr, opts, 4), std::invalid_argument);
+  // Untrained prototype.
+  EXPECT_THROW(MethodStream(std::make_shared<const baselines::PcaMethod>(3),
+                            opts, 4),
+               std::invalid_argument);
+  // Sensor-agnostic method without an explicit sensor count.
+  EXPECT_THROW(MethodStream(std::make_shared<const baselines::TuncerMethod>(),
+                            opts),
+               std::invalid_argument);
+  // Contradictory sensor count for a bound method.
+  const common::Matrix history = wave_matrix(6, 100, 7);
+  const auto pca = std::shared_ptr<const SignatureMethod>(
+      baselines::PcaMethod(2).fit(history));
+  EXPECT_THROW(MethodStream(pca, opts, 7), std::invalid_argument);
+  MethodStream ok(pca, opts, 6);  // Matching explicit count is fine.
+  EXPECT_EQ(ok.n_sensors(), 6u);
+}
+
+TEST(MethodStream, WrongColumnLengthThrows) {
+  MethodStream stream(std::make_shared<const baselines::TuncerMethod>(),
+                      stream_options(), 4);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW((void)stream.push(wrong), std::invalid_argument);
+  EXPECT_THROW((void)stream.push_all(common::Matrix(3, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::core

@@ -133,5 +133,45 @@ TEST(CsSignatureMethod, NullPipelineThrows) {
   EXPECT_THROW(CsSignatureMethod(nullptr), std::invalid_argument);
 }
 
+TEST(CsSignatureMethod, UntrainedPrototypeFitsToTrainedMethod) {
+  const CsSignatureMethod prototype(CsOptions{4, false});
+  EXPECT_EQ(prototype.name(), "CS-4");
+  EXPECT_FALSE(prototype.trained());
+  EXPECT_EQ(prototype.n_sensors(), 0u);
+  EXPECT_EQ(prototype.signature_length(6), 8u);
+
+  const common::Matrix s = wave_matrix(6, 80, 9);
+  EXPECT_THROW((void)prototype.compute(s.sub_cols(0, 20)), std::logic_error);
+
+  const auto trained = prototype.fit(s);
+  EXPECT_TRUE(trained->trained());
+  EXPECT_EQ(trained->n_sensors(), 6u);
+  // fit() must match training a pipeline by hand.
+  const CsSignatureMethod reference(
+      std::make_shared<const CsPipeline>(train(s), CsOptions{4, false}));
+  EXPECT_EQ(trained->compute(s.sub_cols(0, 20)),
+            reference.compute(s.sub_cols(0, 20)));
+}
+
+TEST(CsSignatureMethod, ComputeStreamingSeedsTheDerivativeChannel) {
+  const common::Matrix s = wave_matrix(5, 60, 10);
+  auto p = std::make_shared<const CsPipeline>(train(s), CsOptions{3, false});
+  const CsSignatureMethod method(p);
+  const common::Matrix window = s.sub_cols(10, 20);
+  const common::Matrix seed = s.sub_cols(9, 1);
+
+  // Without a seed, streaming compute is plain compute.
+  EXPECT_EQ(method.compute_streaming(window, nullptr), method.compute(window));
+  // With a seed the derivative channel changes but the real channel (the
+  // first 3 features) is untouched.
+  const auto seeded = method.compute_streaming(window, &seed);
+  const auto unseeded = method.compute(window);
+  ASSERT_EQ(seeded.size(), unseeded.size());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(seeded[i], unseeded[i]) << "real block " << i;
+  }
+  EXPECT_NE(seeded, unseeded);
+}
+
 }  // namespace
 }  // namespace csm::core

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "baselines/tuncer.hpp"
 #include "common/rng.hpp"
 #include "core/training.hpp"
 
@@ -51,7 +52,8 @@ TEST(StreamEngine, MatchesPerNodeCsStreams) {
     const auto got = engine.drain(i);
     ASSERT_EQ(got.size(), expected.size()) << "node " << i;
     for (std::size_t k = 0; k < got.size(); ++k) {
-      EXPECT_EQ(got[k], expected[k]) << "node " << i << " signature " << k;
+      EXPECT_EQ(got[k], expected[k].flatten()) << "node " << i
+                                               << " signature " << k;
     }
   }
 }
@@ -75,7 +77,7 @@ TEST(StreamEngine, QueuesAccumulateAcrossBatchesAndDrainEmpties) {
   const auto expected = reference.push_all(s);
   ASSERT_EQ(sigs.size(), expected.size());
   for (std::size_t k = 0; k < sigs.size(); ++k) {
-    EXPECT_EQ(sigs[k], expected[k]);
+    EXPECT_EQ(sigs[k], expected[k].flatten());
   }
 }
 
@@ -110,6 +112,30 @@ TEST(StreamEngine, HeterogeneousNodesAndBatchLengths) {
   EXPECT_EQ(engine.stream(1).samples_seen(), 65u);
   EXPECT_EQ(engine.pending(0), 3u);  // 20, 30, 40.
   EXPECT_EQ(engine.pending(1), 5u);  // 20, ..., 60.
+}
+
+TEST(StreamEngine, MixedMethodFleet) {
+  // One engine can fan out different signature methods per node: a CS node
+  // next to a stateless Tuncer node (which needs an explicit sensor count).
+  StreamEngine engine(engine_options());
+  const common::Matrix cs_data = node_matrix(4, 60, 11);
+  const common::Matrix tn_data = node_matrix(3, 60, 12);
+  engine.add_node("cs-node", train(cs_data));
+  engine.add_node("tuncer-node",
+                  std::make_shared<const baselines::TuncerMethod>(),
+                  tn_data.rows());
+  std::vector<common::Matrix> batches{cs_data, tn_data};
+  engine.ingest_batch(batches);
+  EXPECT_EQ(engine.pending(0), 5u);
+  EXPECT_EQ(engine.pending(1), 5u);
+  const auto tuncer_sigs = engine.drain(1);
+  // Offline reference: Tuncer over the same sliding windows.
+  const baselines::TuncerMethod reference;
+  ASSERT_EQ(tuncer_sigs.size(), 5u);
+  for (std::size_t w = 0; w < tuncer_sigs.size(); ++w) {
+    EXPECT_EQ(tuncer_sigs[w], reference.compute(tn_data.sub_cols(w * 10, 20)))
+        << "window " << w;
+  }
 }
 
 TEST(StreamEngine, IngestBatchValidation) {

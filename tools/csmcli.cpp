@@ -2,38 +2,60 @@
 //
 // Lets operators run the full offline workflow from a shell, against sensor
 // data in the HPC-ODA on-disk layout (a directory of per-sensor
-// "timestamp,value" CSVs):
+// "timestamp,value" CSVs). Any registered signature method can be selected
+// with --method SPEC (spec strings such as "cs:blocks=20,real-only",
+// "tuncer" or "pca:components=8"; run `csmcli methods` for the registry):
 //
-//   csmcli train   <sensor_dir> <model_file> [--interval MS]
-//       Align the sensors and train a CS model (Algorithm 1 + bounds).
+//   csmcli methods
+//       List the registered signature methods and their spec grammar.
+//
+//   csmcli train   <sensor_dir> <model_file> [--interval MS] [--method SPEC]
+//       Align the sensors and fit a method on them. Without --method this
+//       writes the legacy bare CsModel blob (Algorithm 1 + bounds); with
+//       --method it writes the tagged method format, which every other
+//       subcommand also accepts.
 //
 //   csmcli info    <model_file>
-//       Print a model summary: sensor count, permutation, bounds.
+//       Print a model summary (works on both file formats).
 //
 //   csmcli extract <sensor_dir> <model_file> <out_csv>
 //           [--blocks L] [--window WL] [--step WS] [--interval MS]
 //           [--real-only]
+//   csmcli extract <sensor_dir> <out_csv> --method SPEC
+//           [--window WL] [--step WS] [--interval MS]
 //       Compute signatures over sliding windows and write them as a
-//       feature CSV (label column fixed to 0; relabel downstream).
+//       feature CSV (label column fixed to 0; relabel downstream). The
+//       two-positional form fits the spec'd method on the extraction data
+//       itself (self-trained in-band mode); the three-positional form uses
+//       a previously trained model file.
 //
 //   csmcli sort    <sensor_dir> <model_file> <out_pgm> [--interval MS]
-//       Render the sorted (normalised + permuted) matrix as a PGM image.
+//       Render the sorted (normalised + permuted) matrix as a PGM image
+//       (requires a CS model).
 //
-//   csmcli stream  <segment> [--scale S] [--blocks L] [--window WL]
-//           [--step WS] [--history H] [--retrain N] [--batch B]
+//   csmcli stream  <segment> [--method SPEC] [--scale S] [--blocks L]
+//           [--window WL] [--step WS] [--history H] [--retrain N]
+//           [--batch B]
 //       Replay a synthetic HPC-ODA segment (fault, application, power,
-//       infrastructure, cross-arch) through a StreamEngine — one CsStream
-//       per component — in batches of B columns, and report per-node
-//       signature counts plus aggregate ingestion throughput.
+//       infrastructure, cross-arch) through a StreamEngine — one
+//       MethodStream per component, fitted per node — in batches of B
+//       columns, and report per-node signature counts plus aggregate
+//       ingestion throughput.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "baselines/registry.hpp"
+#include "core/method_registry.hpp"
 #include "core/pipeline.hpp"
 #include "core/stream_engine.hpp"
 #include "core/training.hpp"
@@ -49,12 +71,14 @@ using namespace csm;
 
 struct Options {
   std::vector<std::string> positional;
+  std::string method;            // --method SPEC ("" = legacy CS behaviour).
   std::int64_t interval_ms = 0;  // 0 = auto.
   std::size_t blocks = 20;
   std::size_t window = 60;
   std::size_t step = 10;
-  bool window_set = false;  // Whether --window/--step were given explicitly
-  bool step_set = false;    // (stream uses the segment's wl/ws otherwise).
+  bool blocks_set = false;  // Whether the flag was given explicitly (CS
+  bool window_set = false;  // flags conflict with --method; stream uses the
+  bool step_set = false;    // segment's wl/ws unless --window/--step given).
   bool real_only = false;
   double scale = 1.0;
   std::size_t history = 1024;
@@ -62,61 +86,76 @@ struct Options {
   std::size_t batch = 256;
 };
 
-void usage() {
-  std::cerr << "usage:\n"
-            << "  csmcli train   <sensor_dir> <model_file> [--interval MS]\n"
-            << "  csmcli info    <model_file>\n"
-            << "  csmcli extract <sensor_dir> <model_file> <out_csv>\n"
-            << "                 [--blocks L] [--window WL] [--step WS]\n"
-            << "                 [--interval MS] [--real-only]\n"
-            << "  csmcli sort    <sensor_dir> <model_file> <out_pgm>"
-            << " [--interval MS]\n"
-            << "  csmcli stream  <segment> [--scale S] [--blocks L]\n"
-            << "                 [--window WL] [--step WS] [--history H]\n"
-            << "                 [--retrain N] [--batch B]\n"
-            << "                 (segment: fault | application | power |\n"
-            << "                  infrastructure | cross-arch)\n";
+void usage(std::ostream& out) {
+  out << "usage:\n"
+      << "  csmcli methods\n"
+      << "  csmcli train   <sensor_dir> <model_file> [--interval MS]\n"
+      << "                 [--method SPEC]\n"
+      << "  csmcli info    <model_file>\n"
+      << "  csmcli extract <sensor_dir> <model_file> <out_csv>\n"
+      << "                 [--blocks L] [--window WL] [--step WS]\n"
+      << "                 [--interval MS] [--real-only]\n"
+      << "  csmcli extract <sensor_dir> <out_csv> --method SPEC\n"
+      << "                 [--window WL] [--step WS] [--interval MS]\n"
+      << "  csmcli sort    <sensor_dir> <model_file> <out_pgm>"
+      << " [--interval MS]\n"
+      << "  csmcli stream  <segment> [--method SPEC] [--scale S]\n"
+      << "                 [--blocks L] [--window WL] [--step WS]\n"
+      << "                 [--history H] [--retrain N] [--batch B]\n"
+      << "                 (segment: fault | application | power |\n"
+      << "                  infrastructure | cross-arch)\n"
+      << "\n"
+      << "method specs look like \"cs:blocks=20,real-only\" or\n"
+      << "\"pca:components=8\"; run `csmcli methods` for the full list.\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_value = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        return nullptr;
+      }
       return argv[++i];
     };
     if (arg == "--interval") {
-      const char* v = next_value();
+      const char* v = next_value("--interval");
       if (!v) return false;
       opts.interval_ms = std::atoll(v);
+    } else if (arg == "--method") {
+      const char* v = next_value("--method");
+      if (!v) return false;
+      opts.method = v;
     } else if (arg == "--blocks") {
-      const char* v = next_value();
+      const char* v = next_value("--blocks");
       if (!v) return false;
       opts.blocks = static_cast<std::size_t>(std::atoll(v));
+      opts.blocks_set = true;
     } else if (arg == "--window") {
-      const char* v = next_value();
+      const char* v = next_value("--window");
       if (!v) return false;
       opts.window = static_cast<std::size_t>(std::atoll(v));
       opts.window_set = true;
     } else if (arg == "--step") {
-      const char* v = next_value();
+      const char* v = next_value("--step");
       if (!v) return false;
       opts.step = static_cast<std::size_t>(std::atoll(v));
       opts.step_set = true;
     } else if (arg == "--scale") {
-      const char* v = next_value();
+      const char* v = next_value("--scale");
       if (!v) return false;
       opts.scale = std::atof(v);
     } else if (arg == "--history") {
-      const char* v = next_value();
+      const char* v = next_value("--history");
       if (!v) return false;
       opts.history = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--retrain") {
-      const char* v = next_value();
+      const char* v = next_value("--retrain");
       if (!v) return false;
       opts.retrain = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--batch") {
-      const char* v = next_value();
+      const char* v = next_value("--batch");
       if (!v) return false;
       opts.batch = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--real-only") {
@@ -128,6 +167,15 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.positional.push_back(arg);
     }
   }
+  // The legacy CS flags configure the default CS path only; silently
+  // ignoring them next to a --method spec would build a different model
+  // than the flags suggest.
+  if (!opts.method.empty() && (opts.blocks_set || opts.real_only)) {
+    std::cerr << "--blocks/--real-only conflict with --method; put the "
+                 "parameters in the spec instead (e.g. --method "
+                 "cs:blocks=10,real-only)\n";
+    return false;
+  }
   return true;
 }
 
@@ -138,9 +186,42 @@ data::AlignedSensors load_aligned(const std::string& dir,
                          : data::align_auto(series);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A model file is either a tagged method ("csmethod v1 ...") or a legacy
+// bare CsModel blob ("csmodel v1 ...").
+using LoadedModel = std::variant<std::unique_ptr<core::SignatureMethod>,
+                                 core::CsModel>;
+
+LoadedModel load_any_model(const std::string& path) {
+  const std::string text = read_file(path);
+  if (core::is_tagged_method(text)) {
+    return baselines::default_registry().deserialize(text);
+  }
+  return core::CsModel::deserialize(text);
+}
+
+int cmd_methods(const Options& opts) {
+  if (!opts.positional.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+  std::printf("%-24s %s\n", "SPEC", "DESCRIPTION");
+  for (const auto& entry : baselines::default_registry().entries()) {
+    std::printf("%-24s %s\n", entry.grammar.c_str(), entry.summary.c_str());
+  }
+  return 0;
+}
+
 int cmd_train(const Options& opts) {
   if (opts.positional.size() != 2) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const data::AlignedSensors aligned =
@@ -148,18 +229,44 @@ int cmd_train(const Options& opts) {
   std::cout << "aligned " << aligned.matrix.rows() << " sensors x "
             << aligned.matrix.cols() << " samples (interval "
             << aligned.interval_ms << " ms)\n";
-  const core::CsModel model = core::train(aligned.matrix);
-  model.save(opts.positional[1]);
-  std::cout << "model written to " << opts.positional[1] << '\n';
+  if (opts.method.empty()) {
+    // Legacy format: a bare CsModel blob readable by older tooling.
+    const core::CsModel model = core::train(aligned.matrix);
+    model.save(opts.positional[1]);
+    std::cout << "model written to " << opts.positional[1] << '\n';
+  } else {
+    const auto method = baselines::default_registry()
+                            .create(opts.method)
+                            ->fit(aligned.matrix);
+    core::save_method(*method, opts.positional[1]);
+    std::cout << method->name() << " model written to " << opts.positional[1]
+              << '\n';
+  }
   return 0;
 }
 
 int cmd_info(const Options& opts) {
   if (opts.positional.size() != 1) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
-  const core::CsModel model = core::CsModel::load(opts.positional[0]);
+  const LoadedModel loaded = load_any_model(opts.positional[0]);
+  if (const auto* method =
+          std::get_if<std::unique_ptr<core::SignatureMethod>>(&loaded)) {
+    const std::size_t n = (*method)->n_sensors();
+    std::cout << "method: " << (*method)->name() << "\nsensors: "
+              << (n == 0 ? std::string("any") : std::to_string(n))
+              << "\nsignature length: ";
+    if (n == 0) {
+      // Sensor-count-agnostic method: quote the per-sensor scaling instead
+      // of a meaningless length for n = 0.
+      std::cout << (*method)->signature_length(1) << " per sensor\n";
+    } else {
+      std::cout << (*method)->signature_length(n) << '\n';
+    }
+    return 0;
+  }
+  const core::CsModel& model = std::get<core::CsModel>(loaded);
   std::cout << "sensors: " << model.n_sensors() << "\npermutation:";
   for (std::size_t idx : model.permutation()) std::cout << ' ' << idx;
   std::cout << "\nbounds:\n";
@@ -170,18 +277,81 @@ int cmd_info(const Options& opts) {
   return 0;
 }
 
+int write_window_features(const core::SignatureMethod& method,
+                          const common::Matrix& sensors,
+                          const data::WindowSpec& spec,
+                          const std::string& out_csv) {
+  spec.validate();
+  if (sensors.cols() < spec.length) {
+    std::cerr << "no complete windows (have " << sensors.cols()
+              << " samples, window is " << spec.length << ")\n";
+    return 2;
+  }
+  data::Dataset ds;
+  const std::size_t n_windows = spec.count(sensors.cols());
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const std::size_t start = spec.start(w);
+    const common::Matrix window = sensors.sub_cols(start, spec.length);
+    // Seed the method with the preceding column where one exists, so CS
+    // derivative channels match the legacy full-matrix transform (and the
+    // streaming path) instead of resetting at every window boundary.
+    if (start > 0) {
+      const common::Matrix prev = sensors.sub_cols(start - 1, 1);
+      ds.features.append_row(method.compute_streaming(window, &prev));
+    } else {
+      ds.features.append_row(method.compute_streaming(window, nullptr));
+    }
+    ds.labels.push_back(0);
+  }
+  data::write_feature_csv(out_csv, ds);
+  std::cout << "wrote " << ds.size() << " " << method.name()
+            << " signatures of length " << ds.feature_length() << " to "
+            << out_csv << '\n';
+  return 0;
+}
+
 int cmd_extract(const Options& opts) {
+  const data::WindowSpec spec{opts.window, opts.step};
+  if (!opts.method.empty()) {
+    // Self-trained form: fit the spec'd method on the extraction data.
+    if (opts.positional.size() != 2) {
+      usage(std::cerr);
+      return 1;
+    }
+    const data::AlignedSensors aligned =
+        load_aligned(opts.positional[0], opts.interval_ms);
+    const auto method = baselines::default_registry()
+                            .create(opts.method)
+                            ->fit(aligned.matrix);
+    return write_window_features(*method, aligned.matrix, spec,
+                                 opts.positional[1]);
+  }
+
   if (opts.positional.size() != 3) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const data::AlignedSensors aligned =
       load_aligned(opts.positional[0], opts.interval_ms);
-  const core::CsModel model = core::CsModel::load(opts.positional[1]);
+  const LoadedModel loaded = load_any_model(opts.positional[1]);
+  if (const auto* method =
+          std::get_if<std::unique_ptr<core::SignatureMethod>>(&loaded)) {
+    if (opts.blocks_set || opts.real_only) {
+      std::cerr << "--blocks/--real-only have no effect on a tagged method "
+                   "model (" << (*method)->name()
+                << " carries its own options); retrain with --method to "
+                   "change them\n";
+      return 1;
+    }
+    return write_window_features(**method, aligned.matrix, spec,
+                                 opts.positional[2]);
+  }
+
+  // Legacy CsModel path: batch transform over shared buffers.
   const core::CsPipeline pipeline(
-      model, core::CsOptions{opts.blocks, opts.real_only});
-  const auto sigs = pipeline.transform(
-      aligned.matrix, data::WindowSpec{opts.window, opts.step});
+      std::get<core::CsModel>(loaded),
+      core::CsOptions{opts.blocks, opts.real_only});
+  const auto sigs = pipeline.transform(aligned.matrix, spec);
   if (sigs.empty()) {
     std::cerr << "no complete windows (have " << aligned.matrix.cols()
               << " samples, window is " << opts.window << ")\n";
@@ -200,13 +370,26 @@ int cmd_extract(const Options& opts) {
 
 int cmd_sort(const Options& opts) {
   if (opts.positional.size() != 3) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const data::AlignedSensors aligned =
       load_aligned(opts.positional[0], opts.interval_ms);
-  const core::CsModel model = core::CsModel::load(opts.positional[1]);
-  harness::write_pgm(opts.positional[2], model.sort(aligned.matrix));
+  const LoadedModel loaded = load_any_model(opts.positional[1]);
+  const core::CsModel* model = std::get_if<core::CsModel>(&loaded);
+  if (!model) {
+    const auto& method =
+        std::get<std::unique_ptr<core::SignatureMethod>>(loaded);
+    const auto* cs = dynamic_cast<const core::CsSignatureMethod*>(
+        method.get());
+    if (!cs) {
+      std::cerr << "sort requires a CS model; " << method->name()
+                << " has no sorting stage\n";
+      return 2;
+    }
+    model = &cs->pipeline()->model();
+  }
+  harness::write_pgm(opts.positional[2], model->sort(aligned.matrix));
   std::cout << "wrote sorted heatmap (" << aligned.matrix.rows() << " x "
             << aligned.matrix.cols() << ") to " << opts.positional[2]
             << '\n';
@@ -228,7 +411,7 @@ hpcoda::Segment make_segment(const std::string& name, double scale) {
 
 int cmd_stream(const Options& opts) {
   if (opts.positional.size() != 1) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const hpcoda::Segment seg = make_segment(opts.positional[0], opts.scale);
@@ -247,12 +430,21 @@ int cmd_stream(const Options& opts) {
             << ", ws=" << stream_opts.window_step << ", history="
             << stream_opts.history_length << ")\n";
 
-  // One stream per component, each with a model trained on its own sensors
-  // — the per-node out-of-band training pass of Fig. 1.
+  // One stream per component, each with a method fitted on its own sensors
+  // — the per-node out-of-band training pass of Fig. 1. --method swaps the
+  // whole fleet onto any registered method; the default is classic CS.
   core::StreamEngine engine(stream_opts);
   for (const hpcoda::ComponentBlock& block : seg.blocks) {
-    engine.add_node(block.name, core::train(block.sensors));
+    if (opts.method.empty()) {
+      engine.add_node(block.name, core::train(block.sensors));
+    } else {
+      std::shared_ptr<const core::SignatureMethod> method =
+          baselines::default_registry().create(opts.method)->fit(
+              block.sensors);
+      engine.add_node(block.name, std::move(method), block.sensors.rows());
+    }
   }
+  std::cout << "method: " << engine.stream(0).method().name() << '\n';
 
   // Replay the shared timeline in batches of --batch columns, the way a
   // monitoring bus delivers one flush per node per collection round.
@@ -283,17 +475,26 @@ int cmd_stream(const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --help anywhere wins: print usage to stdout and succeed.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   Options opts;
   if (!parse_args(argc, argv, opts)) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const std::string command = argv[1];
   try {
+    if (command == "methods") return cmd_methods(opts);
     if (command == "train") return cmd_train(opts);
     if (command == "info") return cmd_info(opts);
     if (command == "extract") return cmd_extract(opts);
@@ -304,6 +505,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::cerr << "unknown command: " << command << '\n';
-  usage();
+  usage(std::cerr);
   return 1;
 }
