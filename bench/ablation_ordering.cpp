@@ -6,12 +6,12 @@
 // at several block counts. Expected: Algorithm 1 dominates at small l
 // (aggregating uncorrelated sensors destroys information), while at l = n
 // ordering is irrelevant for ML (it only permutes features).
-//
-// Usage: ablation_ordering [scale]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 #include "harness/experiment.hpp"
@@ -68,9 +68,19 @@ double strategy_js(const hpcoda::Segment& seg,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"ablation_ordering",
+          "Ablation: ordering strategy (Algorithm 1 vs identity/global/"
+          "random) vs JS divergence and ML score",
+          kFlagScale, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Ablation: ordering strategy vs compression quality "
                "(Application segment, scale=" << config.scale << ")\n\n";
@@ -82,18 +92,39 @@ int main(int argc, char** argv) {
   constexpr core::OrderingStrategy kStrategies[] = {
       core::OrderingStrategy::kAlgorithm1, core::OrderingStrategy::kIdentity,
       core::OrderingStrategy::kGlobalOnly, core::OrderingStrategy::kRandom};
-  for (std::size_t blocks : {std::size_t{5}, std::size_t{20}}) {
+  const std::vector<std::size_t> block_counts =
+      run.quick() ? std::vector<std::size_t>{5}
+                  : std::vector<std::size_t>{5, 20};
+  const std::uint64_t shuffle_seed = run.derive_seed("shuffle/application");
+  for (std::size_t blocks : block_counts) {
     for (core::OrderingStrategy strategy : kStrategies) {
-      const double js = strategy_js(seg, strategy, blocks);
-      const double score =
-          harness::evaluate_method(seg, strategy_method(strategy, blocks),
-                                   models)
-              .ml_score;
+      double js = 0.0;
+      harness::MethodEvaluation eval;
+      CaseResult& result = run.measure(
+          std::string(strategy_name(strategy)) + "/blocks=" +
+              std::to_string(blocks),
+          1.0, [&] {
+            js = strategy_js(seg, strategy, blocks);
+            eval = harness::evaluate_method(
+                seg, strategy_method(strategy, blocks), models, 5,
+                1, shuffle_seed);
+          });
+      result.seed = shuffle_seed;
+      result.items = static_cast<double>(eval.n_samples);
+      result.items_per_sec = result.wall_seconds > 0.0
+                                 ? result.items / result.wall_seconds
+                                 : 0.0;
+      result.param("strategy", strategy_name(strategy));
+      result.param("blocks", std::to_string(blocks));
+      result.metric("js_divergence", js);
+      result.metric("ml_score", eval.ml_score);
       std::printf("%-12s %-8zu %10.4f %10.4f\n", strategy_name(strategy),
-                  blocks, js, score);
+                  blocks, js, eval.ml_score);
       std::fflush(stdout);
     }
     std::cout << '\n';
   }
   return 0;
 }
+
+}  // namespace csm::benchkit

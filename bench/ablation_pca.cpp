@@ -8,49 +8,67 @@
 // Expected: comparable on Application (load dominates variance there) but
 // a clear CS win on Fault, where specific counters carry the signal.
 //
-// Usage: ablation_pca [scale]
+// The pairing is registry-driven: --methods swaps in any spec line-up
+// (default: CS and PCA at matched budgets 5 and 20).
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
+#include "benchkit/benchkit.hpp"
 #include "harness/experiment.hpp"
 #include "hpcoda/generator.hpp"
 
-namespace {
+namespace csm::benchkit {
 
-using namespace csm;
-
-harness::BlockMethod pca_method(std::size_t components) {
-  return harness::method_from_spec("pca:components=" +
-                                   std::to_string(components));
+Setup bench_setup() {
+  return {"ablation_pca",
+          "Ablation: CS vs PCA at equal signature budgets on the Fault and "
+          "Application segments",
+          kFlagMethods | kFlagScale,
+          "cs:blocks=5,pca:components=5,cs:blocks=20,pca:components=20"};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Ablation: CS vs PCA at equal signature budgets "
                "(scale=" << config.scale << ")\n\n";
-  std::printf("%-16s %-8s %9s %10s\n", "Segment", "Method", "SigSize",
+  std::printf("%-16s %-24s %9s %10s\n", "Segment", "Method", "SigSize",
               "MLScore");
 
   const auto models = harness::random_forest_factories();
-  const hpcoda::Segment segments[] = {hpcoda::make_fault_segment(config),
-                                      hpcoda::make_application_segment(config)};
+  const hpcoda::Segment segments[] = {
+      hpcoda::make_fault_segment(config),
+      hpcoda::make_application_segment(config)};
   for (const hpcoda::Segment& segment : segments) {
-    for (std::size_t k : {std::size_t{5}, std::size_t{20}}) {
-      for (const harness::BlockMethod& method :
-           {harness::make_cs_method(k), pca_method(k)}) {
-        const harness::MethodEvaluation eval =
-            harness::evaluate_method(segment, method, models);
-        std::printf("%-16s %-8s %9zu %10.4f\n", eval.segment.c_str(),
-                    eval.method.c_str(), eval.signature_size, eval.ml_score);
-        std::fflush(stdout);
-      }
+    const std::uint64_t shuffle_seed =
+        run.derive_seed("shuffle/" + segment.name);
+    for (const std::string& spec : run.methods()) {
+      const harness::MethodEvaluation eval = harness::evaluate_method(
+          segment, harness::method_from_spec(spec), models, 5,
+          run.opts().repetitions, shuffle_seed);
+      // Per-repetition mean: cv_seconds accumulates over the CV repeats.
+      CaseResult& result = run.record(
+          segment.name + "/" + spec,
+          eval.generation_seconds +
+              eval.cv_seconds /
+                  static_cast<double>(run.opts().repetitions),
+          static_cast<double>(eval.n_samples));
+      result.seed = shuffle_seed;
+      result.repetitions = run.opts().repetitions;
+      result.param("segment", segment.name);
+      result.param("method", spec);
+      result.metric("ml_score", eval.ml_score);
+      result.metric("signature_size",
+                    static_cast<double>(eval.signature_size));
+      std::printf("%-16s %-24s %9zu %10.4f\n", eval.segment.c_str(),
+                  spec.c_str(), eval.signature_size, eval.ml_score);
+      std::fflush(stdout);
     }
     std::cout << '\n';
   }
   return 0;
 }
+
+}  // namespace csm::benchkit

@@ -5,12 +5,11 @@
 // of information". This benchmark prunes an increasing share of central
 // blocks from CS-40 signatures on the Fault and Application segments and
 // tracks the ML score. Expected: flat scores up to substantial pruning.
-//
-// Usage: ablation_pruning [scale]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 #include "harness/experiment.hpp"
@@ -55,9 +54,18 @@ harness::BlockMethod pruned_method(std::size_t pruned) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"ablation_pruning",
+          "Ablation: central-block pruning of CS-40 signatures vs ML score",
+          kFlagScale, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Ablation: central-block pruning of CS-40 signatures "
                "(scale=" << config.scale << ")\n\n";
@@ -65,13 +73,33 @@ int main(int argc, char** argv) {
               "MLScore");
 
   const auto models = harness::random_forest_factories();
-  const hpcoda::Segment segments[] = {hpcoda::make_fault_segment(config),
-                                      hpcoda::make_application_segment(config)};
+  const hpcoda::Segment segments[] = {
+      hpcoda::make_fault_segment(config),
+      hpcoda::make_application_segment(config)};
+  const std::vector<std::size_t> prune_counts =
+      run.quick() ? std::vector<std::size_t>{0, 20}
+                  : std::vector<std::size_t>{0, 10, 20, 30};
   for (const hpcoda::Segment& segment : segments) {
-    for (std::size_t pruned : {std::size_t{0}, std::size_t{10},
-                               std::size_t{20}, std::size_t{30}}) {
-      const harness::MethodEvaluation eval =
-          harness::evaluate_method(segment, pruned_method(pruned), models);
+    const std::uint64_t shuffle_seed =
+        run.derive_seed("shuffle/" + segment.name);
+    for (std::size_t pruned : prune_counts) {
+      const harness::MethodEvaluation eval = harness::evaluate_method(
+          segment, pruned_method(pruned), models, 5,
+          run.opts().repetitions, shuffle_seed);
+      // Per-repetition mean: cv_seconds accumulates over the CV repeats.
+      CaseResult& result = run.record(
+          segment.name + "/pruned=" + std::to_string(pruned),
+          eval.generation_seconds +
+              eval.cv_seconds /
+                  static_cast<double>(run.opts().repetitions),
+          static_cast<double>(eval.n_samples));
+      result.seed = shuffle_seed;
+      result.repetitions = run.opts().repetitions;
+      result.param("segment", segment.name);
+      result.param("pruned", std::to_string(pruned));
+      result.metric("ml_score", eval.ml_score);
+      result.metric("signature_size",
+                    static_cast<double>(eval.signature_size));
       std::printf("%-16s %2zu/40      %9zu %10.4f\n", eval.segment.c_str(),
                   pruned, eval.signature_size, eval.ml_score);
       std::fflush(stdout);
@@ -80,3 +108,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace csm::benchkit

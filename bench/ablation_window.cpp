@@ -7,19 +7,27 @@
 // statistics). Expected: JS divergence decreases as wl shrinks; the ML
 // score for the short-horizon power prediction task improves with shorter
 // windows, then saturates.
-//
-// Usage: ablation_window [scale]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "harness/experiment.hpp"
 #include "hpcoda/generator.hpp"
 
-int main(int argc, char** argv) {
-  using namespace csm;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"ablation_window",
+          "Ablation: window-length sweep of CS-20 on the Power segment "
+          "(JS divergence + ML score)",
+          kFlagScale, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Ablation: window length sweep, CS-20 on Power "
                "(scale=" << config.scale << ")\n\n";
@@ -27,17 +35,39 @@ int main(int argc, char** argv) {
               "MLScore", "SigSize");
 
   const auto models = harness::random_forest_factories();
-  for (std::size_t wl : {std::size_t{5}, std::size_t{10}, std::size_t{20},
-                         std::size_t{40}, std::size_t{80}}) {
+  // Quick mode caps wl at 20: at the reduced scale the Power segment's runs
+  // hold too few wl=40/80 windows to fill 5 CV folds.
+  const std::vector<std::size_t> window_lengths =
+      run.quick() ? std::vector<std::size_t>{5, 10, 20}
+                  : std::vector<std::size_t>{5, 10, 20, 40, 80};
+  const std::uint64_t shuffle_seed = run.derive_seed("shuffle/power");
+  for (std::size_t wl : window_lengths) {
     hpcoda::Segment seg = hpcoda::make_power_segment(config);
     seg.window.length = wl;
     seg.window.step = std::max<std::size_t>(1, wl / 2);
     const double js = harness::cs_js_divergence(seg, 20);
-    const harness::MethodEvaluation eval =
-        harness::evaluate_method(seg, harness::make_cs_method(20), models);
+    const harness::MethodEvaluation eval = harness::evaluate_method(
+        seg, harness::make_cs_method(20), models, 5,
+        run.opts().repetitions, shuffle_seed);
+    // Per-repetition mean: cv_seconds accumulates over the CV repeats.
+    CaseResult& result = run.record(
+        "wl=" + std::to_string(wl),
+        eval.generation_seconds +
+            eval.cv_seconds / static_cast<double>(run.opts().repetitions),
+        static_cast<double>(eval.n_samples));
+    result.seed = shuffle_seed;
+    result.repetitions = run.opts().repetitions;
+    result.param("wl", std::to_string(wl));
+    result.param("ws", std::to_string(seg.window.step));
+    result.metric("js_divergence", js);
+    result.metric("ml_score", eval.ml_score);
+    result.metric("signature_size",
+                  static_cast<double>(eval.signature_size));
     std::printf("%-8zu %-8zu %10.4f %10.4f %10zu\n", wl, eval.n_samples, js,
                 eval.ml_score, eval.signature_size);
     std::fflush(stdout);
   }
   return 0;
 }
+
+}  // namespace csm::benchkit

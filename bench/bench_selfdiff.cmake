@@ -1,0 +1,27 @@
+# ctest helper: run ${DRIVER} --quick --json twice and check that
+# ${BENCHDIFF} parses the files (schema validation) and diffs them clean.
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(tag a b)
+  execute_process(
+    COMMAND "${DRIVER}" --quick --json "${WORK_DIR}/BENCH_${tag}.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "driver run ${tag} failed (${rc}):\n${out}\n${err}")
+  endif()
+endforeach()
+
+# Generous threshold: the two runs happen back to back on a shared CI box;
+# this asserts schema compatibility and case-name stability, not timing.
+execute_process(
+  COMMAND "${BENCHDIFF}" "${WORK_DIR}/BENCH_a.json" "${WORK_DIR}/BENCH_b.json"
+          --threshold-pct 400 --fail-on-missing
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "benchdiff failed (${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "benchdiff clean:\n${out}")

@@ -3,13 +3,13 @@
 //
 // Prints ASCII heatmaps of (1) the raw sensor matrix, (2) the sorted matrix
 // after the CS sorting stage and (3) the real/imaginary signature heatmaps,
-// and writes full-resolution PGM images next to the binary.
-//
-// Usage: fig2_pipeline_viz [scale] [output_dir]
-#include <cstdlib>
+// and writes full-resolution PGM images to --out-dir (default fig2_out).
+// Under benchkit the training and transform stages are timed cases.
 #include <filesystem>
 #include <iostream>
+#include <optional>
 
+#include "benchkit/benchkit.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 #include "harness/experiment.hpp"
@@ -17,11 +17,20 @@
 #include "hpcoda/generator.hpp"
 #include "hpcoda/types.hpp"
 
-int main(int argc, char** argv) {
-  using namespace csm;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"fig2_pipeline_viz",
+          "Fig. 2: raw/sorted/signature heatmaps of the CS stages on AMG "
+          "data (PGM images written to --out-dir)",
+          kFlagScale | kFlagOutDir, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
-  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "fig2_out";
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
+  const std::filesystem::path out_dir = run.opts().out_dir_or("fig2_out");
 
   const hpcoda::Segment seg = hpcoda::make_application_segment(config);
   const common::Matrix all_nodes = harness::stack_blocks(seg);
@@ -31,21 +40,31 @@ int main(int argc, char** argv) {
   // Locate the AMG run (label == AppId::kAmg) in the shared schedule.
   const int amg_label = static_cast<int>(hpcoda::AppId::kAmg);
   std::size_t begin = 0, end = 0;
-  for (const hpcoda::RunInfo& run : seg.runs) {
-    if (run.label == amg_label) {
-      begin = run.begin;
-      end = run.end;
+  for (const hpcoda::RunInfo& run_info : seg.runs) {
+    if (run_info.label == amg_label) {
+      begin = run_info.begin;
+      end = run_info.end;
       break;
     }
   }
   const common::Matrix amg = all_nodes.sub_cols(begin, end - begin);
 
   // Training stage on the AMG data itself (as in the paper's Fig. 2).
-  const core::CsModel model = core::train(amg);
-  const core::CsPipeline pipeline(model, core::CsOptions{160, false});
+  std::optional<core::CsModel> model;
+  run.measure("train", static_cast<double>(amg.cols()),
+              [&] { model = core::train(amg); })
+      .param("dimensions", std::to_string(amg.rows()))
+      .param("samples", std::to_string(amg.cols()));
+
+  const core::CsPipeline pipeline(*model, core::CsOptions{160, false});
   const common::Matrix sorted = pipeline.sorted(amg);
-  const auto sigs =
-      pipeline.transform(amg, data::WindowSpec{seg.window.length, 2});
+  std::vector<core::Signature> sigs;
+  run.measure("transform", static_cast<double>(amg.cols()),
+              [&] {
+                sigs = pipeline.transform(
+                    amg, data::WindowSpec{seg.window.length, 2});
+              })
+      .metric("signatures", static_cast<double>(sigs.size()));
   const auto [re, im] = core::signature_heatmaps(sigs);
 
   std::cout << "\n--- Raw time-series data (left of Fig. 2) ---\n"
@@ -72,3 +91,5 @@ int main(int argc, char** argv) {
   std::cout << "\nPGM images written to " << out_dir << "/\n";
   return 0;
 }
+
+}  // namespace csm::benchkit

@@ -7,48 +7,82 @@
 // divergence everywhere, hurts Power and Fault scores noticeably, barely
 // moves Infrastructure.
 //
-// Usage: fig4_compression_quality [scale]
+// Registry-driven line-up: each spec is one case per segment; the default
+// reproduces the paper's sweep (both channel variants at every length).
+// The Eq. 4 JS-divergence metric is defined for the CS representation, so
+// it is reported for cs specs and omitted for other methods.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "benchkit/benchkit.hpp"
+#include "core/method_registry.hpp"
 #include "harness/experiment.hpp"
 #include "hpcoda/generator.hpp"
 
-int main(int argc, char** argv) {
-  using namespace csm;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"fig4_compression_quality",
+          "Fig. 4: compression fidelity (Eq. 4 JS divergence) and ML score "
+          "vs CS signature length, with/without the imaginary channel",
+          kFlagMethods | kFlagScale,
+          "cs:blocks=5,cs:blocks=5,real-only,"
+          "cs:blocks=10,cs:blocks=10,real-only,"
+          "cs:blocks=20,cs:blocks=20,real-only,"
+          "cs:blocks=40,cs:blocks=40,real-only,"
+          "cs:blocks=0,cs:blocks=0,real-only"};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Figure 4: compression fidelity vs signature length "
                "(scale=" << config.scale << ")\n\n";
-  std::printf("%-16s %-8s %10s %10s %12s %12s\n", "Segment", "Length",
-              "JSdiv", "JSdiv-R", "MLScore", "MLScore-R");
+  std::printf("%-16s %-28s %10s %12s\n", "Segment", "Method", "JSdiv",
+              "MLScore");
 
   const auto models = harness::random_forest_factories();
-  const std::size_t lengths[] = {5, 10, 20, 40, 0};  // 0 = All.
   for (const hpcoda::Segment& segment :
        hpcoda::make_primary_segments(config)) {
-    for (std::size_t l : lengths) {
-      const std::string label =
-          l == 0 ? "All" : std::to_string(l);
-      const double js = harness::cs_js_divergence(segment, l, false);
-      const double js_r = harness::cs_js_divergence(segment, l, true);
-      const double score =
-          harness::evaluate_method(segment, harness::make_cs_method(l, false),
-                                   models)
-              .ml_score;
-      const double score_r =
-          harness::evaluate_method(segment, harness::make_cs_method(l, true),
-                                   models)
-              .ml_score;
-      std::printf("%-16s %-8s %10.4f %10.4f %12.4f %12.4f\n",
-                  segment.name.c_str(), label.c_str(), js, js_r, score,
-                  score_r);
+    const std::uint64_t shuffle_seed =
+        run.derive_seed("shuffle/" + segment.name);
+    for (const std::string& spec_text : run.methods()) {
+      const core::MethodSpec spec = core::MethodSpec::parse(spec_text);
+      const harness::BlockMethod method =
+          harness::method_from_spec(spec_text);
+      const harness::MethodEvaluation eval = harness::evaluate_method(
+          segment, method, models, 5, run.opts().repetitions, shuffle_seed);
+      // Per-repetition mean: cv_seconds accumulates over the CV repeats.
+      CaseResult& result = run.record(
+          segment.name + "/" + spec_text,
+          eval.generation_seconds +
+              eval.cv_seconds /
+                  static_cast<double>(run.opts().repetitions),
+          static_cast<double>(eval.n_samples));
+      result.seed = shuffle_seed;
+      result.repetitions = run.opts().repetitions;
+      result.param("segment", segment.name);
+      result.param("method", spec_text);
+      result.metric("ml_score", eval.ml_score);
+      result.metric("signature_size",
+                    static_cast<double>(eval.signature_size));
+      double js = -1.0;
+      if (spec.name == "cs") {
+        js = harness::cs_js_divergence(segment,
+                                       spec.get_size_t("blocks", 0),
+                                       spec.get_flag("real-only"));
+        result.metric("js_divergence", js);
+      }
+      std::printf("%-16s %-28s %10.4f %12.4f\n", segment.name.c_str(),
+                  spec_text.c_str(), js, eval.ml_score);
       std::fflush(stdout);
     }
     std::cout << '\n';
   }
   return 0;
 }
+
+}  // namespace csm::benchkit

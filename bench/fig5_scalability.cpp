@@ -1,19 +1,31 @@
-// Figure 5 reproduction (google-benchmark): time to compute one signature
-// as a function of the aggregation window wl (n fixed at 100) and of the
-// number of dimensions n (wl fixed at 100), for every method.
+// Figure 5 reproduction: time to compute one signature as a function of the
+// aggregation window wl (n fixed at 100) and of the number of dimensions n
+// (wl fixed at 100), for every method in the line-up.
 //
 // Expected shapes (paper): all methods linear in n; CS and Lan linear in
 // wl while Tuncer/Bodik grow as O(wl log wl) from per-sensor percentile
 // sorting; CS roughly an order of magnitude faster than Tuncer/Bodik at
 // the high end; the CS block count barely matters.
-#include <benchmark/benchmark.h>
-
+//
+// Previously built on Google Benchmark; now timed with benchkit's
+// calibrated bench_loop, which also removes the library dependency. The
+// line-up is registry-driven (--methods). Every sweep point draws its
+// window from a distinct derived seed — recorded per case — and all
+// methods at one sweep point share that window, because Fig. 5 compares
+// methods on identical input. CS entries skip the Algorithm 1 training
+// stage (identity ordering): Fig. 5 excludes training, and a random matrix
+// has no correlation structure worth learning; other trainable methods are
+// fitted on the benchmark window itself, outside the timed loop.
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
-#include "baselines/bodik.hpp"
-#include "baselines/lan.hpp"
-#include "baselines/tuncer.hpp"
+#include "baselines/registry.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/rng.hpp"
+#include "core/method_registry.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 
@@ -31,95 +43,78 @@ common::Matrix random_window(std::size_t n, std::size_t wl,
   return m;
 }
 
-// Identity-ordering CS model: Fig. 5 excludes the training stage, and a
-// random matrix has no correlation structure worth learning.
-std::shared_ptr<const core::CsPipeline> make_cs(const common::Matrix& window,
-                                                std::size_t blocks) {
-  return std::make_shared<const core::CsPipeline>(
-      core::train_with_strategy(window, core::OrderingStrategy::kIdentity),
-      core::CsOptions{blocks, false});
-}
-
-void run_method(benchmark::State& state, const core::SignatureMethod& method,
-                const common::Matrix& window) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(method.compute(window));
+// Trained method for one spec on one window. CS bypasses fit() to keep the
+// identity ordering (see header comment); everything else goes through the
+// uniform registry lifecycle.
+std::unique_ptr<core::SignatureMethod> make_method(
+    const std::string& spec_text, const common::Matrix& window) {
+  const core::MethodSpec spec = core::MethodSpec::parse(spec_text);
+  if (spec.name == "cs") {
+    spec.expect_only({"blocks", "real-only"});
+    auto pipeline = std::make_shared<const core::CsPipeline>(
+        core::train_with_strategy(window, core::OrderingStrategy::kIdentity),
+        core::CsOptions{spec.get_size_t("blocks", 0),
+                        spec.get_flag("real-only")});
+    return std::make_unique<core::CsSignatureMethod>(std::move(pipeline));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  return baselines::default_registry().create(spec)->fit(window);
 }
-
-// --- Sweep over the aggregation window wl, n = 100 (Fig. 5a). -------------
-
-void BM_Tuncer_Window(benchmark::State& state) {
-  const auto window =
-      random_window(100, static_cast<std::size_t>(state.range(0)), 1);
-  run_method(state, baselines::TuncerMethod(), window);
-}
-void BM_Bodik_Window(benchmark::State& state) {
-  const auto window =
-      random_window(100, static_cast<std::size_t>(state.range(0)), 2);
-  run_method(state, baselines::BodikMethod(), window);
-}
-void BM_Lan_Window(benchmark::State& state) {
-  const auto window =
-      random_window(100, static_cast<std::size_t>(state.range(0)), 3);
-  run_method(state, baselines::LanMethod(), window);
-}
-void BM_CS_Window(benchmark::State& state) {
-  const auto window =
-      random_window(100, static_cast<std::size_t>(state.range(0)), 4);
-  const auto blocks = static_cast<std::size_t>(state.range(1));
-  const core::CsSignatureMethod method(make_cs(window, blocks));
-  run_method(state, method, window);
-}
-
-// --- Sweep over the number of dimensions n, wl = 100 (Fig. 5b). -----------
-
-void BM_Tuncer_Dims(benchmark::State& state) {
-  const auto window =
-      random_window(static_cast<std::size_t>(state.range(0)), 100, 5);
-  run_method(state, baselines::TuncerMethod(), window);
-}
-void BM_Bodik_Dims(benchmark::State& state) {
-  const auto window =
-      random_window(static_cast<std::size_t>(state.range(0)), 100, 6);
-  run_method(state, baselines::BodikMethod(), window);
-}
-void BM_Lan_Dims(benchmark::State& state) {
-  const auto window =
-      random_window(static_cast<std::size_t>(state.range(0)), 100, 7);
-  run_method(state, baselines::LanMethod(), window);
-}
-void BM_CS_Dims(benchmark::State& state) {
-  const auto window =
-      random_window(static_cast<std::size_t>(state.range(0)), 100, 8);
-  const auto blocks = static_cast<std::size_t>(state.range(1));
-  const core::CsSignatureMethod method(make_cs(window, blocks));
-  run_method(state, method, window);
-}
-
-constexpr std::int64_t kSweep[] = {10, 100, 1000, 4000, 10000};
-
-void window_args(benchmark::internal::Benchmark* b) {
-  for (std::int64_t wl : kSweep) b->Arg(wl);
-  b->Unit(benchmark::kMicrosecond);
-}
-void cs_window_args(benchmark::internal::Benchmark* b) {
-  for (std::int64_t blocks : {5, 20, 0}) {  // 0 = CS-All.
-    for (std::int64_t wl : kSweep) b->Args({wl, blocks});
-  }
-  b->Unit(benchmark::kMicrosecond);
-}
-
-BENCHMARK(BM_Tuncer_Window)->Apply(window_args);
-BENCHMARK(BM_Bodik_Window)->Apply(window_args);
-BENCHMARK(BM_Lan_Window)->Apply(window_args);
-BENCHMARK(BM_CS_Window)->Apply(cs_window_args);
-BENCHMARK(BM_Tuncer_Dims)->Apply(window_args);
-BENCHMARK(BM_Bodik_Dims)->Apply(window_args);
-BENCHMARK(BM_Lan_Dims)->Apply(window_args);
-BENCHMARK(BM_CS_Dims)->Apply(cs_window_args);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"fig5_scalability",
+          "Fig. 5: per-signature compute time vs window length (n=100) and "
+          "vs dimensions (wl=100) for the method line-up",
+          kFlagMethods,
+          "tuncer,bodik,lan,cs:blocks=5,cs:blocks=20,cs:blocks=0"};
+}
+
+int bench_run(Runner& run) {
+  const std::vector<std::size_t> sweep =
+      run.quick() ? std::vector<std::size_t>{10, 100, 1000}
+                  : std::vector<std::size_t>{10, 100, 1000, 4000, 10000};
+
+  struct Axis {
+    const char* name;   // Case-name prefix and swept parameter name.
+    const char* fixed;  // The parameter held at 100.
+  };
+  const Axis axes[] = {{"window/wl", "n"}, {"dims/n", "wl"}};
+
+  for (const Axis& axis : axes) {
+    const bool window_axis = std::string_view(axis.name) == "window/wl";
+    std::printf("== Sweep over %s (%s=100) ==\n",
+                window_axis ? "window length wl" : "dimensions n",
+                axis.fixed);
+    std::printf("%10s %-24s %15s %15s\n", window_axis ? "wl" : "n", "method",
+                "us/signature", "sig/s");
+    for (const std::size_t value : sweep) {
+      const std::size_t n = window_axis ? 100 : value;
+      const std::size_t wl = window_axis ? value : 100;
+      const std::string point =
+          std::string(axis.name) + "=" + std::to_string(value);
+      // One window per sweep point, shared across methods: Fig. 5 compares
+      // methods on identical input.
+      const std::uint64_t seed = run.derive_seed(point);
+      const common::Matrix window = random_window(n, wl, seed);
+      for (const std::string& spec : run.methods()) {
+        const auto method = make_method(spec, window);
+        CaseResult& result = run.bench_loop(
+            point + "/" + spec, [&] { method->compute(window); });
+        result.seed = seed;
+        result.param("n", std::to_string(n));
+        result.param("wl", std::to_string(wl));
+        result.param("method", spec);
+        std::printf("%10zu %-24s %15.2f %15.0f\n", value, spec.c_str(),
+                    result.wall_seconds * 1e6, result.items_per_sec);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace csm::benchkit

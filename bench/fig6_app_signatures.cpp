@@ -6,11 +6,15 @@
 // phase; Quicksilver shows light load but a periodic pattern at the bottom
 // of the imaginary channel from its oscillating CPU frequency.
 //
-// Usage: fig6_app_signatures [scale] [output_dir]
-#include <cstdlib>
+// Under benchkit the shared training pass and each application's transform
+// are timed cases; PGM images go to --out-dir (default fig6_out).
 #include <filesystem>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 #include "harness/experiment.hpp"
@@ -18,11 +22,20 @@
 #include "hpcoda/generator.hpp"
 #include "hpcoda/types.hpp"
 
-int main(int argc, char** argv) {
-  using namespace csm;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"fig6_app_signatures",
+          "Fig. 6: 160-block signature heatmaps of Kripke/Linpack/"
+          "Quicksilver across the Application segment",
+          kFlagScale | kFlagOutDir, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
-  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "fig6_out";
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
+  const std::filesystem::path out_dir = run.opts().out_dir_or("fig6_out");
   std::filesystem::create_directories(out_dir);
 
   const hpcoda::Segment seg = hpcoda::make_application_segment(config);
@@ -30,24 +43,39 @@ int main(int argc, char** argv) {
 
   // One shared model trained on the full segment, as a production system
   // would; 160 blocks as in the paper.
-  const core::CsPipeline pipeline(core::train(all_nodes),
-                                  core::CsOptions{160, false});
+  std::optional<core::CsModel> model;
+  run.measure("train", static_cast<double>(all_nodes.cols()),
+              [&] { model = core::train(all_nodes); })
+      .param("dimensions", std::to_string(all_nodes.rows()));
+  const core::CsPipeline pipeline(*model, core::CsOptions{160, false});
 
   for (hpcoda::AppId app : {hpcoda::AppId::kKripke, hpcoda::AppId::kLinpack,
                             hpcoda::AppId::kQuicksilver}) {
+    const std::string name = hpcoda::app_name(app);
     // Concatenate the signature heatmaps of every run of this application
     // (the paper separates runs with vertical lines; we simply abut them).
     std::vector<core::Signature> sigs;
-    for (const hpcoda::RunInfo& run : seg.runs) {
-      if (run.label != static_cast<int>(app)) continue;
-      const common::Matrix window_data =
-          all_nodes.sub_cols(run.begin, run.end - run.begin);
-      const auto run_sigs = pipeline.transform(
-          window_data, data::WindowSpec{seg.window.length, 2});
-      sigs.insert(sigs.end(), run_sigs.begin(), run_sigs.end());
-    }
+    std::size_t samples = 0;
+    CaseResult& result = run.measure("transform/" + name, 0.0, [&] {
+      sigs.clear();
+      samples = 0;
+      for (const hpcoda::RunInfo& run_info : seg.runs) {
+        if (run_info.label != static_cast<int>(app)) continue;
+        const common::Matrix window_data =
+            all_nodes.sub_cols(run_info.begin, run_info.end - run_info.begin);
+        samples += window_data.cols();
+        const auto run_sigs = pipeline.transform(
+            window_data, data::WindowSpec{seg.window.length, 2});
+        sigs.insert(sigs.end(), run_sigs.begin(), run_sigs.end());
+      }
+    });
+    result.items = static_cast<double>(samples);
+    result.items_per_sec =
+        result.wall_seconds > 0.0 ? result.items / result.wall_seconds : 0.0;
+    result.param("application", name);
+    result.metric("signatures", static_cast<double>(sigs.size()));
+
     const auto [re, im] = core::signature_heatmaps(sigs);
-    const std::string name = hpcoda::app_name(app);
     std::cout << "=== " << name << " (" << sigs.size()
               << " signatures x 160 blocks) ===\n"
               << "--- real ---\n"
@@ -59,3 +87,5 @@ int main(int argc, char** argv) {
   std::cout << "PGM images written to " << out_dir << "/\n";
   return 0;
 }
+
+}  // namespace csm::benchkit

@@ -5,14 +5,15 @@
 // 20-block signatures; the three datasets are merged and 5-fold
 // cross-validated with no knowledge of the architecture. The paper reports
 // F1 = 0.995 (random forest) and 0.992 (MLP). Also renders the LAMMPS
-// signature heatmaps per architecture (Fig. 7).
+// signature heatmaps per architecture (Fig. 7) into --out-dir.
 //
-// Usage: fig7_cross_arch [scale] [output_dir]
+// Under benchkit each per-architecture dataset build and both
+// cross-validations are timed cases with the F1 scores as metrics.
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
+#include "benchkit/benchkit.hpp"
 #include "core/pipeline.hpp"
 #include "core/training.hpp"
 #include "harness/experiment.hpp"
@@ -20,11 +21,20 @@
 #include "hpcoda/generator.hpp"
 #include "hpcoda/types.hpp"
 
-int main(int argc, char** argv) {
-  using namespace csm;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"fig7_cross_arch",
+          "Fig. 7 / Sec. IV-F: architecture-blind CV over merged per-node "
+          "CS datasets (Skylake/KNL/Rome) + LAMMPS heatmaps",
+          kFlagScale | kFlagOutDir, ""};
+}
+
+int bench_run(Runner& run) {
   hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
-  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "fig7_out";
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
+  const std::filesystem::path out_dir = run.opts().out_dir_or("fig7_out");
   std::filesystem::create_directories(out_dir);
 
   const hpcoda::Segment seg = hpcoda::make_cross_arch_segment(config);
@@ -34,21 +44,43 @@ int main(int argc, char** argv) {
   for (const hpcoda::ComponentBlock& block : seg.blocks) {
     hpcoda::Segment single = seg;
     single.blocks = {block};
-    data::Dataset ds =
-        harness::build_dataset(single, harness::make_cs_method(20));
+    data::Dataset ds;
+    run.measure("dataset/" + block.name,
+                static_cast<double>(block.sensors.cols()),
+                [&] {
+                  ds = harness::build_dataset(single,
+                                              harness::make_cs_method(20));
+                })
+        .param("architecture", block.name)
+        .metric("signatures", static_cast<double>(ds.size()));
     std::cout << block.name << ": " << ds.size() << " signatures of length "
               << ds.feature_length() << '\n';
     merged.merge(ds);
   }
   std::cout << "Merged dataset: " << merged.size() << " samples\n\n";
 
-  // Step 3: 5-fold CV, architecture-blind.
-  common::Rng rng(7);
+  // Step 3: 5-fold CV, architecture-blind. One derived shuffle seed covers
+  // both models — the RF-vs-MLP comparison holds the folds fixed.
+  const std::uint64_t shuffle_seed = run.derive_seed("shuffle/merged");
+  common::Rng rng(shuffle_seed);
   merged.shuffle(rng);
-  const ml::CvResult rf = ml::cross_validate(
-      merged, 5, harness::random_forest_factories(), rng);
-  const ml::CvResult mlp =
-      ml::cross_validate(merged, 5, harness::mlp_factories(), rng);
+  ml::CvResult rf;
+  run.measure("cv/random_forest", static_cast<double>(merged.size()),
+              [&] {
+                rf = ml::cross_validate(merged, 5,
+                                        harness::random_forest_factories(),
+                                        rng);
+              })
+      .metric("f1", rf.mean_score)
+      .seed = shuffle_seed;
+  ml::CvResult mlp;
+  run.measure("cv/mlp", static_cast<double>(merged.size()),
+              [&] {
+                mlp = ml::cross_validate(merged, 5,
+                                         harness::mlp_factories(), rng);
+              })
+      .metric("f1", mlp.mean_score)
+      .seed = shuffle_seed;
   std::printf("Random forest F1: %.4f   (paper: 0.995)\n", rf.mean_score);
   std::printf("MLP           F1: %.4f   (paper: 0.992)\n", mlp.mean_score);
 
@@ -58,10 +90,11 @@ int main(int argc, char** argv) {
     const core::CsPipeline pipeline(core::train(block.sensors),
                                     core::CsOptions{20, false});
     std::vector<core::Signature> sigs;
-    for (const hpcoda::RunInfo& run : seg.runs) {
-      if (run.label != lammps_label) continue;
+    for (const hpcoda::RunInfo& run_info : seg.runs) {
+      if (run_info.label != lammps_label) continue;
       const auto run_sigs = pipeline.transform(
-          block.sensors.sub_cols(run.begin, run.end - run.begin),
+          block.sensors.sub_cols(run_info.begin,
+                                 run_info.end - run_info.begin),
           data::WindowSpec{seg.window.length, 2});
       sigs.insert(sigs.end(), run_sigs.begin(), run_sigs.end());
     }
@@ -77,3 +110,5 @@ int main(int argc, char** argv) {
   std::cout << "\nPGM images written to " << out_dir << "/\n";
   return 0;
 }
+
+}  // namespace csm::benchkit

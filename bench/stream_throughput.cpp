@@ -12,16 +12,19 @@
 // samples/sec, and the driver exits non-zero if StreamEngine ever disagrees
 // with per-node CsStream runs.
 //
-// Usage: stream_throughput [--quick]
+// Runs under the shared benchkit CLI (see --help). Naive and ring cases at
+// one sweep point share the same derived data seed — the before/after
+// comparison requires identical input — while distinct sweep points get
+// distinct seeds, all recorded in the JSON output.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -104,41 +107,34 @@ class NaiveStream {
   std::size_t next_emit_at_ = 0;
 };
 
-struct RunResult {
-  double samples_per_sec = 0.0;
-  std::size_t signatures = 0;
-};
-
-RunResult run_naive(const core::CsModel& model,
-                    const core::StreamOptions& opts,
-                    const common::Matrix& data) {
+std::size_t run_naive(const core::CsModel& model,
+                      const core::StreamOptions& opts,
+                      const common::Matrix& data) {
   NaiveStream stream(model, opts);
   std::vector<double> column(data.rows());
   std::size_t sigs = 0;
-  const common::Timer timer;
   for (std::size_t c = 0; c < data.cols(); ++c) {
     for (std::size_t r = 0; r < data.rows(); ++r) column[r] = data(r, c);
     if (stream.push(column)) ++sigs;
   }
-  return {static_cast<double>(data.cols()) / timer.seconds(), sigs};
+  return sigs;
 }
 
-RunResult run_ring(const core::CsModel& model,
-                   const core::StreamOptions& opts,
-                   const common::Matrix& data) {
+std::size_t run_ring(const core::CsModel& model,
+                     const core::StreamOptions& opts,
+                     const common::Matrix& data) {
   core::CsStream stream(model, opts);
-  const common::Timer timer;
-  const auto sigs = stream.push_all(data);
-  return {static_cast<double>(data.cols()) / timer.seconds(), sigs.size()};
+  return stream.push_all(data).size();
 }
 
-bool engine_matches_per_node_streams(const core::StreamOptions& opts) {
+bool engine_matches_per_node_streams(const core::StreamOptions& opts,
+                                     std::uint64_t seed) {
   const std::size_t n_nodes = 8;
   core::StreamEngine engine(opts);
   std::vector<common::Matrix> batches;
   std::vector<core::CsModel> models;
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    batches.push_back(synthetic_stream(24, 600, 900 + i));
+    batches.push_back(synthetic_stream(24, 600, seed + i));
     models.push_back(core::train(batches.back()));
     engine.add_node("node", models.back());
   }
@@ -157,21 +153,28 @@ bool engine_matches_per_node_streams(const core::StreamOptions& opts) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bool quick =
-      argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"stream_throughput",
+          "CsStream push path (erase-front history vs ring buffer) and "
+          "StreamEngine fleet-scaling throughput",
+          0, ""};
+}
+
+int bench_run(Runner& run) {
+  const bool quick = run.quick();
 
   core::StreamOptions opts;
   opts.window_length = 60;
   opts.window_step = 10;
   opts.cs.blocks = 20;
 
-  const std::vector<std::size_t> sensor_counts = quick
-      ? std::vector<std::size_t>{16}
-      : std::vector<std::size_t>{16, 64};
-  const std::vector<std::size_t> histories = quick
-      ? std::vector<std::size_t>{512, 4096}
-      : std::vector<std::size_t>{1024, 4096, 16384};
+  const std::vector<std::size_t> sensor_counts =
+      quick ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 64};
+  const std::vector<std::size_t> histories =
+      quick ? std::vector<std::size_t>{512, 4096}
+            : std::vector<std::size_t>{1024, 4096, 16384};
 
   std::printf("== CsStream push path: erase-front history vs ring buffer "
               "(wl=60, ws=10) ==\n");
@@ -183,20 +186,40 @@ int main(int argc, char** argv) {
       // the naive buffer never fills and erase-front never runs.
       const std::size_t t =
           std::max<std::size_t>(5 * history, quick ? 8000 : 20000);
-      const common::Matrix data = synthetic_stream(n, t, 42 + n);
+      const std::string point = "n=" + std::to_string(n) +
+                                "/hist=" + std::to_string(history);
+      // One seed per sweep point, shared by the naive and ring cases: the
+      // before/after comparison requires identical input data.
+      const std::uint64_t seed = run.derive_seed("push/" + point);
+      const common::Matrix data = synthetic_stream(n, t, seed);
       const core::CsModel model =
           core::train(data.sub_cols(0, std::min<std::size_t>(t, 4000)));
       opts.history_length = history;
-      const RunResult naive = run_naive(model, opts, data);
-      const RunResult ring = run_ring(model, opts, data);
-      if (naive.signatures != ring.signatures) {
+
+      std::size_t naive_sigs = 0;
+      std::size_t ring_sigs = 0;
+      CaseResult& naive =
+          run.measure("naive/" + point, static_cast<double>(t),
+                      [&] { naive_sigs = run_naive(model, opts, data); });
+      CaseResult& ring =
+          run.measure("ring/" + point, static_cast<double>(t),
+                      [&] { ring_sigs = run_ring(model, opts, data); });
+      for (CaseResult* c : {&naive, &ring}) {
+        c->seed = seed;
+        c->param("sensors", std::to_string(n));
+        c->param("history", std::to_string(history));
+        c->param("samples", std::to_string(t));
+      }
+      naive.metric("signatures", static_cast<double>(naive_sigs));
+      ring.metric("signatures", static_cast<double>(ring_sigs));
+      if (naive_sigs != ring_sigs) {
         std::fprintf(stderr, "FAIL: signature count mismatch (%zu vs %zu)\n",
-                     naive.signatures, ring.signatures);
+                     naive_sigs, ring_sigs);
         return 1;
       }
       std::printf("%8zu %9zu %9zu %15.0f %15.0f %8.1fx\n", n, history, t,
-                  naive.samples_per_sec, ring.samples_per_sec,
-                  ring.samples_per_sec / naive.samples_per_sec);
+                  naive.items_per_sec, ring.items_per_sec,
+                  ring.items_per_sec / naive.items_per_sec);
     }
   }
 
@@ -207,26 +230,42 @@ int main(int argc, char** argv) {
   std::printf("%8s %15s %15s %12s\n", "nodes", "samples", "agg smp/s",
               "signatures");
   for (std::size_t nodes : {1u, 4u, 16u}) {
-    core::StreamEngine engine(opts);
+    const std::string name = "engine/nodes=" + std::to_string(nodes);
+    const std::uint64_t seed = run.derive_seed(name);
     std::vector<common::Matrix> batches;
+    std::vector<core::CsModel> models;
     for (std::size_t i = 0; i < nodes; ++i) {
-      batches.push_back(synthetic_stream(32, fleet_t, 1000 + i));
-      engine.add_node("node", core::train(batches.back()));
+      batches.push_back(synthetic_stream(32, fleet_t, seed + i));
+      models.push_back(core::train(batches.back()));
     }
-    engine.ingest_batch(batches);
-    const core::EngineStats stats = engine.stats();
+    std::size_t signatures = 0;
+    CaseResult& result = run.measure(
+        name, static_cast<double>(nodes * fleet_t), [&] {
+          core::StreamEngine engine(opts);
+          for (std::size_t i = 0; i < nodes; ++i) {
+            engine.add_node("node", models[i]);
+          }
+          engine.ingest_batch(batches);
+          signatures = engine.stats().signatures;
+        });
+    result.param("nodes", std::to_string(nodes));
+    result.param("samples_per_node", std::to_string(fleet_t));
+    result.metric("signatures", static_cast<double>(signatures));
     std::printf("%8zu %15llu %15.0f %12llu\n", nodes,
-                static_cast<unsigned long long>(stats.samples),
-                stats.samples_per_second(),
-                static_cast<unsigned long long>(stats.signatures));
+                static_cast<unsigned long long>(nodes * fleet_t),
+                result.items_per_sec,
+                static_cast<unsigned long long>(signatures));
   }
 
   std::printf("\n== StreamEngine vs per-node CsStream equivalence ==\n");
   opts.history_length = 1024;
-  if (!engine_matches_per_node_streams(opts)) {
+  if (!engine_matches_per_node_streams(opts,
+                                       run.derive_seed("equivalence"))) {
     std::printf("FAIL: engine output differs from per-node streams\n");
     return 1;
   }
   std::printf("OK: identical signatures on all nodes\n");
   return 0;
 }
+
+}  // namespace csm::benchkit

@@ -3,39 +3,74 @@
 // Prints one row per segment with the same columns as the paper's Table I.
 // Node, sensor, interval, wl and ws values match the paper exactly; data
 // point and feature set counts are smaller because the synthetic segments
-// are sized for laptop-scale experiments (pass a scale factor to grow them).
+// are sized for laptop-scale experiments (pass --scale to grow them).
 //
-// Usage: table1_segments [scale]
+// Under benchkit each segment build is one timed case, so the nightly perf
+// workflow tracks generator throughput alongside the structural metrics.
 #include <cstdio>
-#include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "benchkit/benchkit.hpp"
 #include "harness/summary.hpp"
 #include "hpcoda/generator.hpp"
 
-int main(int argc, char** argv) {
-  csm::hpcoda::GeneratorConfig config;
-  if (argc > 1) config.scale = std::atof(argv[1]);
+namespace csm::benchkit {
+
+Setup bench_setup() {
+  return {"table1_segments",
+          "Table I: HPC-ODA segment overview (synthetic reproduction)",
+          kFlagScale, ""};
+}
+
+int bench_run(Runner& run) {
+  hpcoda::GeneratorConfig config;
+  config.scale = run.opts().scale_or(run.quick() ? 0.3 : 1.0);
+  config.seed = run.opts().seed;
 
   std::cout << "Table I: HPC-ODA segment overview (synthetic reproduction, "
-               "scale="
-            << config.scale << ")\n\n";
+               "scale=" << config.scale << ")\n\n";
   std::printf("%-20s %5s %8s %10s %10s %9s %9s %6s %6s\n", "Segment", "Nodes",
               "Sensors", "DataPts", "Length", "Interval", "FeatSets", "wl",
               "ws");
 
-  std::vector<csm::hpcoda::Segment> segments =
-      csm::hpcoda::make_primary_segments(config);
-  segments.push_back(csm::hpcoda::make_cross_arch_segment(config));
+  using Builder = std::function<hpcoda::Segment()>;
+  const std::vector<std::pair<std::string, Builder>> builders = {
+      {"fault", [&] { return hpcoda::make_fault_segment(config); }},
+      {"application",
+       [&] { return hpcoda::make_application_segment(config); }},
+      {"power", [&] { return hpcoda::make_power_segment(config); }},
+      {"infrastructure",
+       [&] { return hpcoda::make_infrastructure_segment(config); }},
+      {"cross-arch",
+       [&] { return hpcoda::make_cross_arch_segment(config); }}};
 
-  for (const auto& segment : segments) {
-    std::cout << csm::harness::format_summary(
-                     csm::harness::summarize(segment))
-              << '\n';
+  for (const auto& [name, build] : builders) {
+    std::optional<hpcoda::Segment> segment;
+    CaseResult& result = run.measure("generate/" + name, 1.0,
+                                     [&] { segment = build(); });
+    const harness::SegmentSummary summary = harness::summarize(*segment);
+    result.items = static_cast<double>(summary.data_points);
+    result.items_per_sec =
+        result.wall_seconds > 0.0 ? result.items / result.wall_seconds : 0.0;
+    result.param("segment", name);
+    result.metric("nodes", static_cast<double>(summary.nodes));
+    result.metric("sensors", static_cast<double>(summary.sensors));
+    result.metric("data_points", static_cast<double>(summary.data_points));
+    result.metric("feature_sets", static_cast<double>(summary.feature_sets));
+    result.metric("wl", static_cast<double>(summary.wl));
+    result.metric("ws", static_cast<double>(summary.ws));
+    std::cout << harness::format_summary(summary) << '\n';
   }
+
   std::cout << "\nPaper reference (Table I): Fault 1x128 @1s wl=1m ws=10s; "
                "Application 16x52 @1s wl=30s ws=5s; Power 1x47 @100ms wl=1s "
                "ws=500ms; Infrastructure 148 nodes, 31 sensors @10s wl=5m "
                "ws=1m; Cross-Arch 3x(52,46,39) @1s wl=30s ws=2s.\n";
   return 0;
 }
+
+}  // namespace csm::benchkit

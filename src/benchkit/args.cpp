@@ -1,0 +1,57 @@
+#include "benchkit/args.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace csm::benchkit {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view flag, std::string_view kind,
+                       std::string_view value) {
+  throw std::invalid_argument(std::string(flag) + ": expected " +
+                              std::string(kind) + ", got \"" +
+                              std::string(value) + "\"");
+}
+
+template <typename T>
+T parse_integer(std::string_view flag, std::string_view kind,
+                std::string_view value) {
+  T out{};
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      value.empty()) {
+    fail(flag, kind, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t parse_size_t(std::string_view flag, std::string_view value) {
+  return parse_integer<std::size_t>(flag, "a non-negative integer", value);
+}
+
+std::uint64_t parse_uint64(std::string_view flag, std::string_view value) {
+  return parse_integer<std::uint64_t>(flag, "a non-negative integer", value);
+}
+
+std::int64_t parse_int64(std::string_view flag, std::string_view value) {
+  return parse_integer<std::int64_t>(flag, "an integer", value);
+}
+
+double parse_double(std::string_view flag, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      value.empty() || !std::isfinite(out)) {
+    fail(flag, "a finite number", value);
+  }
+  return out;
+}
+
+}  // namespace csm::benchkit

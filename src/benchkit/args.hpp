@@ -1,0 +1,28 @@
+// Checked command-line value parsing shared by the bench drivers (via the
+// benchkit flag parser) and csmcli.
+//
+// Every helper parses the ENTIRE value or throws std::invalid_argument with
+// a message naming the offending flag — "--blocks 20x" must be an error, not
+// a silent 20 (the classic atoll trap the CLI tools used to fall into).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace csm::benchkit {
+
+/// Non-negative integer ("20"). Rejects signs, leading/trailing garbage and
+/// empty values.
+std::size_t parse_size_t(std::string_view flag, std::string_view value);
+
+/// Unsigned 64-bit integer (seeds).
+std::uint64_t parse_uint64(std::string_view flag, std::string_view value);
+
+/// Signed 64-bit integer ("-5").
+std::int64_t parse_int64(std::string_view flag, std::string_view value);
+
+/// Finite double ("0.25", "1e-3"). Rejects trailing garbage, NaN and inf.
+double parse_double(std::string_view flag, std::string_view value);
+
+}  // namespace csm::benchkit

@@ -1,0 +1,38 @@
+// Shared main() for every bench driver (csm::benchkit_main). Drivers define
+// bench_setup()/bench_run(); this translation unit owns argument parsing,
+// usage/exit-code policy and the JSON write-out.
+//
+// Exit status: 0 on success, 1 on usage errors (unknown flag, bad value,
+// bad --methods spec), 2 on runtime failures, and whatever non-zero code
+// bench_run returns on benchmark-level failures (e.g. an equivalence check).
+#include <exception>
+#include <iostream>
+#include <utility>
+
+#include "baselines/registry.hpp"
+#include "benchkit/benchkit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csm::benchkit;
+  const Setup setup = bench_setup();
+  Options opts;
+  try {
+    opts = parse_args(setup, csm::baselines::default_registry(), argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << usage(setup);
+    return 1;
+  }
+  if (opts.help) {
+    std::cout << usage(setup);
+    return 0;
+  }
+  try {
+    Runner runner(setup, std::move(opts));
+    const int run_rc = bench_run(runner);
+    const int finish_rc = runner.finish();
+    return run_rc != 0 ? run_rc : finish_rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,368 @@
+#include "benchkit/benchkit.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "benchkit/args.hpp"
+#include "common/timer.hpp"
+#include "core/method_registry.hpp"
+
+#ifndef CSM_GIT_SHA
+#define CSM_GIT_SHA "unknown"
+#endif
+
+namespace csm::benchkit {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string git_sha() {
+  if (const char* env = std::getenv("CSM_GIT_SHA")) return env;
+  return CSM_GIT_SHA;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Json host_json() {
+  Json host = Json::object();
+  std::string hostname = "unknown", system = "unknown", machine = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    hostname = uts.nodename;
+    system = uts.sysname;
+    machine = uts.machine;
+  }
+#endif
+  host.set("hostname", hostname);
+  host.set("system", system);
+  host.set("machine", machine);
+  host.set("cpus",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  return host;
+}
+
+double cpu_seconds_now() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace
+
+std::string usage(const Setup& setup) {
+  std::string out = "usage: " + setup.driver +
+                    " [--quick] [--json PATH] [--repetitions N] [--seed N]";
+  if (setup.flags & kFlagMethods) out += " [--methods SPECS]";
+  if (setup.flags & kFlagScale) out += " [--scale S]";
+  if (setup.flags & kFlagOutDir) out += " [--out-dir DIR]";
+  out += "\n\n" + setup.summary + "\n\n";
+  out +=
+      "  --quick          reduced sweeps/scale for CI smoke runs\n"
+      "  --json PATH      write the csm-bench-v1 JSON result file\n"
+      "  --repetitions N  timed repetitions per case (default 1)\n"
+      "  --seed N         base RNG seed; per-case seeds derive from it\n";
+  if (setup.flags & kFlagMethods) {
+    out +=
+        "  --methods SPECS  registry spec strings, e.g. "
+        "\"cs:blocks=20,tuncer\"\n                   (default: " +
+        setup.default_methods + ")\n";
+  }
+  if (setup.flags & kFlagScale) {
+    out += "  --scale S        segment-size multiplier (> 0)\n";
+  }
+  if (setup.flags & kFlagOutDir) {
+    out += "  --out-dir DIR    directory for image/side-output files\n";
+  }
+  return out;
+}
+
+std::vector<std::string> split_method_specs(
+    const core::MethodRegistry& registry, std::string_view text) {
+  // Tokens are comma/';'-separated; a comma token starts a NEW spec when its
+  // head (before ':' or '=') is a registered method name and it is not a
+  // key=value parameter, otherwise it extends the previous spec. ';' always
+  // starts a new spec.
+  std::vector<std::string> raw;
+  std::string current;
+  std::string_view rest = text;
+  char last_sep = ';';
+  while (true) {
+    const std::size_t cut = rest.find_first_of(",;");
+    const std::string_view token = trim(rest.substr(0, cut));
+    if (token.empty()) {
+      throw std::invalid_argument("--methods: empty method spec in \"" +
+                                  std::string(text) + "\"");
+    }
+    const std::size_t head_end = token.find_first_of(":=");
+    const bool is_param =
+        head_end != std::string_view::npos && token[head_end] == '=';
+    const std::string head = lowered(token.substr(0, head_end));
+    const bool new_spec = current.empty() || last_sep == ';' ||
+                          (!is_param && registry.contains(head));
+    if (new_spec) {
+      if (!current.empty()) raw.push_back(current);
+      current = std::string(token);
+    } else {
+      current += current.find(':') == std::string::npos ? ':' : ',';
+      current += std::string(token);
+    }
+    if (cut == std::string_view::npos) break;
+    last_sep = rest[cut];
+    rest = rest.substr(cut + 1);
+  }
+  if (!current.empty()) raw.push_back(current);
+  if (raw.empty()) {
+    throw std::invalid_argument("--methods: no method specs given");
+  }
+
+  std::vector<std::string> specs;
+  specs.reserve(raw.size());
+  for (const std::string& spec_text : raw) {
+    const core::MethodSpec spec = core::MethodSpec::parse(spec_text);
+    registry.create(spec);  // Validate name and parameters; surface the
+                            // registry's own error message on failure.
+    specs.push_back(spec.to_string());
+  }
+  return specs;
+}
+
+Options parse_args(const Setup& setup, const core::MethodRegistry& registry,
+                   int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](std::string_view flag) -> std::string_view {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + ": missing value");
+      }
+      return argv[++i];
+    };
+    auto enabled = [&](unsigned flag_bit, std::string_view flag) {
+      if (!(setup.flags & flag_bit)) {
+        throw std::invalid_argument(std::string(flag) +
+                                    " is not supported by " + setup.driver);
+      }
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return opts;
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--json") {
+      opts.json_path = std::string(value("--json"));
+    } else if (arg == "--repetitions") {
+      opts.repetitions = parse_size_t("--repetitions", value("--repetitions"));
+      if (opts.repetitions == 0) {
+        throw std::invalid_argument("--repetitions: must be >= 1");
+      }
+    } else if (arg == "--seed") {
+      opts.seed = parse_uint64("--seed", value("--seed"));
+    } else if (arg == "--methods") {
+      enabled(kFlagMethods, "--methods");
+      opts.methods = split_method_specs(registry, value("--methods"));
+    } else if (arg == "--scale") {
+      enabled(kFlagScale, "--scale");
+      const double scale = parse_double("--scale", value("--scale"));
+      if (scale <= 0.0) {
+        throw std::invalid_argument("--scale: must be > 0");
+      }
+      opts.scale = scale;
+    } else if (arg == "--out-dir") {
+      enabled(kFlagOutDir, "--out-dir");
+      opts.out_dir = std::string(value("--out-dir"));
+    } else if (!arg.empty() && arg.front() == '-') {
+      throw std::invalid_argument("unknown flag: " + std::string(arg) +
+                                  " (see --help)");
+    } else {
+      throw std::invalid_argument("unexpected positional argument \"" +
+                                  std::string(arg) +
+                                  "\" (flags only; see --help)");
+    }
+  }
+  if (opts.methods.empty() && (setup.flags & kFlagMethods) &&
+      !setup.default_methods.empty()) {
+    opts.methods = split_method_specs(registry, setup.default_methods);
+  }
+  return opts;
+}
+
+CaseResult& CaseResult::param(std::string key, std::string value) {
+  params.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+CaseResult& CaseResult::metric(std::string key, double value) {
+  metrics.emplace_back(std::move(key), value);
+  return *this;
+}
+
+Runner::Runner(Setup setup, Options options)
+    : setup_(std::move(setup)), options_(std::move(options)) {
+  methods_ = options_.methods;
+}
+
+std::uint64_t Runner::derive_seed(std::string_view tag) const {
+  // FNV-1a over the tag, mixed with the base seed through the splitmix64
+  // finaliser: deterministic, and distinct tags give unrelated streams.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::uint64_t z = options_.seed ^ h;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+CaseResult& Runner::record(std::string name, double wall_seconds,
+                           double items) {
+  CaseResult result;
+  // Default provenance: the run's base seed, which is what drivers that
+  // never fork a per-case stream actually feed their generators. Drivers
+  // that do derive a case seed overwrite this field.
+  result.seed = options_.seed;
+  result.name = std::move(name);
+  result.wall_seconds = wall_seconds;
+  result.items = items;
+  result.items_per_sec = wall_seconds > 0.0 ? items / wall_seconds : 0.0;
+  cases_.push_back(std::move(result));
+  return cases_.back();
+}
+
+CaseResult& Runner::measure(std::string name, double items,
+                            const std::function<void()>& fn) {
+  const std::size_t reps = std::max<std::size_t>(1, options_.repetitions);
+  const double cpu0 = cpu_seconds_now();
+  const common::Timer timer;
+  for (std::size_t r = 0; r < reps; ++r) fn();
+  const double wall = timer.seconds() / static_cast<double>(reps);
+  const double cpu =
+      (cpu_seconds_now() - cpu0) / static_cast<double>(reps);
+  CaseResult& result = record(std::move(name), wall, items);
+  result.cpu_seconds = cpu;
+  result.repetitions = reps;
+  return result;
+}
+
+CaseResult& Runner::bench_loop(std::string name,
+                               const std::function<void()>& fn) {
+  fn();  // Warm-up (first-touch allocation, caches).
+  const double min_seconds = options_.quick ? 0.05 : 0.2;
+  std::size_t iters = 1;
+  double wall = 0.0;
+  double cpu = 0.0;
+  for (;;) {
+    const double cpu0 = cpu_seconds_now();
+    const common::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    wall = timer.seconds();
+    cpu = cpu_seconds_now() - cpu0;
+    if (wall >= min_seconds || iters >= (std::size_t{1} << 28)) break;
+    const double grow = wall > 1e-9 ? (min_seconds / wall) * 1.5 : 8.0;
+    iters = std::max(iters + 1,
+                     std::min(iters * 8,
+                              static_cast<std::size_t>(
+                                  static_cast<double>(iters) * grow) +
+                                  1));
+  }
+  const double n = static_cast<double>(iters);
+  CaseResult& result = record(std::move(name), wall / n, 1.0);
+  result.cpu_seconds = cpu / n;
+  result.repetitions = iters;
+  return result;
+}
+
+Json Runner::result_json() const {
+  Json root = Json::object();
+  root.set("schema", std::string(kSchemaVersion));
+  root.set("driver", setup_.driver);
+  root.set("timestamp_utc", utc_timestamp());
+  root.set("git_sha", git_sha());
+  root.set("host", host_json());
+
+  Json run = Json::object();
+  run.set("quick", options_.quick);
+  run.set("repetitions", static_cast<double>(options_.repetitions));
+  run.set("seed", std::to_string(options_.seed));
+  run.set("scale", options_.scale ? Json(*options_.scale) : Json());
+  Json methods = Json::array();
+  for (const std::string& spec : methods_) methods.push(spec);
+  run.set("methods", std::move(methods));
+  root.set("run", std::move(run));
+
+  Json cases = Json::array();
+  for (const CaseResult& c : cases_) {
+    Json entry = Json::object();
+    entry.set("name", c.name);
+    entry.set("seed", std::to_string(c.seed));
+    entry.set("repetitions", static_cast<double>(c.repetitions));
+    entry.set("wall_seconds", c.wall_seconds);
+    entry.set("cpu_seconds", c.cpu_seconds);
+    entry.set("items", c.items);
+    entry.set("items_per_sec", c.items_per_sec);
+    Json params = Json::object();
+    for (const auto& [key, val] : c.params) params.set(key, val);
+    entry.set("params", std::move(params));
+    Json metrics = Json::object();
+    for (const auto& [key, val] : c.metrics) metrics.set(key, val);
+    entry.set("metrics", std::move(metrics));
+    cases.push(std::move(entry));
+  }
+  root.set("cases", std::move(cases));
+  return root;
+}
+
+int Runner::finish() const {
+  if (options_.json_path.empty()) return 0;
+  std::ofstream out(options_.json_path,
+                    std::ios::binary | std::ios::trunc);
+  if (out) out << result_json().dump(2) << '\n';
+  if (!out) {
+    std::cerr << "benchkit: cannot write " << options_.json_path << '\n';
+    return 2;
+  }
+  std::cout << "benchkit: wrote " << options_.json_path << " ("
+            << cases_.size() << " cases)\n";
+  return 0;
+}
+
+}  // namespace csm::benchkit

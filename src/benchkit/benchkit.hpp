@@ -1,0 +1,177 @@
+// Unified benchmark runner: one CLI, one JSON result schema, one main().
+//
+// Every driver under bench/ defines two functions instead of a main():
+//
+//   namespace csm::benchkit {
+//   Setup bench_setup();        // name, summary, accepted optional flags
+//   int bench_run(Runner& run); // the benchmark body; returns an exit code
+//   }
+//
+// and links csm::benchkit_main, whose shared main() parses the common
+// command line (strict: unknown flags are errors), builds a Runner and
+// writes the results as versioned JSON when --json is given:
+//
+//   <driver> [--quick] [--json PATH] [--repetitions N] [--seed N]
+//            [--methods SPECS] [--scale S] [--out-dir DIR]
+//
+// --methods takes registry spec strings ("cs:blocks=20,tuncer,
+// pca:components=8"): comma-separated, where a token opens a new spec when
+// its head is a registered method name and attaches to the previous spec as
+// a parameter otherwise ("cs:blocks=20,real-only,tuncer" is two specs);
+// ';' always separates specs for the ambiguity-averse. Specs are validated
+// through baselines::default_registry() at parse time, so typos fail with
+// the registry's own message before any work starts.
+//
+// The JSON schema ("csm-bench-v1") records run metadata (driver, git sha,
+// host, options), and per case: wall/cpu seconds, items and items/sec, the
+// case's RNG seed (derived from --seed, distinct per case tag) and freeform
+// params/metrics. tools/benchdiff compares two such files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "benchkit/json.hpp"
+
+namespace csm::core {
+class MethodRegistry;
+}
+
+namespace csm::benchkit {
+
+/// Optional flags a driver can opt into (the common set is always on).
+inline constexpr unsigned kFlagMethods = 1u << 0;  ///< --methods SPECS
+inline constexpr unsigned kFlagScale = 1u << 1;    ///< --scale S
+inline constexpr unsigned kFlagOutDir = 1u << 2;   ///< --out-dir DIR
+
+/// Static description of one bench driver.
+struct Setup {
+  std::string driver;           ///< Binary name, e.g. "fig3_ml_performance".
+  std::string summary;          ///< One-liner shown by --help.
+  unsigned flags = 0;           ///< Optional flags accepted (kFlag* mask).
+  std::string default_methods;  ///< Line-up used when --methods is absent.
+};
+
+/// Parsed common command line.
+struct Options {
+  bool help = false;   ///< --help/-h seen; print usage and exit 0.
+  bool quick = false;  ///< Reduced sweeps/scales for CI smoke runs.
+  std::string json_path;              ///< Empty = no JSON output.
+  std::vector<std::string> methods;   ///< Canonical validated spec strings.
+  std::size_t repetitions = 1;        ///< Timed repetitions per case.
+  std::uint64_t seed = 2021;          ///< Base seed (matches hpcoda default).
+  std::optional<double> scale;        ///< --scale, when accepted and given.
+  std::optional<std::string> out_dir; ///< --out-dir, when accepted and given.
+
+  double scale_or(double fallback) const {
+    return scale.value_or(fallback);
+  }
+  std::string out_dir_or(std::string fallback) const {
+    return out_dir.value_or(std::move(fallback));
+  }
+};
+
+/// Usage text for a driver (common flags + the driver's optional ones).
+std::string usage(const Setup& setup);
+
+/// Parses argv strictly: unknown flags, flags the driver did not opt into,
+/// missing values, malformed numbers and positional arguments all throw
+/// std::invalid_argument naming the offender. --methods values are split
+/// and validated against `registry`.
+Options parse_args(const Setup& setup, const core::MethodRegistry& registry,
+                   int argc, const char* const* argv);
+
+/// Splits a --methods value into validated canonical spec strings (see the
+/// header comment for the comma/';' rules). Throws std::invalid_argument
+/// carrying the registry's message on unknown methods or bad parameters.
+std::vector<std::string> split_method_specs(
+    const core::MethodRegistry& registry, std::string_view text);
+
+/// One benchmark case: timings plus freeform params and metrics.
+struct CaseResult {
+  std::string name;
+  /// RNG seed governing the case's data: the run's base seed unless the
+  /// driver recorded a derived per-case seed.
+  std::uint64_t seed = 0;
+  std::size_t repetitions = 1;   ///< Timed repetitions averaged below.
+  double wall_seconds = 0.0;     ///< Mean wall time of one repetition.
+  double cpu_seconds = 0.0;      ///< Mean process-CPU time of one repetition.
+  double items = 0.0;            ///< Work items per repetition.
+  double items_per_sec = 0.0;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  CaseResult& param(std::string key, std::string value);
+  CaseResult& metric(std::string key, double value);
+};
+
+/// Collects cases and writes the JSON result file.
+class Runner {
+ public:
+  Runner(Setup setup, Options options);
+
+  const Setup& setup() const noexcept { return setup_; }
+  const Options& opts() const noexcept { return options_; }
+  bool quick() const noexcept { return options_.quick; }
+
+  /// The driver's method line-up: --methods when given, the Setup default
+  /// otherwise (validated either way).
+  const std::vector<std::string>& methods() const noexcept {
+    return methods_;
+  }
+
+  /// Deterministic per-case seed: mixes the base --seed with `tag` so two
+  /// different tags get unrelated streams while identical tags (e.g. the
+  /// same sweep point benchmarked under several methods) share one — the
+  /// comparison-requires-identical-data case. Drivers that use a derived
+  /// seed must also store it on the case (`result.seed = seed`); cases
+  /// default to the run's base seed.
+  std::uint64_t derive_seed(std::string_view tag) const;
+
+  /// Runs `fn` opts().repetitions times and records mean wall/CPU time.
+  /// `items` is the work per repetition (for items/sec).
+  CaseResult& measure(std::string name, double items,
+                      const std::function<void()>& fn);
+
+  /// Latency-style loop: calibrates an iteration count until the timed
+  /// batch is long enough to trust (quick: ≥50 ms, full: ≥200 ms), then
+  /// records the mean per-iteration time with items = 1.
+  CaseResult& bench_loop(std::string name, const std::function<void()>& fn);
+
+  /// Records an externally timed case. The returned reference stays valid
+  /// across later record()/measure() calls (deque storage), so drivers can
+  /// hold several case handles at once.
+  CaseResult& record(std::string name, double wall_seconds, double items);
+
+  const std::deque<CaseResult>& cases() const noexcept { return cases_; }
+
+  /// Builds the full result document (also used by finish()).
+  Json result_json() const;
+
+  /// Writes the JSON file if --json was given. Returns 0, or 2 when the
+  /// file cannot be written (error printed to stderr).
+  int finish() const;
+
+ private:
+  Setup setup_;
+  Options options_;
+  std::vector<std::string> methods_;
+  std::deque<CaseResult> cases_;
+};
+
+/// Schema identifier written by Runner::result_json().
+inline constexpr std::string_view kSchemaVersion = "csm-bench-v1";
+
+// Defined by each bench driver; called from the shared main() in
+// bench_main.cpp (csm::benchkit_main).
+Setup bench_setup();
+int bench_run(Runner& run);
+
+}  // namespace csm::benchkit

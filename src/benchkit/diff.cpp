@@ -1,0 +1,194 @@
+#include "benchkit/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "benchkit/benchkit.hpp"
+
+namespace csm::benchkit {
+
+namespace {
+
+const char* status_name(DiffStatus status) {
+  switch (status) {
+    case DiffStatus::kOk: return "ok";
+    case DiffStatus::kRegression: return "REGRESSION";
+    case DiffStatus::kImprovement: return "improvement";
+    case DiffStatus::kMissing: return "MISSING";
+    case DiffStatus::kNew: return "new";
+  }
+  return "?";
+}
+
+void check_schema(const Json& doc, const char* which) {
+  if (!doc.is_object() || !doc.find("schema") ||
+      !doc.at("schema").is_string() ||
+      doc.at("schema").str() != kSchemaVersion) {
+    throw std::runtime_error(std::string(which) +
+                             " file is not a csm-bench-v1 result (missing or "
+                             "unexpected \"schema\" key)");
+  }
+  if (!doc.find("cases") || !doc.at("cases").is_array()) {
+    throw std::runtime_error(std::string(which) +
+                             " file has no \"cases\" array");
+  }
+}
+
+/// Metric value of one case, or nullopt when absent / not a number.
+std::optional<double> metric_value(const Json& entry,
+                                   const std::string& metric) {
+  static constexpr std::string_view kMetricsPrefix = "metrics.";
+  const Json* holder = &entry;
+  std::string_view key = metric;
+  if (key.substr(0, kMetricsPrefix.size()) == kMetricsPrefix) {
+    holder = entry.find("metrics");
+    if (!holder) return std::nullopt;
+    key = key.substr(kMetricsPrefix.size());
+  }
+  const Json* value = holder->find(key);
+  if (!value || !value->is_number()) return std::nullopt;
+  return value->number();
+}
+
+}  // namespace
+
+bool DiffOptions::lower_is_better() const {
+  const std::string_view suffix = "_seconds";
+  return metric.size() >= suffix.size() &&
+         std::string_view(metric).substr(metric.size() - suffix.size()) ==
+             suffix;
+}
+
+std::size_t DiffReport::count(DiffStatus status) const {
+  return static_cast<std::size_t>(
+      std::count_if(cases.begin(), cases.end(), [&](const CaseDiff& c) {
+        return c.status == status;
+      }));
+}
+
+bool DiffReport::failed(const DiffOptions& opts) const {
+  if (count(DiffStatus::kRegression) > 0) return true;
+  return opts.fail_on_missing && count(DiffStatus::kMissing) > 0;
+}
+
+std::string DiffReport::format() const {
+  std::string out = "benchdiff: driver " + driver + ", metric " + metric +
+                    " (" + std::to_string(cases.size()) + " cases)\n";
+  char buf[256];
+  for (const CaseDiff& c : cases) {
+    switch (c.status) {
+      case DiffStatus::kMissing:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-48s %12s -> (absent)      MISSING\n",
+                      c.name.c_str(), "baseline");
+        break;
+      case DiffStatus::kNew:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-48s (absent) -> %12.6g  new\n", c.name.c_str(),
+                      c.current);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-48s %12.6g -> %12.6g  %+7.1f%%  %s\n",
+                      c.name.c_str(), c.baseline, c.current, c.change_pct,
+                      status_name(c.status));
+    }
+    out += buf;
+  }
+  for (const std::string& note : notes) out += "  note: " + note + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  summary: %zu ok, %zu regression(s), %zu improvement(s), "
+                "%zu missing, %zu new\n",
+                count(DiffStatus::kOk), count(DiffStatus::kRegression),
+                count(DiffStatus::kImprovement), count(DiffStatus::kMissing),
+                count(DiffStatus::kNew));
+  out += buf;
+  return out;
+}
+
+DiffReport diff_results(const Json& baseline, const Json& current,
+                        const DiffOptions& opts) {
+  check_schema(baseline, "baseline");
+  check_schema(current, "current");
+
+  DiffReport report;
+  report.metric = opts.metric;
+  const Json* driver = current.find("driver");
+  report.driver = driver && driver->is_string() ? driver->str() : "?";
+  const Json* base_driver = baseline.find("driver");
+  if (base_driver && base_driver->is_string() &&
+      base_driver->str() != report.driver) {
+    report.notes.push_back("driver mismatch: baseline is \"" +
+                           base_driver->str() + "\", current is \"" +
+                           report.driver + "\"");
+  }
+
+  const Json& base_cases = baseline.at("cases");
+  const Json& cur_cases = current.at("cases");
+  auto case_name = [](const Json& entry) -> std::string {
+    const Json* name = entry.find("name");
+    return name && name->is_string() ? name->str() : std::string();
+  };
+  auto find_case = [&](const Json& cases, const std::string& name)
+      -> const Json* {
+    for (const Json& entry : cases.elements()) {
+      if (case_name(entry) == name) return &entry;
+    }
+    return nullptr;
+  };
+
+  for (const Json& base_entry : base_cases.elements()) {
+    const std::string name = case_name(base_entry);
+    CaseDiff diff;
+    diff.name = name;
+    const Json* cur_entry = find_case(cur_cases, name);
+    if (!cur_entry) {
+      diff.status = DiffStatus::kMissing;
+      report.cases.push_back(std::move(diff));
+      continue;
+    }
+    const auto base_value = metric_value(base_entry, opts.metric);
+    const auto cur_value = metric_value(*cur_entry, opts.metric);
+    if (!base_value || !cur_value) {
+      report.notes.push_back("case \"" + name + "\" has no metric \"" +
+                             opts.metric + "\" in one of the files");
+      continue;
+    }
+    diff.baseline = *base_value;
+    diff.current = *cur_value;
+    if (*base_value <= 0.0) {
+      report.notes.push_back("case \"" + name +
+                             "\" has a non-positive baseline value; skipped");
+      continue;
+    }
+    diff.change_pct = (diff.current - diff.baseline) / diff.baseline * 100.0;
+    const double worsening_pct =
+        opts.lower_is_better() ? diff.change_pct : -diff.change_pct;
+    if (worsening_pct > opts.threshold_pct) {
+      diff.status = DiffStatus::kRegression;
+    } else if (-worsening_pct > opts.threshold_pct) {
+      diff.status = DiffStatus::kImprovement;
+    } else {
+      diff.status = DiffStatus::kOk;
+    }
+    report.cases.push_back(std::move(diff));
+  }
+
+  for (const Json& cur_entry : cur_cases.elements()) {
+    const std::string name = case_name(cur_entry);
+    if (find_case(base_cases, name)) continue;
+    CaseDiff diff;
+    diff.name = name;
+    diff.status = DiffStatus::kNew;
+    if (const auto value = metric_value(cur_entry, opts.metric)) {
+      diff.current = *value;
+    }
+    report.cases.push_back(std::move(diff));
+  }
+  return report;
+}
+
+}  // namespace csm::benchkit

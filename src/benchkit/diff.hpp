@@ -1,0 +1,62 @@
+// Comparison of two csm-bench-v1 result files (the tools/benchdiff core).
+//
+// Cases are matched by name. A case present in the baseline but not in the
+// current file is reported as MISSING (renames therefore show up as a
+// MISSING + NEW pair, never silently dropped); the reverse is NEW. Matched
+// cases compare one metric with a relative threshold; whether bigger is
+// worse follows from the metric ("*_seconds" = lower is better, everything
+// else = higher is better).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "benchkit/json.hpp"
+
+namespace csm::benchkit {
+
+struct DiffOptions {
+  /// Top-level case field ("wall_seconds", "cpu_seconds", "items_per_sec")
+  /// or a driver metric addressed as "metrics.<key>" (e.g.
+  /// "metrics.ml_score").
+  std::string metric = "wall_seconds";
+  /// Relative change (percent) beyond which a worsening is a regression.
+  double threshold_pct = 30.0;
+  /// Treat MISSING cases as failures.
+  bool fail_on_missing = false;
+
+  /// True when a larger `metric` value is worse (timing metrics).
+  bool lower_is_better() const;
+};
+
+enum class DiffStatus { kOk, kRegression, kImprovement, kMissing, kNew };
+
+struct CaseDiff {
+  std::string name;
+  DiffStatus status = DiffStatus::kOk;
+  double baseline = 0.0;    ///< Metric value in the baseline file.
+  double current = 0.0;     ///< Metric value in the current file.
+  double change_pct = 0.0;  ///< (current - baseline) / baseline * 100.
+};
+
+struct DiffReport {
+  std::string driver;
+  std::string metric;
+  std::vector<CaseDiff> cases;
+  std::vector<std::string> notes;  ///< Non-fatal oddities (driver mismatch,
+                                   ///< cases without the metric, ...).
+
+  std::size_t count(DiffStatus status) const;
+  /// Regressions present, or missing cases when opts.fail_on_missing.
+  bool failed(const DiffOptions& opts) const;
+  /// Human-readable report (one line per case + summary).
+  std::string format() const;
+};
+
+/// Compares two parsed result documents. Throws std::runtime_error when a
+/// document is not a csm-bench-v1 result.
+DiffReport diff_results(const Json& baseline, const Json& current,
+                        const DiffOptions& opts);
+
+}  // namespace csm::benchkit

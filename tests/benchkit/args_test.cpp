@@ -1,0 +1,221 @@
+// Benchkit flag parser: strict rejection of unknown flags, missing values
+// and trailing garbage, and --methods spec validation through the registry.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "benchkit/args.hpp"
+#include "benchkit/benchkit.hpp"
+
+namespace {
+
+using namespace csm;
+using benchkit::Options;
+using benchkit::Setup;
+
+Setup test_setup(unsigned flags = 0, std::string default_methods = "") {
+  return Setup{"test_driver", "a driver for tests", flags,
+               std::move(default_methods)};
+}
+
+Options parse(const Setup& setup, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "test_driver");
+  return benchkit::parse_args(setup, baselines::default_registry(),
+                              static_cast<int>(argv.size()), argv.data());
+}
+
+// Expects parse() to throw std::invalid_argument whose message contains
+// every `needle`.
+void expect_parse_error(const Setup& setup, std::vector<const char*> argv,
+                        std::vector<std::string> needles) {
+  try {
+    parse(setup, std::move(argv));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message \"" << what << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+TEST(ParseNumbers, AcceptsPlainValues) {
+  EXPECT_EQ(benchkit::parse_size_t("--blocks", "20"), 20u);
+  EXPECT_EQ(benchkit::parse_uint64("--seed", "18446744073709551615"),
+            ~std::uint64_t{0});
+  EXPECT_EQ(benchkit::parse_int64("--interval", "-250"), -250);
+  EXPECT_DOUBLE_EQ(benchkit::parse_double("--scale", "0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(benchkit::parse_double("--scale", "1e-3"), 1e-3);
+}
+
+TEST(ParseNumbers, RejectsTrailingGarbageNamingTheFlag) {
+  EXPECT_THROW(benchkit::parse_size_t("--blocks", "20x"),
+               std::invalid_argument);
+  try {
+    benchkit::parse_size_t("--blocks", "20x");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--blocks"), std::string::npos);
+    EXPECT_NE(what.find("20x"), std::string::npos);
+  }
+  EXPECT_THROW(benchkit::parse_double("--scale", "0.5x"),
+               std::invalid_argument);
+  EXPECT_THROW(benchkit::parse_double("--scale", "nan"),
+               std::invalid_argument);
+  EXPECT_THROW(benchkit::parse_size_t("--blocks", ""),
+               std::invalid_argument);
+  EXPECT_THROW(benchkit::parse_size_t("--blocks", "-3"),
+               std::invalid_argument);
+  EXPECT_THROW(benchkit::parse_size_t("--blocks", " 20"),
+               std::invalid_argument);
+}
+
+TEST(ParseArgs, DefaultsAndCommonFlags) {
+  const Options opts = parse(
+      test_setup(),
+      {"--quick", "--json", "out.json", "--repetitions", "3", "--seed", "7"});
+  EXPECT_TRUE(opts.quick);
+  EXPECT_EQ(opts.json_path, "out.json");
+  EXPECT_EQ(opts.repetitions, 3u);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_FALSE(opts.scale.has_value());
+
+  const Options defaults = parse(test_setup(), {});
+  EXPECT_FALSE(defaults.quick);
+  EXPECT_TRUE(defaults.json_path.empty());
+  EXPECT_EQ(defaults.repetitions, 1u);
+  EXPECT_EQ(defaults.seed, 2021u);
+}
+
+TEST(ParseArgs, UnknownFlagIsAnError) {
+  expect_parse_error(test_setup(), {"--bogus"}, {"unknown flag", "--bogus"});
+}
+
+TEST(ParseArgs, PositionalArgumentsAreErrors) {
+  // The pre-benchkit drivers took positional scale arguments; a leftover
+  // "0.5" must fail loudly instead of being ignored.
+  expect_parse_error(test_setup(), {"0.5"}, {"positional", "0.5"});
+}
+
+TEST(ParseArgs, MissingValueNamesTheFlag) {
+  expect_parse_error(test_setup(), {"--json"}, {"--json", "missing value"});
+  expect_parse_error(test_setup(), {"--seed"}, {"--seed", "missing value"});
+}
+
+TEST(ParseArgs, TrailingGarbageNamesTheFlag) {
+  expect_parse_error(test_setup(), {"--seed", "7x"}, {"--seed", "7x"});
+  expect_parse_error(test_setup(benchkit::kFlagScale), {"--scale", "1.5y"},
+                     {"--scale", "1.5y"});
+}
+
+TEST(ParseArgs, DisabledOptionalFlagsNameTheDriver) {
+  expect_parse_error(test_setup(), {"--methods", "tuncer"},
+                     {"--methods", "not supported", "test_driver"});
+  expect_parse_error(test_setup(), {"--scale", "0.5"},
+                     {"--scale", "not supported"});
+  expect_parse_error(test_setup(), {"--out-dir", "d"},
+                     {"--out-dir", "not supported"});
+}
+
+TEST(ParseArgs, ZeroRepetitionsAndNonPositiveScaleAreErrors) {
+  expect_parse_error(test_setup(), {"--repetitions", "0"},
+                     {"--repetitions"});
+  expect_parse_error(test_setup(benchkit::kFlagScale), {"--scale", "0"},
+                     {"--scale"});
+  expect_parse_error(test_setup(benchkit::kFlagScale), {"--scale", "-1"},
+                     {"--scale"});
+}
+
+TEST(ParseArgs, HelpShortCircuits) {
+  // --help wins even when followed by arguments that would not parse.
+  const Options opts = parse(test_setup(), {"--help", "--bogus"});
+  EXPECT_TRUE(opts.help);
+}
+
+TEST(ParseArgs, DefaultMethodsComeFromSetup) {
+  const Options opts =
+      parse(test_setup(benchkit::kFlagMethods, "tuncer,cs:blocks=20"), {});
+  ASSERT_EQ(opts.methods.size(), 2u);
+  EXPECT_EQ(opts.methods[0], "tuncer");
+  EXPECT_EQ(opts.methods[1], "cs:blocks=20");
+}
+
+TEST(SplitMethodSpecs, CommaSplitsOnRegisteredMethodNames) {
+  const auto specs = benchkit::split_method_specs(
+      baselines::default_registry(), "cs:blocks=20,tuncer,pca:components=8");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], "cs:blocks=20");
+  EXPECT_EQ(specs[1], "tuncer");
+  EXPECT_EQ(specs[2], "pca:components=8");
+}
+
+TEST(SplitMethodSpecs, FlagParametersAttachToThePreviousSpec) {
+  const auto specs = benchkit::split_method_specs(
+      baselines::default_registry(), "cs:blocks=20,real-only,tuncer");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "cs:blocks=20,real-only");
+  EXPECT_EQ(specs[1], "tuncer");
+}
+
+TEST(SplitMethodSpecs, SemicolonAlwaysSeparates) {
+  const auto specs = benchkit::split_method_specs(
+      baselines::default_registry(), "cs:blocks=20;lan:wr=2;bodik");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], "cs:blocks=20");
+  EXPECT_EQ(specs[1], "lan:wr=2");
+  EXPECT_EQ(specs[2], "bodik");
+}
+
+TEST(SplitMethodSpecs, ParameterAfterBareMethodGainsTheColon) {
+  const auto specs = benchkit::split_method_specs(
+      baselines::default_registry(), "lan,wr=2,tuncer");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "lan:wr=2");
+  EXPECT_EQ(specs[1], "tuncer");
+}
+
+TEST(SplitMethodSpecs, SurfacesTheRegistrysErrorMessage) {
+  try {
+    benchkit::split_method_specs(baselines::default_registry(), "bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // MethodRegistry::entry lists the known keys.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown method"), std::string::npos) << what;
+    EXPECT_NE(what.find("cs"), std::string::npos) << what;
+  }
+  try {
+    benchkit::split_method_specs(baselines::default_registry(),
+                                 "cs:bogus-flag");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does not accept parameter"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(SplitMethodSpecs, EmptySpecsAreErrors) {
+  EXPECT_THROW(benchkit::split_method_specs(baselines::default_registry(),
+                                            ""),
+               std::invalid_argument);
+  EXPECT_THROW(benchkit::split_method_specs(baselines::default_registry(),
+                                            "tuncer,,bodik"),
+               std::invalid_argument);
+}
+
+TEST(Usage, ListsOnlyEnabledFlags) {
+  const std::string with_methods =
+      benchkit::usage(test_setup(benchkit::kFlagMethods, "tuncer"));
+  EXPECT_NE(with_methods.find("--methods"), std::string::npos);
+  EXPECT_EQ(with_methods.find("--out-dir"), std::string::npos);
+  const std::string bare = benchkit::usage(test_setup());
+  EXPECT_EQ(bare.find("--methods"), std::string::npos);
+  EXPECT_NE(bare.find("--json"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// benchdiff core semantics: clean pairs, injected regressions, missing and
+// renamed cases, metric direction, and schema validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/benchkit.hpp"
+#include "benchkit/diff.hpp"
+#include "benchkit/json.hpp"
+
+namespace {
+
+using namespace csm::benchkit;
+
+/// Result document with one case per (name, wall_seconds) pair.
+Json make_result(
+    const std::vector<std::pair<std::string, double>>& cases_spec) {
+  Setup setup{"diff_test_driver", "diff test", 0, ""};
+  Options opts;
+  Runner run(setup, opts);
+  for (const auto& [name, wall] : cases_spec) {
+    run.record(name, wall, 1000.0).metric("ml_score", 0.9);
+  }
+  return run.result_json();
+}
+
+TEST(DiffOptions, MetricDirectionFollowsTheName) {
+  DiffOptions opts;
+  opts.metric = "wall_seconds";
+  EXPECT_TRUE(opts.lower_is_better());
+  opts.metric = "cpu_seconds";
+  EXPECT_TRUE(opts.lower_is_better());
+  opts.metric = "items_per_sec";
+  EXPECT_FALSE(opts.lower_is_better());
+  opts.metric = "metrics.ml_score";
+  EXPECT_FALSE(opts.lower_is_better());
+  opts.metric = "metrics.generation_seconds";
+  EXPECT_TRUE(opts.lower_is_better());
+}
+
+TEST(DiffResults, IdenticalFilesDiffClean) {
+  const Json doc = make_result({{"a", 1.0}, {"b", 0.5}});
+  const DiffReport report = diff_results(doc, doc, DiffOptions{});
+  EXPECT_EQ(report.cases.size(), 2u);
+  EXPECT_EQ(report.count(DiffStatus::kOk), 2u);
+  EXPECT_FALSE(report.failed(DiffOptions{}));
+  EXPECT_NE(report.format().find("0 regression(s)"), std::string::npos);
+}
+
+TEST(DiffResults, InjectedSlowdownBeyondThresholdFails) {
+  const Json baseline = make_result({{"a", 1.0}, {"b", 0.5}});
+  const Json current = make_result({{"a", 1.0}, {"b", 1.0}});  // b: 2x slower.
+  DiffOptions opts;
+  opts.threshold_pct = 30.0;
+  const DiffReport report = diff_results(baseline, current, opts);
+  EXPECT_EQ(report.count(DiffStatus::kRegression), 1u);
+  EXPECT_TRUE(report.failed(opts));
+  EXPECT_NE(report.format().find("REGRESSION"), std::string::npos);
+
+  // The same pair passes under a laxer threshold.
+  opts.threshold_pct = 150.0;
+  EXPECT_FALSE(diff_results(baseline, current, opts).failed(opts));
+}
+
+TEST(DiffResults, SpeedupIsAnImprovementNotAFailure) {
+  const Json baseline = make_result({{"a", 1.0}});
+  const Json current = make_result({{"a", 0.2}});
+  const DiffOptions opts;
+  const DiffReport report = diff_results(baseline, current, opts);
+  EXPECT_EQ(report.count(DiffStatus::kImprovement), 1u);
+  EXPECT_FALSE(report.failed(opts));
+}
+
+TEST(DiffResults, HigherIsBetterMetricsInvertTheDirection) {
+  const Json baseline = make_result({{"a", 1.0}});
+  const Json current = make_result({{"a", 1.0}});
+  DiffOptions opts;
+  opts.metric = "items_per_sec";
+  // Same items/same wall: clean.
+  EXPECT_FALSE(diff_results(baseline, current, opts).failed(opts));
+  // Halved throughput: regression.
+  const Json slower = make_result({{"a", 2.0}});
+  const DiffReport report = diff_results(baseline, slower, opts);
+  EXPECT_EQ(report.count(DiffStatus::kRegression), 1u);
+}
+
+TEST(DiffResults, MissingAndRenamedCasesAreReported) {
+  const Json baseline = make_result({{"old_name", 1.0}, {"kept", 1.0}});
+  const Json current = make_result({{"new_name", 1.0}, {"kept", 1.0}});
+  const DiffOptions opts;
+  const DiffReport report = diff_results(baseline, current, opts);
+  // A rename shows up as MISSING + new — never silently dropped.
+  EXPECT_EQ(report.count(DiffStatus::kMissing), 1u);
+  EXPECT_EQ(report.count(DiffStatus::kNew), 1u);
+  EXPECT_EQ(report.count(DiffStatus::kOk), 1u);
+  EXPECT_NE(report.format().find("MISSING"), std::string::npos);
+  EXPECT_NE(report.format().find("old_name"), std::string::npos);
+  EXPECT_NE(report.format().find("new_name"), std::string::npos);
+
+  // Missing is only fatal under --fail-on-missing.
+  EXPECT_FALSE(report.failed(opts));
+  DiffOptions strict = opts;
+  strict.fail_on_missing = true;
+  EXPECT_TRUE(report.failed(strict));
+}
+
+TEST(DiffResults, DriverMetricsAreAddressable) {
+  Json baseline = make_result({{"a", 1.0}});
+  Json current = make_result({{"a", 1.0}});
+  DiffOptions opts;
+  opts.metric = "metrics.ml_score";
+  EXPECT_FALSE(diff_results(baseline, current, opts).failed(opts));
+
+  // Drop the current ml_score by 50%: regression on a higher-is-better
+  // metric.
+  csm::benchkit::Setup setup{"diff_test_driver", "diff test", 0, ""};
+  Runner run(setup, Options{});
+  run.record("a", 1.0, 1000.0).metric("ml_score", 0.45);
+  const DiffReport report =
+      diff_results(baseline, run.result_json(), opts);
+  EXPECT_EQ(report.count(DiffStatus::kRegression), 1u);
+}
+
+TEST(DiffResults, UnknownMetricIsANoteNotACrash) {
+  const Json doc = make_result({{"a", 1.0}});
+  DiffOptions opts;
+  opts.metric = "metrics.nonexistent";
+  const DiffReport report = diff_results(doc, doc, opts);
+  EXPECT_TRUE(report.cases.empty());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("nonexistent"), std::string::npos);
+  EXPECT_FALSE(report.failed(opts));
+}
+
+TEST(DiffResults, NonSchemaDocumentsAreRejected) {
+  const Json doc = make_result({{"a", 1.0}});
+  EXPECT_THROW(diff_results(Json::parse("{}"), doc, DiffOptions{}),
+               std::runtime_error);
+  EXPECT_THROW(diff_results(doc, Json::parse("{\"schema\": \"v999\"}"),
+                            DiffOptions{}),
+               std::runtime_error);
+  EXPECT_THROW(diff_results(Json::parse("[]"), doc, DiffOptions{}),
+               std::runtime_error);
+}
+
+TEST(DiffResults, DriverMismatchIsNoted) {
+  const Json a = make_result({{"x", 1.0}});
+  csm::benchkit::Setup setup{"other_driver", "other", 0, ""};
+  Runner run(setup, Options{});
+  run.record("x", 1.0, 1.0);
+  const DiffReport report =
+      diff_results(a, run.result_json(), DiffOptions{});
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("driver mismatch"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Runner behaviour and the golden csm-bench-v1 schema: a --quick --json
+// style run must emit valid JSON with every key the nightly tooling
+// (benchdiff, artifact dashboards) relies on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "benchkit/benchkit.hpp"
+#include "benchkit/json.hpp"
+
+namespace {
+
+using namespace csm::benchkit;
+
+Setup test_setup() {
+  return Setup{"runner_test_driver", "driver used by runner_test", 0, ""};
+}
+
+Options quick_options() {
+  Options opts;
+  opts.quick = true;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(DeriveSeed, DeterministicDistinctAndBaseSeedSensitive) {
+  const Runner run_a(test_setup(), quick_options());
+  EXPECT_EQ(run_a.derive_seed("x"), run_a.derive_seed("x"));
+  EXPECT_NE(run_a.derive_seed("x"), run_a.derive_seed("y"));
+  EXPECT_NE(run_a.derive_seed("case/n=16"), run_a.derive_seed("case/n=17"));
+
+  Options other = quick_options();
+  other.seed = 100;
+  const Runner run_b(test_setup(), other);
+  EXPECT_NE(run_a.derive_seed("x"), run_b.derive_seed("x"));
+}
+
+TEST(RunnerCases, MeasureRunsTheRequestedRepetitions) {
+  Options opts = quick_options();
+  opts.repetitions = 3;
+  Runner run(test_setup(), opts);
+  int calls = 0;
+  const CaseResult& result = run.measure("reps", 10.0, [&] { ++calls; });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(result.repetitions, 3u);
+  EXPECT_DOUBLE_EQ(result.items, 10.0);
+  // Cases default to the run's base seed; drivers that fork a per-case
+  // stream overwrite the field with the derived seed they actually used.
+  EXPECT_EQ(result.seed, opts.seed);
+}
+
+TEST(RunnerCases, ReferencesStayStableAcrossLaterCases) {
+  // Drivers hold several case handles at once (e.g. the naive/ring pair in
+  // stream_throughput); recording more cases must not invalidate them.
+  Runner run(test_setup(), quick_options());
+  CaseResult& first = run.record("first", 1.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    run.record("case" + std::to_string(i), 1.0, 1.0);
+  }
+  first.metric("late_metric", 42.0);
+  EXPECT_EQ(run.cases().front().name, "first");
+  EXPECT_EQ(run.cases().front().metrics.size(), 1u);
+}
+
+TEST(RunnerCases, BenchLoopCalibratesToANonTrivialBatch) {
+  Runner run(test_setup(), quick_options());
+  std::size_t calls = 0;
+  const CaseResult& result = run.bench_loop("loop", [&] { ++calls; });
+  // Warm-up + at least one timed batch; a trivial body must be iterated
+  // many times to fill the quick-mode 50 ms minimum.
+  EXPECT_GT(calls, result.repetitions);
+  EXPECT_GT(result.repetitions, 100u);
+  EXPECT_GT(result.items_per_sec, 0.0);
+}
+
+TEST(GoldenSchema, QuickJsonRunEmitsAllRequiredKeys) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "csm_runner_test_golden.json";
+  Options opts = quick_options();
+  opts.json_path = path.string();
+
+  Runner run(test_setup(), opts);
+  run.measure("alpha", 5.0, [] {}).param("segment", "fault").metric(
+      "ml_score", 0.93);
+  run.record("beta", 0.5, 100.0);
+  ASSERT_EQ(run.finish(), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  std::filesystem::remove(path);
+
+  // Document-level metadata.
+  EXPECT_EQ(doc.at("schema").str(), std::string(kSchemaVersion));
+  EXPECT_EQ(doc.at("driver").str(), "runner_test_driver");
+  EXPECT_FALSE(doc.at("git_sha").str().empty());
+  EXPECT_NE(doc.at("timestamp_utc").str().find('T'), std::string::npos);
+  for (const char* key : {"hostname", "system", "machine"}) {
+    EXPECT_TRUE(doc.at("host").at(key).is_string()) << key;
+  }
+  EXPECT_GE(doc.at("host").at("cpus").number(), 1.0);
+
+  // Run options: seed is a decimal string (uint64 does not fit a double).
+  const Json& run_meta = doc.at("run");
+  EXPECT_TRUE(run_meta.at("quick").boolean());
+  EXPECT_EQ(run_meta.at("seed").str(), "99");
+  EXPECT_EQ(run_meta.at("repetitions").number(), 1.0);
+  EXPECT_TRUE(run_meta.at("scale").is_null());
+  EXPECT_TRUE(run_meta.at("methods").is_array());
+
+  // Cases: every key benchdiff relies on, in recorded order.
+  const Json& cases = doc.at("cases");
+  ASSERT_EQ(cases.size(), 2u);
+  const std::set<std::string> required = {
+      "name",  "seed",          "repetitions", "wall_seconds",
+      "cpu_seconds", "items",   "items_per_sec", "params", "metrics"};
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    for (const std::string& key : required) {
+      EXPECT_NE(cases[i].find(key), nullptr)
+          << "case " << i << " lacks \"" << key << "\"";
+    }
+  }
+  EXPECT_EQ(cases[0].at("name").str(), "alpha");
+  EXPECT_EQ(cases[0].at("params").at("segment").str(), "fault");
+  EXPECT_DOUBLE_EQ(cases[0].at("metrics").at("ml_score").number(), 0.93);
+  EXPECT_EQ(cases[1].at("name").str(), "beta");
+  EXPECT_DOUBLE_EQ(cases[1].at("wall_seconds").number(), 0.5);
+  EXPECT_DOUBLE_EQ(cases[1].at("items_per_sec").number(), 200.0);
+}
+
+TEST(GoldenSchema, UnwritablePathFailsWithExitCode2) {
+  Options opts = quick_options();
+  opts.json_path = "/nonexistent-dir/bench.json";
+  Runner run(test_setup(), opts);
+  EXPECT_EQ(run.finish(), 2);
+}
+
+}  // namespace

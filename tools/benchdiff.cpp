@@ -1,0 +1,115 @@
+// benchdiff — compare two csm-bench-v1 result files (see src/benchkit/).
+//
+//   benchdiff <baseline.json> <current.json> [--metric M]
+//             [--threshold-pct X] [--fail-on-missing]
+//
+// Matches cases by name and compares one metric per case: a top-level
+// timing field ("wall_seconds" — the default —, "cpu_seconds",
+// "items_per_sec") or a driver metric addressed as "metrics.<key>"
+// (e.g. "metrics.ml_score"). "*_seconds" metrics treat larger as worse,
+// everything else treats smaller as worse. Cases only present in the
+// baseline are reported as MISSING (a rename shows up as MISSING + new).
+//
+// Exit status: 0 = clean, 1 = regression beyond --threshold-pct (or a
+// MISSING case under --fail-on-missing), 2 = usage or I/O errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "benchkit/args.hpp"
+#include "benchkit/diff.hpp"
+#include "benchkit/json.hpp"
+
+namespace {
+
+using namespace csm;
+
+void usage(std::ostream& out) {
+  out << "usage: benchdiff <baseline.json> <current.json>\n"
+         "                 [--metric M] [--threshold-pct X] "
+         "[--fail-on-missing]\n"
+         "\n"
+         "  --metric M         wall_seconds (default), cpu_seconds,\n"
+         "                     items_per_sec, or metrics.<key>\n"
+         "  --threshold-pct X  relative worsening that counts as a\n"
+         "                     regression (default 30)\n"
+         "  --fail-on-missing  exit non-zero when a baseline case is\n"
+         "                     missing from the current file\n";
+}
+
+benchkit::Json load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return benchkit::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  benchkit::DiffOptions opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(std::string(flag) + ": missing value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (arg == "--metric") {
+        opts.metric = value("--metric");
+      } else if (arg == "--threshold-pct") {
+        opts.threshold_pct =
+            benchkit::parse_double("--threshold-pct", value("--threshold-pct"));
+        if (opts.threshold_pct < 0.0) {
+          throw std::invalid_argument("--threshold-pct: must be >= 0");
+        }
+      } else if (arg == "--fail-on-missing") {
+        opts.fail_on_missing = true;
+      } else if (!arg.empty() && arg.front() == '-') {
+        throw std::invalid_argument("unknown flag: " + arg);
+      } else {
+        files.push_back(arg);
+      }
+    }
+    if (files.size() != 2) {
+      throw std::invalid_argument(
+          "expected exactly two positional arguments (baseline, current)");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const benchkit::Json baseline = load(files[0]);
+    const benchkit::Json current = load(files[1]);
+    const benchkit::DiffReport report =
+        benchkit::diff_results(baseline, current, opts);
+    std::cout << report.format();
+    if (report.failed(opts)) {
+      std::cout << "benchdiff: FAIL (threshold " << opts.threshold_pct
+                << "% on " << opts.metric << ")\n";
+      return 1;
+    }
+    std::cout << "benchdiff: OK\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

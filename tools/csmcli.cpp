@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "baselines/registry.hpp"
+#include "benchkit/args.hpp"
 #include "core/method_registry.hpp"
 #include "core/pipeline.hpp"
 #include "core/stream_engine.hpp"
@@ -109,55 +110,42 @@ void usage(std::ostream& out) {
       << "\"pca:components=8\"; run `csmcli methods` for the full list.\n";
 }
 
+// Numeric options go through benchkit's checked parsers: the whole value
+// must parse ("--blocks 20x" is an error naming the flag, not a silent 20).
+// Throws std::invalid_argument on malformed values and missing values.
 bool parse_args(int argc, char** argv, Options& opts) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "missing value for " << flag << '\n';
-        return nullptr;
+        throw std::invalid_argument(std::string(flag) + ": missing value");
       }
       return argv[++i];
     };
     if (arg == "--interval") {
-      const char* v = next_value("--interval");
-      if (!v) return false;
-      opts.interval_ms = std::atoll(v);
+      opts.interval_ms =
+          benchkit::parse_int64("--interval", next_value("--interval"));
     } else if (arg == "--method") {
-      const char* v = next_value("--method");
-      if (!v) return false;
-      opts.method = v;
+      opts.method = next_value("--method");
     } else if (arg == "--blocks") {
-      const char* v = next_value("--blocks");
-      if (!v) return false;
-      opts.blocks = static_cast<std::size_t>(std::atoll(v));
+      opts.blocks = benchkit::parse_size_t("--blocks", next_value("--blocks"));
       opts.blocks_set = true;
     } else if (arg == "--window") {
-      const char* v = next_value("--window");
-      if (!v) return false;
-      opts.window = static_cast<std::size_t>(std::atoll(v));
+      opts.window = benchkit::parse_size_t("--window", next_value("--window"));
       opts.window_set = true;
     } else if (arg == "--step") {
-      const char* v = next_value("--step");
-      if (!v) return false;
-      opts.step = static_cast<std::size_t>(std::atoll(v));
+      opts.step = benchkit::parse_size_t("--step", next_value("--step"));
       opts.step_set = true;
     } else if (arg == "--scale") {
-      const char* v = next_value("--scale");
-      if (!v) return false;
-      opts.scale = std::atof(v);
+      opts.scale = benchkit::parse_double("--scale", next_value("--scale"));
     } else if (arg == "--history") {
-      const char* v = next_value("--history");
-      if (!v) return false;
-      opts.history = static_cast<std::size_t>(std::atoll(v));
+      opts.history =
+          benchkit::parse_size_t("--history", next_value("--history"));
     } else if (arg == "--retrain") {
-      const char* v = next_value("--retrain");
-      if (!v) return false;
-      opts.retrain = static_cast<std::size_t>(std::atoll(v));
+      opts.retrain =
+          benchkit::parse_size_t("--retrain", next_value("--retrain"));
     } else if (arg == "--batch") {
-      const char* v = next_value("--batch");
-      if (!v) return false;
-      opts.batch = static_cast<std::size_t>(std::atoll(v));
+      opts.batch = benchkit::parse_size_t("--batch", next_value("--batch"));
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -488,8 +476,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   Options opts;
-  if (!parse_args(argc, argv, opts)) {
-    usage(std::cerr);
+  try {
+    if (!parse_args(argc, argv, opts)) {
+      usage(std::cerr);
+      return 1;
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
   const std::string command = argv[1];
