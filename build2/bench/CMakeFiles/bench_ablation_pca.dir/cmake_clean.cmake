@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pca.dir/ablation_pca.cpp.o"
+  "CMakeFiles/bench_ablation_pca.dir/ablation_pca.cpp.o.d"
+  "ablation_pca"
+  "ablation_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_pipeline_viz.cpp" "bench/CMakeFiles/bench_fig2_pipeline_viz.dir/fig2_pipeline_viz.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_pipeline_viz.dir/fig2_pipeline_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/benchkit/CMakeFiles/csm_benchkit_main.dir/DependInfo.cmake"
+  "/root/repo/build2/src/harness/CMakeFiles/csm_harness.dir/DependInfo.cmake"
+  "/root/repo/build2/src/benchkit/CMakeFiles/csm_benchkit.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/csm_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/baselines/CMakeFiles/csm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/csm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hpcoda/CMakeFiles/csm_hpcoda.dir/DependInfo.cmake"
+  "/root/repo/build2/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pipeline_viz.dir/fig2_pipeline_viz.cpp.o"
+  "CMakeFiles/bench_fig2_pipeline_viz.dir/fig2_pipeline_viz.cpp.o.d"
+  "fig2_pipeline_viz"
+  "fig2_pipeline_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pipeline_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

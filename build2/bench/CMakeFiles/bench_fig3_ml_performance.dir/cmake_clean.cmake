@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ml_performance.dir/fig3_ml_performance.cpp.o"
+  "CMakeFiles/bench_fig3_ml_performance.dir/fig3_ml_performance.cpp.o.d"
+  "fig3_ml_performance"
+  "fig3_ml_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ml_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_compression_quality.dir/fig4_compression_quality.cpp.o"
+  "CMakeFiles/bench_fig4_compression_quality.dir/fig4_compression_quality.cpp.o.d"
+  "fig4_compression_quality"
+  "fig4_compression_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_compression_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_app_signatures.dir/fig6_app_signatures.cpp.o"
+  "CMakeFiles/bench_fig6_app_signatures.dir/fig6_app_signatures.cpp.o.d"
+  "fig6_app_signatures"
+  "fig6_app_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_app_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

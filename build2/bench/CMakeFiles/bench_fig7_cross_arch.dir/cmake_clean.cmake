@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cross_arch.dir/fig7_cross_arch.cpp.o"
+  "CMakeFiles/bench_fig7_cross_arch.dir/fig7_cross_arch.cpp.o.d"
+  "fig7_cross_arch"
+  "fig7_cross_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cross_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_throughput.dir/stream_throughput.cpp.o"
+  "CMakeFiles/bench_stream_throughput.dir/stream_throughput.cpp.o.d"
+  "stream_throughput"
+  "stream_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

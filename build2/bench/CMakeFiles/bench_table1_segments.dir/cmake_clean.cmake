@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_segments.dir/table1_segments.cpp.o"
+  "CMakeFiles/bench_table1_segments.dir/table1_segments.cpp.o.d"
+  "table1_segments"
+  "table1_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

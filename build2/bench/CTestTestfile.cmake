@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_unknown_flag_is_rejected]=] "/root/repo/build2/bench/table1_segments" "--bogus")
+set_tests_properties([=[bench_unknown_flag_is_rejected]=] PROPERTIES  PASS_REGULAR_EXPRESSION "unknown flag: --bogus" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;19;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_trailing_garbage_is_rejected]=] "/root/repo/build2/bench/table1_segments" "--seed" "7x")
+set_tests_properties([=[bench_trailing_garbage_is_rejected]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--seed: expected" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_help_exits_zero]=] "/root/repo/build2/bench/table1_segments" "--help")
+set_tests_properties([=[bench_help_exits_zero]=] PROPERTIES  PASS_REGULAR_EXPRESSION "usage: table1_segments" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_methods_unsupported_is_named]=] "/root/repo/build2/bench/table1_segments" "--methods" "tuncer")
+set_tests_properties([=[bench_methods_unsupported_is_named]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--methods is not supported by table1_segments" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_quick_json_selfdiff]=] "/usr/bin/cmake" "-DDRIVER=/root/repo/build2/bench/table1_segments" "-DBENCHDIFF=/root/repo/build2/tools/benchdiff" "-DWORK_DIR=/root/repo/build2/bench/selfdiff" "-P" "/root/repo/bench/bench_selfdiff.cmake")
+set_tests_properties([=[bench_quick_json_selfdiff]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bodik.cpp" "src/baselines/CMakeFiles/csm_baselines.dir/bodik.cpp.o" "gcc" "src/baselines/CMakeFiles/csm_baselines.dir/bodik.cpp.o.d"
+  "/root/repo/src/baselines/lan.cpp" "src/baselines/CMakeFiles/csm_baselines.dir/lan.cpp.o" "gcc" "src/baselines/CMakeFiles/csm_baselines.dir/lan.cpp.o.d"
+  "/root/repo/src/baselines/pca.cpp" "src/baselines/CMakeFiles/csm_baselines.dir/pca.cpp.o" "gcc" "src/baselines/CMakeFiles/csm_baselines.dir/pca.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/csm_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/csm_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/tuncer.cpp" "src/baselines/CMakeFiles/csm_baselines.dir/tuncer.cpp.o" "gcc" "src/baselines/CMakeFiles/csm_baselines.dir/tuncer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/csm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_baselines.dir/bodik.cpp.o"
+  "CMakeFiles/csm_baselines.dir/bodik.cpp.o.d"
+  "CMakeFiles/csm_baselines.dir/lan.cpp.o"
+  "CMakeFiles/csm_baselines.dir/lan.cpp.o.d"
+  "CMakeFiles/csm_baselines.dir/pca.cpp.o"
+  "CMakeFiles/csm_baselines.dir/pca.cpp.o.d"
+  "CMakeFiles/csm_baselines.dir/registry.cpp.o"
+  "CMakeFiles/csm_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/csm_baselines.dir/tuncer.cpp.o"
+  "CMakeFiles/csm_baselines.dir/tuncer.cpp.o.d"
+  "libcsm_baselines.a"
+  "libcsm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

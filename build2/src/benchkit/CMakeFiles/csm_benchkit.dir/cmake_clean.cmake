@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_benchkit.dir/args.cpp.o"
+  "CMakeFiles/csm_benchkit.dir/args.cpp.o.d"
+  "CMakeFiles/csm_benchkit.dir/benchkit.cpp.o"
+  "CMakeFiles/csm_benchkit.dir/benchkit.cpp.o.d"
+  "CMakeFiles/csm_benchkit.dir/diff.cpp.o"
+  "CMakeFiles/csm_benchkit.dir/diff.cpp.o.d"
+  "CMakeFiles/csm_benchkit.dir/json.cpp.o"
+  "CMakeFiles/csm_benchkit.dir/json.cpp.o.d"
+  "libcsm_benchkit.a"
+  "libcsm_benchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

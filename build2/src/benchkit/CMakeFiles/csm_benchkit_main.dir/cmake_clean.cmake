@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_benchkit_main.dir/bench_main.cpp.o"
+  "CMakeFiles/csm_benchkit_main.dir/bench_main.cpp.o.d"
+  "libcsm_benchkit_main.a"
+  "libcsm_benchkit_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_benchkit_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

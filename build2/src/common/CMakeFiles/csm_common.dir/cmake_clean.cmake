@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_common.dir/matrix.cpp.o"
+  "CMakeFiles/csm_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/csm_common.dir/ring_matrix.cpp.o"
+  "CMakeFiles/csm_common.dir/ring_matrix.cpp.o.d"
+  "CMakeFiles/csm_common.dir/rng.cpp.o"
+  "CMakeFiles/csm_common.dir/rng.cpp.o.d"
+  "libcsm_common.a"
+  "libcsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

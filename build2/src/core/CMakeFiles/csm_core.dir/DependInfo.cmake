@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/csm_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/cs_model.cpp" "src/core/CMakeFiles/csm_core.dir/cs_model.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/cs_model.cpp.o.d"
+  "/root/repo/src/core/method_registry.cpp" "src/core/CMakeFiles/csm_core.dir/method_registry.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/method_registry.cpp.o.d"
+  "/root/repo/src/core/method_stream.cpp" "src/core/CMakeFiles/csm_core.dir/method_stream.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/method_stream.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/csm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/csm_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/smoothing.cpp" "src/core/CMakeFiles/csm_core.dir/smoothing.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/smoothing.cpp.o.d"
+  "/root/repo/src/core/stream_engine.cpp" "src/core/CMakeFiles/csm_core.dir/stream_engine.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/stream_engine.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/csm_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/csm_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/csm_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_core.dir/codec.cpp.o"
+  "CMakeFiles/csm_core.dir/codec.cpp.o.d"
+  "CMakeFiles/csm_core.dir/cs_model.cpp.o"
+  "CMakeFiles/csm_core.dir/cs_model.cpp.o.d"
+  "CMakeFiles/csm_core.dir/method_registry.cpp.o"
+  "CMakeFiles/csm_core.dir/method_registry.cpp.o.d"
+  "CMakeFiles/csm_core.dir/method_stream.cpp.o"
+  "CMakeFiles/csm_core.dir/method_stream.cpp.o.d"
+  "CMakeFiles/csm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/csm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/csm_core.dir/signature.cpp.o"
+  "CMakeFiles/csm_core.dir/signature.cpp.o.d"
+  "CMakeFiles/csm_core.dir/smoothing.cpp.o"
+  "CMakeFiles/csm_core.dir/smoothing.cpp.o.d"
+  "CMakeFiles/csm_core.dir/stream_engine.cpp.o"
+  "CMakeFiles/csm_core.dir/stream_engine.cpp.o.d"
+  "CMakeFiles/csm_core.dir/streaming.cpp.o"
+  "CMakeFiles/csm_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/csm_core.dir/training.cpp.o"
+  "CMakeFiles/csm_core.dir/training.cpp.o.d"
+  "libcsm_core.a"
+  "libcsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

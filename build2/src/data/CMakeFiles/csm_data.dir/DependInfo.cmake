@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/alignment.cpp" "src/data/CMakeFiles/csm_data.dir/alignment.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/alignment.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/csm_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/csm_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/feature_csv.cpp" "src/data/CMakeFiles/csm_data.dir/feature_csv.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/feature_csv.cpp.o.d"
+  "/root/repo/src/data/time_series.cpp" "src/data/CMakeFiles/csm_data.dir/time_series.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/time_series.cpp.o.d"
+  "/root/repo/src/data/window.cpp" "src/data/CMakeFiles/csm_data.dir/window.cpp.o" "gcc" "src/data/CMakeFiles/csm_data.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

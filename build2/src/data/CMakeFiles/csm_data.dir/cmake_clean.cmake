@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_data.dir/alignment.cpp.o"
+  "CMakeFiles/csm_data.dir/alignment.cpp.o.d"
+  "CMakeFiles/csm_data.dir/csv.cpp.o"
+  "CMakeFiles/csm_data.dir/csv.cpp.o.d"
+  "CMakeFiles/csm_data.dir/dataset.cpp.o"
+  "CMakeFiles/csm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/csm_data.dir/feature_csv.cpp.o"
+  "CMakeFiles/csm_data.dir/feature_csv.cpp.o.d"
+  "CMakeFiles/csm_data.dir/time_series.cpp.o"
+  "CMakeFiles/csm_data.dir/time_series.cpp.o.d"
+  "CMakeFiles/csm_data.dir/window.cpp.o"
+  "CMakeFiles/csm_data.dir/window.cpp.o.d"
+  "libcsm_data.a"
+  "libcsm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

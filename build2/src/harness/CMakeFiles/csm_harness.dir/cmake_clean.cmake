@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_harness.dir/experiment.cpp.o"
+  "CMakeFiles/csm_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/csm_harness.dir/heatmap.cpp.o"
+  "CMakeFiles/csm_harness.dir/heatmap.cpp.o.d"
+  "CMakeFiles/csm_harness.dir/summary.cpp.o"
+  "CMakeFiles/csm_harness.dir/summary.cpp.o.d"
+  "libcsm_harness.a"
+  "libcsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcoda/collector.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/collector.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/collector.cpp.o.d"
+  "/root/repo/src/hpcoda/generator.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/generator.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/generator.cpp.o.d"
+  "/root/repo/src/hpcoda/segment.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/segment.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/segment.cpp.o.d"
+  "/root/repo/src/hpcoda/sensors.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/sensors.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/sensors.cpp.o.d"
+  "/root/repo/src/hpcoda/types.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/types.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/types.cpp.o.d"
+  "/root/repo/src/hpcoda/workload.cpp" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/workload.cpp.o" "gcc" "src/hpcoda/CMakeFiles/csm_hpcoda.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

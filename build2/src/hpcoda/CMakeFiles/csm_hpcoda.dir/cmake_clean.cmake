@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_hpcoda.dir/collector.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/collector.cpp.o.d"
+  "CMakeFiles/csm_hpcoda.dir/generator.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/generator.cpp.o.d"
+  "CMakeFiles/csm_hpcoda.dir/segment.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/segment.cpp.o.d"
+  "CMakeFiles/csm_hpcoda.dir/sensors.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/sensors.cpp.o.d"
+  "CMakeFiles/csm_hpcoda.dir/types.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/types.cpp.o.d"
+  "CMakeFiles/csm_hpcoda.dir/workload.cpp.o"
+  "CMakeFiles/csm_hpcoda.dir/workload.cpp.o.d"
+  "libcsm_hpcoda.a"
+  "libcsm_hpcoda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_hpcoda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

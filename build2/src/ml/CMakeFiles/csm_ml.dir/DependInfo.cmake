@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/csm_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/csm_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/csm_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/csm_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/csm_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/csm_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/csm_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/splits.cpp" "src/ml/CMakeFiles/csm_ml.dir/splits.cpp.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/splits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/csm_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/csm_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/knn.cpp.o"
+  "CMakeFiles/csm_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/metrics.cpp.o"
+  "CMakeFiles/csm_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/mlp.cpp.o"
+  "CMakeFiles/csm_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/model.cpp.o"
+  "CMakeFiles/csm_ml.dir/model.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/csm_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/csm_ml.dir/splits.cpp.o"
+  "CMakeFiles/csm_ml.dir/splits.cpp.o.d"
+  "libcsm_ml.a"
+  "libcsm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/csm_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/csm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/divergence.cpp" "src/stats/CMakeFiles/csm_stats.dir/divergence.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/divergence.cpp.o.d"
+  "/root/repo/src/stats/eigen.cpp" "src/stats/CMakeFiles/csm_stats.dir/eigen.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/eigen.cpp.o.d"
+  "/root/repo/src/stats/finite_diff.cpp" "src/stats/CMakeFiles/csm_stats.dir/finite_diff.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/finite_diff.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/csm_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/interpolate.cpp" "src/stats/CMakeFiles/csm_stats.dir/interpolate.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/interpolate.cpp.o.d"
+  "/root/repo/src/stats/normalize.cpp" "src/stats/CMakeFiles/csm_stats.dir/normalize.cpp.o" "gcc" "src/stats/CMakeFiles/csm_stats.dir/normalize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

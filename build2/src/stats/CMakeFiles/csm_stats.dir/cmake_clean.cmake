@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_stats.dir/correlation.cpp.o"
+  "CMakeFiles/csm_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/csm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/divergence.cpp.o"
+  "CMakeFiles/csm_stats.dir/divergence.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/eigen.cpp.o"
+  "CMakeFiles/csm_stats.dir/eigen.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/finite_diff.cpp.o"
+  "CMakeFiles/csm_stats.dir/finite_diff.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/csm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/interpolate.cpp.o"
+  "CMakeFiles/csm_stats.dir/interpolate.cpp.o.d"
+  "CMakeFiles/csm_stats.dir/normalize.cpp.o"
+  "CMakeFiles/csm_stats.dir/normalize.cpp.o.d"
+  "libcsm_stats.a"
+  "libcsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

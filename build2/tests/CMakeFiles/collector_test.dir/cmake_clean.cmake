@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_test.dir/hpcoda/collector_test.cpp.o"
+  "CMakeFiles/collector_test.dir/hpcoda/collector_test.cpp.o.d"
+  "collector_test"
+  "collector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

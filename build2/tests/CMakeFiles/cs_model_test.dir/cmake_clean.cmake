@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_model_test.dir/core/cs_model_test.cpp.o"
+  "CMakeFiles/cs_model_test.dir/core/cs_model_test.cpp.o.d"
+  "cs_model_test"
+  "cs_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_tree_test.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/decision_tree_test.dir/ml/decision_tree_test.cpp.o.d"
+  "decision_tree_test"
+  "decision_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

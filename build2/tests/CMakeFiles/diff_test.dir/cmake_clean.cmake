@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_test.dir/benchkit/diff_test.cpp.o"
+  "CMakeFiles/diff_test.dir/benchkit/diff_test.cpp.o.d"
+  "diff_test"
+  "diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

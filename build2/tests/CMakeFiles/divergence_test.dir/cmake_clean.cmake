@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_test.dir/stats/divergence_test.cpp.o"
+  "CMakeFiles/divergence_test.dir/stats/divergence_test.cpp.o.d"
+  "divergence_test"
+  "divergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

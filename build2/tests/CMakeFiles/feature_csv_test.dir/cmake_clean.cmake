@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_csv_test.dir/data/feature_csv_test.cpp.o"
+  "CMakeFiles/feature_csv_test.dir/data/feature_csv_test.cpp.o.d"
+  "feature_csv_test"
+  "feature_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

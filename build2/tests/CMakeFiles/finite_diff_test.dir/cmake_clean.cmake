@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_diff_test.dir/stats/finite_diff_test.cpp.o"
+  "CMakeFiles/finite_diff_test.dir/stats/finite_diff_test.cpp.o.d"
+  "finite_diff_test"
+  "finite_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

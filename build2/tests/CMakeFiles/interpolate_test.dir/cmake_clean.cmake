@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolate_test.dir/stats/interpolate_test.cpp.o"
+  "CMakeFiles/interpolate_test.dir/stats/interpolate_test.cpp.o.d"
+  "interpolate_test"
+  "interpolate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

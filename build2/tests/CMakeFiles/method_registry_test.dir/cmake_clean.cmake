@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_registry_test.dir/core/method_registry_test.cpp.o"
+  "CMakeFiles/method_registry_test.dir/core/method_registry_test.cpp.o.d"
+  "method_registry_test"
+  "method_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_stream_test.dir/core/method_stream_test.cpp.o"
+  "CMakeFiles/method_stream_test.dir/core/method_stream_test.cpp.o.d"
+  "method_stream_test"
+  "method_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

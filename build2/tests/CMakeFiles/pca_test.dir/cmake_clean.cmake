@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_test.dir/baselines/pca_test.cpp.o"
+  "CMakeFiles/pca_test.dir/baselines/pca_test.cpp.o.d"
+  "pca_test"
+  "pca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_forest_test.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/random_forest_test.dir/ml/random_forest_test.cpp.o.d"
+  "random_forest_test"
+  "random_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_matrix_test.dir/common/ring_matrix_test.cpp.o"
+  "CMakeFiles/ring_matrix_test.dir/common/ring_matrix_test.cpp.o.d"
+  "ring_matrix_test"
+  "ring_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

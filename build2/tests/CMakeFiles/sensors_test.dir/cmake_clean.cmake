@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensors_test.dir/hpcoda/sensors_test.cpp.o"
+  "CMakeFiles/sensors_test.dir/hpcoda/sensors_test.cpp.o.d"
+  "sensors_test"
+  "sensors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

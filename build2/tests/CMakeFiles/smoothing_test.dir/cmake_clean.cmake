@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_test.dir/core/smoothing_test.cpp.o"
+  "CMakeFiles/smoothing_test.dir/core/smoothing_test.cpp.o.d"
+  "smoothing_test"
+  "smoothing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

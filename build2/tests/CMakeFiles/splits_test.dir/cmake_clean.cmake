@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splits_test.dir/ml/splits_test.cpp.o"
+  "CMakeFiles/splits_test.dir/ml/splits_test.cpp.o.d"
+  "splits_test"
+  "splits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

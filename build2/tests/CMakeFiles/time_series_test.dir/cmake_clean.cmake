@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_test.dir/data/time_series_test.cpp.o"
+  "CMakeFiles/time_series_test.dir/data/time_series_test.cpp.o.d"
+  "time_series_test"
+  "time_series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

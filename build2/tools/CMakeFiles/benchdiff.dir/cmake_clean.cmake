@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchdiff.dir/benchdiff.cpp.o"
+  "CMakeFiles/benchdiff.dir/benchdiff.cpp.o.d"
+  "benchdiff"
+  "benchdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for benchdiff.
+# This may be replaced when dependencies are built.

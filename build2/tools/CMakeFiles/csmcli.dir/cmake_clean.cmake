@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmcli.dir/csmcli.cpp.o"
+  "CMakeFiles/csmcli.dir/csmcli.cpp.o.d"
+  "csmcli"
+  "csmcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

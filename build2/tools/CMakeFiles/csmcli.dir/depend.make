@@ -1,0 +1,2 @@
+# Empty dependencies file for csmcli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[csmcli_help_exits_zero]=] "/root/repo/build2/tools/csmcli" "--help")
+set_tests_properties([=[csmcli_help_exits_zero]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_help_prints_usage]=] "/root/repo/build2/tools/csmcli" "--help")
+set_tests_properties([=[csmcli_help_prints_usage]=] PROPERTIES  PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_methods_lists_registry]=] "/root/repo/build2/tools/csmcli" "methods")
+set_tests_properties([=[csmcli_methods_lists_registry]=] PROPERTIES  PASS_REGULAR_EXPRESSION "pca\\[:components=K\\]" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_unknown_flag_is_named]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--bogus")
+set_tests_properties([=[csmcli_unknown_flag_is_named]=] PROPERTIES  PASS_REGULAR_EXPRESSION "unknown option: --bogus" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_no_args_fails]=] "/root/repo/build2/tools/csmcli")
+set_tests_properties([=[csmcli_no_args_fails]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_method_conflicts_with_cs_flags]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--method" "cs" "--blocks" "10")
+set_tests_properties([=[csmcli_method_conflicts_with_cs_flags]=] PROPERTIES  PASS_REGULAR_EXPRESSION "conflict with --method" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_blocks_trailing_garbage_is_rejected]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--blocks" "20x")
+set_tests_properties([=[csmcli_blocks_trailing_garbage_is_rejected]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--blocks: expected a non-negative integer, got \"20x\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_scale_trailing_garbage_is_rejected]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--scale" "0.5x")
+set_tests_properties([=[csmcli_scale_trailing_garbage_is_rejected]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--scale: expected a finite number" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_missing_value_is_named]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--history")
+set_tests_properties([=[csmcli_missing_value_is_named]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--history: missing value" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_stream_pca]=] "/root/repo/build2/tools/csmcli" "stream" "fault" "--scale" "0.3" "--method" "pca:components=4")
+set_tests_properties([=[csmcli_stream_pca]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[csmcli_stream_tuncer]=] "/root/repo/build2/tools/csmcli" "stream" "power" "--scale" "0.3" "--method" "tuncer")
+set_tests_properties([=[csmcli_stream_tuncer]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[benchdiff_help_exits_zero]=] "/root/repo/build2/tools/benchdiff" "--help")
+set_tests_properties([=[benchdiff_help_exits_zero]=] PROPERTIES  PASS_REGULAR_EXPRESSION "usage: benchdiff" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;53;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[benchdiff_requires_two_files]=] "/root/repo/build2/tools/benchdiff" "one.json")
+set_tests_properties([=[benchdiff_requires_two_files]=] PROPERTIES  PASS_REGULAR_EXPRESSION "exactly two positional arguments" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;56;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[benchdiff_threshold_garbage_is_rejected]=] "/root/repo/build2/tools/benchdiff" "a.json" "b.json" "--threshold-pct" "30x")
+set_tests_properties([=[benchdiff_threshold_garbage_is_rejected]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--threshold-pct: expected" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;59;add_test;/root/repo/tools/CMakeLists.txt;0;")
