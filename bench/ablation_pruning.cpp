@@ -32,7 +32,8 @@ class PrunedCsMethod final : public core::SignatureMethod {
   std::size_t signature_length(std::size_t) const override {
     return 2 * (40 - pruned_);
   }
-  std::vector<double> compute(const common::Matrix& window) const override {
+  std::vector<double> compute(
+      const common::MatrixView& window) const override {
     return pipeline_->transform_window(window).pruned_center(pruned_)
         .flatten();
   }

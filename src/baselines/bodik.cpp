@@ -8,14 +8,16 @@
 
 namespace csm::baselines {
 
-std::vector<double> BodikMethod::compute(const common::Matrix& window) const {
+std::vector<double> BodikMethod::compute(
+    const common::MatrixView& window) const {
   if (window.empty()) throw std::invalid_argument("Bodik: empty window");
   static constexpr std::array<double, 7> kQs = {5.0,  25.0, 35.0, 50.0,
                                                 65.0, 75.0, 95.0};
   std::vector<double> out;
   out.reserve(signature_length(window.rows()));
+  std::vector<double> scratch;  // Row gather buffer for ring-segment views.
   for (std::size_t r = 0; r < window.rows(); ++r) {
-    const auto row = window.row(r);
+    const auto row = window.row(r, scratch);
     out.push_back(stats::min(row));
     out.push_back(stats::max(row));
     const std::vector<double> ps = stats::percentiles(row, kQs);
@@ -25,7 +27,7 @@ std::vector<double> BodikMethod::compute(const common::Matrix& window) const {
 }
 
 std::unique_ptr<core::SignatureMethod> BodikMethod::fit(
-    const common::Matrix& /*train*/) const {
+    const common::MatrixView& /*train*/) const {
   return std::make_unique<BodikMethod>(*this);
 }
 

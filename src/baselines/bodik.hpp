@@ -13,15 +13,19 @@ class BodikMethod final : public core::SignatureMethod {
  public:
   static constexpr std::size_t kFeaturesPerSensor = 9;
 
+  using core::SignatureMethod::compute;
+  using core::SignatureMethod::fit;
+
   std::string name() const override { return "Bodik"; }
   std::size_t signature_length(std::size_t n_sensors) const override {
     return n_sensors * kFeaturesPerSensor;
   }
-  std::vector<double> compute(const common::Matrix& window) const override;
+  std::vector<double> compute(
+      const common::MatrixView& window) const override;
 
   // Stateless lifecycle: fit() is a copy, serialisation is header-only.
   std::unique_ptr<core::SignatureMethod> fit(
-      const common::Matrix& train) const override;
+      const common::MatrixView& train) const override;
   std::string serialize() const override;
 };
 

@@ -27,19 +27,22 @@ std::vector<double> mean_filter_resample(std::span<const double> x,
   return out;
 }
 
-std::vector<double> LanMethod::compute(const common::Matrix& window) const {
+std::vector<double> LanMethod::compute(
+    const common::MatrixView& window) const {
   if (window.empty()) throw std::invalid_argument("Lan: empty window");
   std::vector<double> out;
   out.reserve(signature_length(window.rows()));
+  std::vector<double> scratch;  // Row gather buffer for ring-segment views.
   for (std::size_t r = 0; r < window.rows(); ++r) {
-    const std::vector<double> sub = mean_filter_resample(window.row(r), wr_);
+    const std::vector<double> sub =
+        mean_filter_resample(window.row(r, scratch), wr_);
     out.insert(out.end(), sub.begin(), sub.end());
   }
   return out;
 }
 
 std::unique_ptr<core::SignatureMethod> LanMethod::fit(
-    const common::Matrix& /*train*/) const {
+    const common::MatrixView& /*train*/) const {
   return std::make_unique<LanMethod>(*this);
 }
 

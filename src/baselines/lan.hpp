@@ -19,15 +19,19 @@ class LanMethod final : public core::SignatureMethod {
 
   std::size_t wr() const noexcept { return wr_; }
 
+  using core::SignatureMethod::compute;
+  using core::SignatureMethod::fit;
+
   std::string name() const override { return "Lan"; }
   std::size_t signature_length(std::size_t n_sensors) const override {
     return n_sensors * wr_;
   }
-  std::vector<double> compute(const common::Matrix& window) const override;
+  std::vector<double> compute(
+      const common::MatrixView& window) const override;
 
   // Stateless lifecycle: fit() is a copy; serialisation keeps wr.
   std::unique_ptr<core::SignatureMethod> fit(
-      const common::Matrix& train) const override;
+      const common::MatrixView& train) const override;
   std::string serialize() const override;
 
  private:

@@ -47,25 +47,31 @@ PcaModel::PcaModel(std::vector<double> means, std::vector<double> inv_std,
   explained_ = std::move(explained);
 }
 
-PcaModel PcaModel::fit(const common::Matrix& s, std::size_t components) {
+PcaModel PcaModel::fit(const common::MatrixView& s, std::size_t components) {
   if (s.empty()) throw std::invalid_argument("PcaModel::fit: empty matrix");
   if (components == 0) {
     throw std::invalid_argument("PcaModel::fit: zero components");
   }
   const std::size_t n = s.rows();
+  const std::size_t t = s.cols();
   const std::size_t k = std::min(components, n);
 
   PcaModel model;
   model.means_.resize(n);
   model.inv_std_.resize(n);
-  common::Matrix standardized(n, s.cols());
+  // The standardised copy the eigen-decomposition needs is built straight
+  // out of the view; mean/stddev walk each row time-ascending (gathered
+  // into scratch for ring-segment layouts), matching the materialised path
+  // bit for bit.
+  common::Matrix standardized(n, t);
+  std::vector<double> scratch;
   for (std::size_t r = 0; r < n; ++r) {
-    const auto row = s.row(r);
+    const auto row = s.row(r, scratch);
     model.means_[r] = stats::mean(row);
     const double sd = stats::stddev(row);
     model.inv_std_[r] = sd > 1e-12 ? 1.0 / sd : 0.0;
     auto dst = standardized.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) {
+    for (std::size_t c = 0; c < t; ++c) {
       dst[c] = (row[c] - model.means_[r]) * model.inv_std_[r];
     }
   }
@@ -185,7 +191,7 @@ std::size_t PcaMethod::signature_length(std::size_t /*n_sensors*/) const {
 }
 
 std::unique_ptr<core::SignatureMethod> PcaMethod::fit(
-    const common::Matrix& train) const {
+    const common::MatrixView& train) const {
   return std::make_unique<PcaMethod>(PcaModel::fit(train, components_));
 }
 
@@ -201,24 +207,39 @@ std::unique_ptr<PcaMethod> PcaMethod::deserialize_body(
   return std::make_unique<PcaMethod>(PcaModel::deserialize(body));
 }
 
-std::vector<double> PcaMethod::compute(const common::Matrix& window) const {
+std::vector<double> PcaMethod::compute(
+    const common::MatrixView& window) const {
   if (!trained()) {
     throw std::logic_error("PcaMethod: compute() before fit()");
   }
   if (window.rows() != model_.n_sensors()) {
     throw std::invalid_argument("PcaMethod: sensor count mismatch");
   }
-  // Window mean vector and mean backward-derivative vector per sensor.
-  std::vector<double> mean_vec(window.rows());
-  std::vector<double> diff_vec(window.rows());
-  for (std::size_t r = 0; r < window.rows(); ++r) {
-    const auto row = window.row(r);
-    mean_vec[r] = stats::mean(row);
+  // Window mean vector and mean backward-derivative vector per sensor. The
+  // means accumulate column by column when the view is column-segmented
+  // (each column a contiguous span) and row by row otherwise; both walk
+  // time ascending per sensor, so the result is bit-identical either way.
+  const std::size_t n = window.rows();
+  const std::size_t wl = window.cols();
+  std::vector<double> mean_vec(n, 0.0);
+  std::vector<double> diff_vec(n);
+  if (window.contiguous_cols() && wl > 0) {
+    for (std::size_t c = 0; c < wl; ++c) {
+      const std::span<const double> col = window.col(c);
+      for (std::size_t r = 0; r < n; ++r) mean_vec[r] += col[r];
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      mean_vec[r] /= static_cast<double>(wl);
+    }
+  } else if (wl > 0) {
+    for (std::size_t r = 0; r < n; ++r) {
+      mean_vec[r] = stats::mean(window.row(r));
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
     // Mean of backward differences = (last - first) / wl.
-    diff_vec[r] =
-        row.size() > 1
-            ? (row.back() - row.front()) / static_cast<double>(row.size())
-            : 0.0;
+    const double swing = wl > 1 ? window(r, wl - 1) - window(r, 0) : 0.0;
+    diff_vec[r] = wl > 1 ? swing / static_cast<double>(wl) : 0.0;
   }
   std::vector<double> out = model_.project(mean_vec);
   // Derivatives are naturally centred at zero, so skip mean subtraction.

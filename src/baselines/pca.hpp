@@ -28,9 +28,11 @@ class PcaModel {
            common::Matrix components, std::vector<double> explained);
 
   /// Trains on historical data (rows = sensors): standardises each sensor
-  /// row and extracts the top `components` covariance eigenvectors.
+  /// row and extracts the top `components` covariance eigenvectors. Accepts
+  /// any window view (a common::Matrix converts implicitly); ring-buffer
+  /// history is standardised straight out of the view.
   /// Throws std::invalid_argument if `s` is empty or components == 0.
-  static PcaModel fit(const common::Matrix& s, std::size_t components);
+  static PcaModel fit(const common::MatrixView& s, std::size_t components);
 
   std::size_t n_sensors() const noexcept { return means_.size(); }
   std::size_t n_components() const noexcept { return components_.rows(); }
@@ -74,15 +76,19 @@ class PcaMethod final : public core::SignatureMethod {
   /// Trained method. Throws std::invalid_argument on an untrained model.
   PcaMethod(PcaModel model, std::string display_name = {});
 
+  using core::SignatureMethod::compute;
+  using core::SignatureMethod::fit;
+
   std::string name() const override { return name_; }
   std::size_t signature_length(std::size_t n_sensors) const override;
-  std::vector<double> compute(const common::Matrix& window) const override;
+  std::vector<double> compute(
+      const common::MatrixView& window) const override;
 
   bool trained() const override { return model_.n_sensors() > 0; }
   std::size_t n_sensors() const override { return model_.n_sensors(); }
   /// Fits the standardisation + eigenbasis on `train`.
   std::unique_ptr<core::SignatureMethod> fit(
-      const common::Matrix& train) const override;
+      const common::MatrixView& train) const override;
   std::string serialize() const override;
 
   const PcaModel& model() const noexcept { return model_; }

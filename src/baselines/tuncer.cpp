@@ -8,13 +8,18 @@
 
 namespace csm::baselines {
 
-std::vector<double> TuncerMethod::compute(const common::Matrix& window) const {
+std::vector<double> TuncerMethod::compute(
+    const common::MatrixView& window) const {
   if (window.empty()) throw std::invalid_argument("Tuncer: empty window");
   static constexpr std::array<double, 5> kQs = {5.0, 25.0, 50.0, 75.0, 95.0};
   std::vector<double> out;
   out.reserve(signature_length(window.rows()));
+  // A ring-segment view gathers each row into the reused scratch buffer
+  // (the percentile indicators need a sortable copy anyway); a row-major
+  // view hands out the backing row directly.
+  std::vector<double> scratch;
   for (std::size_t r = 0; r < window.rows(); ++r) {
-    const auto row = window.row(r);
+    const auto row = window.row(r, scratch);
     out.push_back(stats::mean(row));
     out.push_back(stats::stddev(row));
     out.push_back(stats::min(row));
@@ -28,7 +33,7 @@ std::vector<double> TuncerMethod::compute(const common::Matrix& window) const {
 }
 
 std::unique_ptr<core::SignatureMethod> TuncerMethod::fit(
-    const common::Matrix& /*train*/) const {
+    const common::MatrixView& /*train*/) const {
   return std::make_unique<TuncerMethod>(*this);
 }
 

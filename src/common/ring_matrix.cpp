@@ -43,6 +43,23 @@ void RingMatrix::copy_latest(std::size_t n_cols, Matrix& out) const {
   }
 }
 
+MatrixView RingMatrix::latest_view(std::size_t n_cols) const {
+  if (n_cols > size_) {
+    throw std::invalid_argument("RingMatrix::latest_view: not enough columns");
+  }
+  if (n_cols == 0) return MatrixView{};
+  const std::size_t first = size_ - n_cols;
+  const std::size_t start_slot = slot_of(first);
+  const std::size_t tail = capacity_ - start_slot;  // Slots before the wrap.
+  if (n_cols <= tail) {
+    return MatrixView::column_segments(
+        {data_.data() + start_slot * rows_, n_cols * rows_}, {}, rows_);
+  }
+  return MatrixView::column_segments(
+      {data_.data() + start_slot * rows_, tail * rows_},
+      {data_.data(), (n_cols - tail) * rows_}, rows_);
+}
+
 Matrix RingMatrix::to_matrix() const {
   Matrix out(rows_, size_);
   if (size_ > 0) copy_latest(size_, out);

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 
 namespace csm::common {
 
@@ -65,6 +66,17 @@ class RingMatrix {
   /// rows() x n_cols matrix; out(r, c) gets column(size()-n_cols+c)[r].
   /// Throws std::invalid_argument on shape mismatch or n_cols > size().
   void copy_latest(std::size_t n_cols, Matrix& out) const;
+
+  /// Zero-copy view over the newest `n_cols` logical columns: one contiguous
+  /// column segment, or two when the window straddles the wrap point. The
+  /// view is invalidated by the next push (slots are recycled). Throws
+  /// std::invalid_argument if n_cols > size().
+  MatrixView latest_view(std::size_t n_cols) const;
+
+  /// Zero-copy view over the whole retained history, oldest to newest —
+  /// the view-typed counterpart of to_matrix() (e.g. for a retraining
+  /// pass). Invalidated by the next push.
+  MatrixView history_view() const { return latest_view(size_); }
 
   /// Materialises the whole retained history, oldest to newest, as a
   /// rows() x size() matrix (e.g. for a retraining pass).

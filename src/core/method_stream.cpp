@@ -28,8 +28,6 @@ MethodStream::MethodStream(std::shared_ptr<const SignatureMethod> method,
         method_->name() + "\"");
   }
   history_ = common::RingMatrix(n_sensors_, options_.history_length);
-  window_ = common::Matrix(n_sensors_, options_.window_length);
-  seed_col_ = common::Matrix(n_sensors_, 1);
   next_emit_at_ = options_.window_length;
 }
 
@@ -71,27 +69,27 @@ std::optional<std::vector<double>> MethodStream::emit_if_due() {
   if (samples_seen_ < next_emit_at_) return std::nullopt;
   next_emit_at_ += options_.window_step;
 
-  // Assemble the window (plus one seed column when available) from the
-  // newest wl columns of the history ring; the method decides what to do
-  // with the seed (CS feeds its derivative channel, others ignore it).
+  // Hand the newest wl columns to the method as a zero-copy view over the
+  // ring segments, plus a span over the raw column preceding the window
+  // when one exists; the method decides what to do with the seed (CS feeds
+  // its derivative channel, others ignore it).
   const std::size_t wl = options_.window_length;
-  const bool have_seed = history_.size() > wl;
-  history_.copy_latest(wl, window_);
+  const common::MatrixView window = history_.latest_view(wl);
   ++signatures_emitted_;
-  if (have_seed) {
+  if (history_.size() > wl) {
     const std::span<const double> seed = history_.newest(wl);
-    for (std::size_t r = 0; r < n_sensors_; ++r) seed_col_(r, 0) = seed[r];
-    return method_->compute_streaming(window_, &seed_col_);
+    return method_->compute_streaming(window, &seed);
   }
-  return method_->compute_streaming(window_, nullptr);
+  return method_->compute_streaming(window, nullptr);
 }
 
 void MethodStream::maybe_retrain() {
   if (options_.retrain_interval == 0) return;
   if (samples_seen_ % options_.retrain_interval != 0) return;
   if (history_.size() < options_.window_length + 1) return;
+  // The whole retained history flows to fit() as a view — no to_matrix().
   method_ = std::shared_ptr<const SignatureMethod>(
-      method_->fit(history_.to_matrix()));
+      method_->fit(history_.history_view()));
   ++retrain_count_;
 }
 

@@ -1,15 +1,17 @@
-// Method-agnostic online signature stream.
+// Method-agnostic online signature stream — THE streaming loop.
 //
-// MethodStream drives any trained SignatureMethod over the same contiguous
-// ring buffer CsStream uses: one column of sensor readings per push, a
-// feature vector emitted every ws samples once wl samples are buffered, and
-// optional periodic retraining via the method's uniform fit() entry point
-// over the buffered history. CS keeps its derivative-seeding specialisation
-// through SignatureMethod::compute_streaming, which receives the column
-// preceding the window; stateless methods fall back to plain compute().
-// MethodStream therefore emits exactly what CsStream emits (flattened) when
-// given a CS method, while also streaming Tuncer, Bodik, Lan and PCA — this
-// is what StreamEngine fans out across a fleet.
+// MethodStream drives any trained SignatureMethod over a contiguous ring
+// buffer: one column of sensor readings per push, a feature vector emitted
+// every ws samples once wl samples are buffered, and optional periodic
+// retraining via the method's uniform fit() entry point over the buffered
+// history. The emit path is zero-copy: the newest wl columns are handed to
+// SignatureMethod::compute_streaming as a common::MatrixView over the ring
+// segments (two segments when the window straddles the wrap point) together
+// with a span over the raw column preceding the window — CS seeds its
+// derivative channel with it, stateless methods ignore it. Retraining passes
+// RingMatrix::history_view() to fit(), so neither path materialises a
+// matrix. This single loop serves the whole method fleet: CsStream is a thin
+// typed wrapper over it, and StreamEngine fans it out across nodes.
 #pragma once
 
 #include <cstddef>
@@ -61,8 +63,6 @@ class MethodStream {
   StreamOptions options_;
   std::size_t n_sensors_ = 0;
   common::RingMatrix history_;  ///< n_sensors x history_length column ring.
-  common::Matrix window_;       ///< Reused n_sensors x wl assembly buffer.
-  common::Matrix seed_col_;     ///< Reused n_sensors x 1 seed buffer.
   std::size_t samples_seen_ = 0;
   std::size_t next_emit_at_ = 0;
   std::size_t signatures_emitted_ = 0;

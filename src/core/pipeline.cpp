@@ -27,9 +27,14 @@ std::vector<Signature> CsPipeline::transform(
   return out;
 }
 
-Signature CsPipeline::transform_window(const common::Matrix& window) const {
-  const common::Matrix sorted = model_.sort(window);
-  return smooth(sorted, blocks());
+Signature CsPipeline::transform_window(
+    const common::MatrixView& window) const {
+  if (window.rows() != model_.n_sensors()) {
+    throw std::invalid_argument(
+        "CsPipeline::transform_window: sensor count mismatch");
+  }
+  return smooth_window(window, model_.permutation(), model_.bounds(), nullptr,
+                       blocks());
 }
 
 std::pair<common::Matrix, common::Matrix> signature_heatmaps(
@@ -87,7 +92,7 @@ std::size_t CsSignatureMethod::signature_length(std::size_t n_sensors) const {
 }
 
 std::vector<double> CsSignatureMethod::compute(
-    const common::Matrix& window) const {
+    const common::MatrixView& window) const {
   if (!pipeline_) {
     throw std::logic_error("CsSignatureMethod: compute() before fit()");
   }
@@ -99,7 +104,7 @@ std::size_t CsSignatureMethod::n_sensors() const {
 }
 
 std::unique_ptr<SignatureMethod> CsSignatureMethod::fit(
-    const common::Matrix& train_data) const {
+    const common::MatrixView& train_data) const {
   auto pipeline =
       std::make_shared<const CsPipeline>(train(train_data), options_);
   return std::make_unique<CsSignatureMethod>(std::move(pipeline), name_);
@@ -141,17 +146,18 @@ std::unique_ptr<CsSignatureMethod> CsSignatureMethod::deserialize_body(
 }
 
 std::vector<double> CsSignatureMethod::compute_streaming(
-    const common::Matrix& window, const common::Matrix* prev_column) const {
+    const common::MatrixView& window,
+    const std::span<const double>* seed_col) const {
   if (!pipeline_) {
     throw std::logic_error("CsSignatureMethod: compute() before fit()");
   }
-  if (!prev_column) return compute(window);
   const CsModel& model = pipeline_->model();
-  const common::Matrix sorted = model.sort(window);
-  const common::Matrix sorted_seed = model.sort(*prev_column);
-  const common::Matrix derivs =
-      stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
-  return smooth(sorted, derivs, options_.resolve_blocks(model.n_sensors()))
+  if (window.rows() != model.n_sensors()) {
+    throw std::invalid_argument(
+        "CsSignatureMethod: sensor count mismatch");
+  }
+  return smooth_window(window, model.permutation(), model.bounds(), seed_col,
+                       options_.resolve_blocks(model.n_sensors()))
       .flatten(options_.real_only);
 }
 

@@ -51,8 +51,10 @@ class CsPipeline {
   std::vector<Signature> transform(const common::Matrix& s,
                                    const data::WindowSpec& spec) const;
 
-  /// Computes a single signature from one window (sorting + smoothing).
-  Signature transform_window(const common::Matrix& window) const;
+  /// Computes a single signature from one window view (sorting + smoothing
+  /// fused over the view — no intermediate matrices). A common::Matrix
+  /// window converts implicitly.
+  Signature transform_window(const common::MatrixView& window) const;
 
   /// Sorted (normalised + permuted) view of the full matrix — the "sorting
   /// stage" output used for visualisation and the JS-divergence reference.
@@ -84,20 +86,26 @@ class CsSignatureMethod final : public SignatureMethod {
   CsSignatureMethod(std::shared_ptr<const CsPipeline> pipeline,
                     std::string display_name = {});
 
+  // Keep the inherited Matrix-taking thin overloads visible next to the
+  // MatrixView overrides below.
+  using SignatureMethod::compute;
+  using SignatureMethod::compute_streaming;
+  using SignatureMethod::fit;
+
   std::string name() const override { return name_; }
   std::size_t signature_length(std::size_t n_sensors) const override;
-  std::vector<double> compute(const common::Matrix& window) const override;
+  std::vector<double> compute(const common::MatrixView& window) const override;
 
   bool trained() const override { return pipeline_ != nullptr; }
   std::size_t n_sensors() const override;
   /// Trains Algorithm 1 + bounds on `train` under this method's options.
   std::unique_ptr<SignatureMethod> fit(
-      const common::Matrix& train) const override;
+      const common::MatrixView& train) const override;
   std::string serialize() const override;
-  /// Seeds the derivative channel with the column preceding the window.
+  /// Seeds the derivative channel with the raw column preceding the window.
   std::vector<double> compute_streaming(
-      const common::Matrix& window,
-      const common::Matrix* prev_column) const override;
+      const common::MatrixView& window,
+      const std::span<const double>* seed_col) const override;
 
   const CsOptions& options() const noexcept { return options_; }
   /// Null when untrained.

@@ -5,6 +5,16 @@
 // which is what the experiment harness, the streaming layer and the
 // scalability benchmark drive.
 //
+// The compute surface consumes windows as common::MatrixView — a zero-copy
+// view over either a row-major Matrix block (offline) or the one/two
+// contiguous column segments of a RingMatrix window (streaming) — so the
+// streaming hot path never assembles a temporary window matrix. A
+// common::Matrix converts to a view implicitly, and thin Matrix overloads
+// below keep offline call sites (pipeline, harness, csmcli, examples)
+// compiling unchanged. Implementations should pull `using` declarations for
+// the inherited overloads into scope (see the baselines) so concrete-typed
+// callers keep both forms.
+//
 // Methods have a full lifecycle: a method is *constructed* (usually from a
 // spec string via core::MethodRegistry) either already trained (stateless
 // baselines) or as an untrained prototype (CS, PCA), *fitted* on historical
@@ -17,11 +27,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 
 namespace csm::core {
 
@@ -36,9 +48,15 @@ class SignatureMethod {
   /// Length of the feature vector produced for an n-sensor window.
   virtual std::size_t signature_length(std::size_t n_sensors) const = 0;
 
-  /// Computes the feature vector for one window (rows = sensors,
+  /// Computes the feature vector for one window view (rows = sensors,
   /// cols = wl samples). Throws std::logic_error if !trained().
-  virtual std::vector<double> compute(const common::Matrix& window) const = 0;
+  virtual std::vector<double> compute(const common::MatrixView& window)
+      const = 0;
+
+  /// Thin offline overload: wraps the matrix in a (row-major) view.
+  std::vector<double> compute(const common::Matrix& window) const {
+    return compute(common::MatrixView(window));
+  }
 
   // --- trained-state lifecycle ---------------------------------------------
 
@@ -52,11 +70,18 @@ class SignatureMethod {
 
   /// Returns a trained copy fitted on historical data (rows = sensors,
   /// cols = samples): CS runs Algorithm 1 + bounds, PCA extracts its basis,
-  /// and the stateless baselines return a copy of themselves.
+  /// and the stateless baselines return a copy of themselves. Streaming
+  /// retrains pass the ring history through this view without materialising
+  /// it first.
   virtual std::unique_ptr<SignatureMethod> fit(
-      const common::Matrix& train) const {
+      const common::MatrixView& train) const {
     (void)train;
     throw std::logic_error(name() + ": fit() is not supported");
+  }
+
+  /// Thin offline overload of fit().
+  std::unique_ptr<SignatureMethod> fit(const common::Matrix& train) const {
+    return fit(common::MatrixView(train));
   }
 
   /// Serialises the trained state as tagged text ("csmethod v1 <key>" header
@@ -67,14 +92,36 @@ class SignatureMethod {
     throw std::logic_error(name() + ": serialize() is not supported");
   }
 
-  /// Streaming variant of compute(): may additionally use the column that
-  /// immediately precedes the window (null when the stream has no history
-  /// yet). CS seeds its derivative channel with it, avoiding the zero-spike
-  /// at window boundaries; the default ignores the seed.
+  /// Streaming variant of compute(): may additionally use the raw (unsorted)
+  /// sensor column that immediately precedes the window (null when the
+  /// stream has no history yet). CS seeds its derivative channel with it,
+  /// avoiding the zero-spike at window boundaries; the default ignores the
+  /// seed. `seed_col`, when non-null, points at a span of rows() values.
   virtual std::vector<double> compute_streaming(
-      const common::Matrix& window, const common::Matrix* prev_column) const {
-    (void)prev_column;
+      const common::MatrixView& window,
+      const std::span<const double>* seed_col) const {
+    (void)seed_col;
     return compute(window);
+  }
+
+  /// Thin offline overload: `prev_column` holds the column preceding the
+  /// window in its column 0 (the historical calling convention of the batch
+  /// extractors — usually an n x 1 matrix), or is null.
+  std::vector<double> compute_streaming(
+      const common::Matrix& window, const common::Matrix* prev_column) const {
+    if (!prev_column) {
+      return compute_streaming(common::MatrixView(window), nullptr);
+    }
+    std::vector<double> col0;
+    std::span<const double> seed;
+    if (prev_column->cols() == 1) {
+      // An n x 1 row-major matrix is already the contiguous column.
+      seed = {prev_column->data(), prev_column->rows()};
+    } else {
+      col0 = prev_column->col(0);
+      seed = col0;
+    }
+    return compute_streaming(common::MatrixView(window), &seed);
   }
 };
 

@@ -52,4 +52,97 @@ Signature smooth(const common::Matrix& sorted, std::size_t l) {
   return smooth(sorted, stats::backward_diff_rows(sorted), l);
 }
 
+namespace {
+
+// Normalises row `r` of the view into `norm` (norm.size() == view cols):
+// a contiguous pass for row-major backing, a stride-rows pointer walk per
+// column segment otherwise. Writing the normalised series into a small
+// L1-resident buffer first keeps the divide/clamp loop vectorisable and the
+// subsequent accumulation loops free of per-element branches — element
+// values are bit-identical to materialising normalize_rows().
+inline void normalize_row_into(const common::MatrixView& w, std::size_t r,
+                               const stats::MinMaxBounds& b,
+                               std::span<double> norm) {
+  if (w.contiguous_rows()) {
+    const std::span<const double> row = w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) norm[c] = b.normalize(row[c]);
+    return;
+  }
+  const std::size_t rows = w.rows();
+  for (std::size_t k = 0; k < w.n_col_segments(); ++k) {
+    const common::MatrixView::ColSegment seg = w.col_segment(k);
+    const double* p = seg.data + r;
+    double* dst = norm.data() + seg.first_col;
+    for (std::size_t c = 0; c < seg.n_cols; ++c, p += rows) {
+      dst[c] = b.normalize(*p);
+    }
+  }
+}
+
+}  // namespace
+
+Signature smooth_window(const common::MatrixView& window,
+                        std::span<const std::size_t> permutation,
+                        std::span<const stats::MinMaxBounds> bounds,
+                        const std::span<const double>* seed_col,
+                        std::size_t l) {
+  if (window.empty()) {
+    throw std::invalid_argument("smooth_window: empty window");
+  }
+  const std::size_t n = window.rows();
+  if (permutation.size() != n || bounds.size() != n) {
+    throw std::invalid_argument(
+        "smooth_window: permutation/bounds length mismatch");
+  }
+  if (seed_col && seed_col->size() != n) {
+    throw std::invalid_argument("smooth_window: wrong seed column length");
+  }
+  if (l == 0) throw std::invalid_argument("smooth_window: zero blocks");
+
+  const std::size_t wl = window.cols();
+  // One normalisation pass over the view (sorted row rr is original row
+  // permutation[rr] mapped through its stored bounds), written straight
+  // into sorted row order — this single n x wl scratch replaces the window
+  // copy, the sorted matrix, the sorted seed and the derivative matrix of
+  // the materialising path. Blocks may share boundary rows, so normalising
+  // up front also avoids re-normalising them per block.
+  std::vector<double> norm(n * wl);
+  std::vector<double> seed_norm;
+  if (seed_col) seed_norm.resize(n);
+  for (std::size_t rr = 0; rr < n; ++rr) {
+    const std::size_t orig = permutation[rr];
+    const stats::MinMaxBounds& b = bounds[orig];
+    normalize_row_into(window, orig, b, {norm.data() + rr * wl, wl});
+    if (seed_col) seed_norm[rr] = b.normalize((*seed_col)[orig]);
+  }
+
+  Signature sig(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    const BlockRange range = block_range(i, l, n);
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    // The derivative terms are backward differences of the normalised
+    // series, seeded with the normalised seed value when one exists
+    // (matching backward_diff_rows_seeded) and 0 for the first column
+    // otherwise (matching backward_diff_rows). Each accumulator sums rows
+    // ascending then columns ascending — the exact order of block_mean()
+    // over materialised sorted/derivative matrices, so the fused kernel is
+    // bit-identical to that path.
+    for (std::size_t rr = range.begin; rr < range.end; ++rr) {
+      const double* row = norm.data() + rr * wl;
+      acc_re += row[0];
+      acc_im += seed_col ? row[0] - seed_norm[rr] : 0.0;
+      for (std::size_t c = 1; c < wl; ++c) {
+        acc_re += row[c];
+        acc_im += row[c] - row[c - 1];
+      }
+    }
+    const double count =
+        static_cast<double>(range.size()) * static_cast<double>(wl);
+    sig.real()[i] = count == 0.0 ? 0.0 : acc_re / count;
+    sig.imag()[i] = count == 0.0 ? 0.0 : acc_im / count;
+  }
+  return sig;
+}
+
 }  // namespace csm::core

@@ -11,9 +11,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 #include "core/signature.hpp"
+#include "stats/normalize.hpp"
 
 namespace csm::core {
 
@@ -38,5 +41,22 @@ Signature smooth(const common::Matrix& sorted, const common::Matrix& derivs,
 /// Convenience overload computing the derivative matrix internally with
 /// backward differences (first column derivative = 0).
 Signature smooth(const common::Matrix& sorted, std::size_t l);
+
+/// Fused zero-copy CS kernel: equivalent to
+///   smooth(sort(window), backward_diff_rows[_seeded](...), l)
+/// where sort() min-max-normalises every row with `bounds` and permutes rows
+/// by `permutation`, but reads the window view in place — no sorted matrix,
+/// no derivative matrix, no window copy. `seed_col`, when non-null, is the
+/// raw (unnormalised) sensor column preceding the window and seeds the
+/// derivative channel exactly like backward_diff_rows_seeded; when null the
+/// first column's derivative is 0. Accumulation order matches the
+/// materialising path term for term, so results are bit-identical to it.
+/// Throws std::invalid_argument on an empty window, l == 0, or mismatched
+/// permutation/bounds/seed lengths.
+Signature smooth_window(const common::MatrixView& window,
+                        std::span<const std::size_t> permutation,
+                        std::span<const stats::MinMaxBounds> bounds,
+                        const std::span<const double>* seed_col,
+                        std::size_t l);
 
 }  // namespace csm::core

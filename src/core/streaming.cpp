@@ -1,50 +1,105 @@
 #include "core/streaming.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "core/smoothing.hpp"
-#include "core/training.hpp"
-#include "stats/finite_diff.hpp"
+#include "core/method_stream.hpp"
 
 namespace csm::core {
 
 void StreamOptions::validate() const {
   if (window_length == 0) {
-    throw std::invalid_argument("StreamOptions: zero window length");
+    throw std::invalid_argument(
+        "StreamOptions: window_length must be positive");
   }
   if (window_step == 0) {
-    throw std::invalid_argument("StreamOptions: zero window step");
+    throw std::invalid_argument("StreamOptions: window_step must be positive");
   }
-  if (history_length < window_length + 1) {
+  // Written as <= so the check cannot be defeated by window_length + 1
+  // overflowing to 0.
+  if (history_length <= window_length) {
     throw std::invalid_argument(
-        "StreamOptions: history must hold at least one window plus the "
-        "derivative seed column");
+        "StreamOptions: history_length (" + std::to_string(history_length) +
+        ") must exceed window_length (" + std::to_string(window_length) +
+        ") so the ring can hold one window plus the derivative seed column; "
+        "anything smaller would also make retraining silently unreachable");
   }
 }
 
+namespace {
+
+// The wrapped method always computes both channels (real_only false): the
+// historical CsStream contract returns full Signatures and leaves dropping
+// the derivative channel to the consumer's flatten(real_only) call.
+std::shared_ptr<const CsSignatureMethod> make_cs_method(
+    CsModel model, const StreamOptions& options) {
+  auto pipeline = std::make_shared<const CsPipeline>(
+      std::move(model), CsOptions{options.cs.blocks, false});
+  return std::make_shared<const CsSignatureMethod>(std::move(pipeline));
+}
+
+}  // namespace
+
 CsStream::CsStream(CsModel model, StreamOptions options)
-    : model_(std::move(model)), options_(options) {
+    : options_(options), model_(model) {
   options_.validate();
-  if (model_.n_sensors() == 0) {
+  if (model.n_sensors() == 0) {
     throw std::invalid_argument("CsStream: empty model");
   }
-  history_ = common::RingMatrix(n_sensors(), options_.history_length);
-  window_ = common::Matrix(n_sensors(), options_.window_length);
-  seed_col_ = common::Matrix(n_sensors(), 1);
-  next_emit_at_ = options_.window_length;
+  blocks_ = options_.cs.resolve_blocks(model.n_sensors());
+  stream_ = std::make_unique<MethodStream>(
+      make_cs_method(std::move(model), options_), options_);
+}
+
+CsStream::~CsStream() = default;
+CsStream::CsStream(CsStream&&) noexcept = default;
+CsStream& CsStream::operator=(CsStream&&) noexcept = default;
+
+std::size_t CsStream::n_sensors() const noexcept {
+  return stream_->n_sensors();
+}
+std::size_t CsStream::samples_seen() const noexcept {
+  return stream_->samples_seen();
+}
+std::size_t CsStream::signatures_emitted() const noexcept {
+  return stream_->signatures_emitted();
+}
+std::size_t CsStream::retrain_count() const noexcept {
+  return stream_->retrain_count();
+}
+
+const CsModel& CsStream::model() const { return model_; }
+
+void CsStream::sync_model() {
+  if (model_synced_at_ == stream_->retrain_count()) return;
+  const auto* cs =
+      dynamic_cast<const CsSignatureMethod*>(&stream_->method());
+  if (!cs || !cs->pipeline()) {
+    throw std::logic_error("CsStream: stream method is not a trained CS");
+  }
+  model_ = cs->pipeline()->model();
+  model_synced_at_ = stream_->retrain_count();
+}
+
+Signature CsStream::unflatten(std::vector<double> features) const {
+  if (features.size() != 2 * blocks_) {
+    throw std::logic_error("CsStream: unexpected feature-vector length");
+  }
+  const auto split = features.begin() + static_cast<std::ptrdiff_t>(blocks_);
+  std::vector<double> re(features.begin(), split);
+  std::vector<double> im(split, features.end());
+  return Signature(std::move(re), std::move(im));
 }
 
 std::optional<Signature> CsStream::push(std::span<const double> column) {
   if (column.size() != n_sensors()) {
     throw std::invalid_argument("CsStream::push: wrong column length");
   }
-  const std::span<double> slot = history_.push_slot();
-  std::copy(column.begin(), column.end(), slot.begin());
-  ++samples_seen_;
-
-  maybe_retrain();
-  return emit_if_due();
+  auto features = stream_->push(column);
+  sync_model();
+  if (!features) return std::nullopt;
+  return unflatten(std::move(*features));
 }
 
 std::vector<Signature> CsStream::push_all(const common::Matrix& columns) {
@@ -52,54 +107,11 @@ std::vector<Signature> CsStream::push_all(const common::Matrix& columns) {
     throw std::invalid_argument("CsStream::push_all: wrong sensor count");
   }
   std::vector<Signature> out;
-  for (std::size_t c = 0; c < columns.cols(); ++c) {
-    // Gather the (strided) source column straight into the recycled ring
-    // slot; no per-column temporary vector.
-    const std::span<double> slot = history_.push_slot();
-    const double* src = columns.data() + c;
-    const std::size_t stride = columns.cols();
-    for (std::size_t r = 0; r < slot.size(); ++r) slot[r] = src[r * stride];
-    ++samples_seen_;
-
-    maybe_retrain();
-    if (auto sig = emit_if_due()) out.push_back(std::move(*sig));
+  for (auto& features : stream_->push_all(columns)) {
+    out.push_back(unflatten(std::move(features)));
   }
+  sync_model();
   return out;
-}
-
-std::optional<Signature> CsStream::emit_if_due() {
-  if (samples_seen_ < next_emit_at_) return std::nullopt;
-  next_emit_at_ += options_.window_step;
-
-  // Assemble the window (plus one seed column when available) from the
-  // newest wl columns of the history ring.
-  const std::size_t wl = options_.window_length;
-  const bool have_seed = history_.size() > wl;
-  history_.copy_latest(wl, window_);
-  const common::Matrix sorted = model_.sort(window_);
-
-  common::Matrix derivs;
-  if (have_seed) {
-    // newest(wl) is the column just before the window; copy it into the
-    // n x 1 seed matrix.
-    const std::span<const double> seed = history_.newest(wl);
-    for (std::size_t r = 0; r < n_sensors(); ++r) seed_col_(r, 0) = seed[r];
-    const common::Matrix sorted_seed = model_.sort(seed_col_);
-    derivs = stats::backward_diff_rows_seeded(sorted, sorted_seed.col(0));
-  } else {
-    derivs = stats::backward_diff_rows(sorted);
-  }
-  ++signatures_emitted_;
-  return smooth(sorted, derivs,
-                options_.cs.resolve_blocks(model_.n_sensors()));
-}
-
-void CsStream::maybe_retrain() {
-  if (options_.retrain_interval == 0) return;
-  if (samples_seen_ % options_.retrain_interval != 0) return;
-  if (history_.size() < options_.window_length + 1) return;
-  model_ = train(history_.to_matrix());
-  ++retrain_count_;
 }
 
 }  // namespace csm::core

@@ -1,29 +1,31 @@
-// Online streaming CS pipeline.
+// Online streaming CS front end.
 //
 // In-band ODA (Section I, Fig. 1) consumes monitoring samples as they are
-// produced: one column of sensor readings per time-stamp. CsStream keeps a
-// contiguous ring buffer (common::RingMatrix) of the last `history_length`
-// columns — fixed n_sensors x history_length storage, zero per-push
-// allocation, per-push cost O(n_sensors) independent of the history length —
-// emits a signature every ws samples, seeds the derivative channel with the
-// column preceding the window (no zero-spike at window boundaries), and can
-// optionally repeat the training stage every `retrain_interval` samples over
-// the buffered history — the "repeat training whenever required" mode of
+// produced: one column of sensor readings per time-stamp. The actual
+// ingest/emit/retrain loop lives in core::MethodStream — one loop for every
+// signature method, reading windows straight out of the ring buffer through
+// common::MatrixView. CsStream is the CS-typed face of that loop kept for
+// the classic deployment: it wraps a MethodStream driving a
+// CsSignatureMethod, translates the flat feature vectors back into
+// core::Signature values (real + derivative channel), and exposes the live
+// CsModel across retrains — the "repeat training whenever required" mode of
 // Section III-C2 for components whose correlations drift over time.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
-#include "common/ring_matrix.hpp"
 #include "core/cs_model.hpp"
 #include "core/pipeline.hpp"
 #include "core/signature.hpp"
 
 namespace csm::core {
+
+class MethodStream;
 
 /// Streaming configuration.
 struct StreamOptions {
@@ -35,23 +37,32 @@ struct StreamOptions {
   std::size_t retrain_interval = 0;
   std::size_t history_length = 1024;
 
+  /// Rejects contradictory configurations with std::invalid_argument naming
+  /// the offending field: zero window_length, zero window_step, and a
+  /// history_length too small to ever hold a window plus its derivative
+  /// seed column (which would also make retraining silently unreachable).
   void validate() const;
 };
 
-/// Push-based CS signature stream over one monitored component.
+/// Push-based CS signature stream over one monitored component: a thin
+/// typed wrapper over the single MethodStream loop.
 class CsStream {
  public:
   /// Starts with a pre-trained model (the usual in-band deployment).
   CsStream(CsModel model, StreamOptions options);
+  ~CsStream();
+  CsStream(CsStream&&) noexcept;
+  CsStream& operator=(CsStream&&) noexcept;
 
-  std::size_t n_sensors() const noexcept { return model_.n_sensors(); }
-  const CsModel& model() const noexcept { return model_; }
+  std::size_t n_sensors() const noexcept;
+  /// The live model — follows retrains. The reference stays valid for the
+  /// stream's lifetime (a retrain updates it in place, as it always has);
+  /// iterators into its vectors are invalidated by a retrain.
+  const CsModel& model() const;
   const StreamOptions& options() const noexcept { return options_; }
-  std::size_t samples_seen() const noexcept { return samples_seen_; }
-  std::size_t signatures_emitted() const noexcept {
-    return signatures_emitted_;
-  }
-  std::size_t retrain_count() const noexcept { return retrain_count_; }
+  std::size_t samples_seen() const noexcept;
+  std::size_t signatures_emitted() const noexcept;
+  std::size_t retrain_count() const noexcept;
 
   /// Feeds one column of sensor readings (length must equal n_sensors()).
   /// Returns a signature when a window completes (every ws samples once wl
@@ -64,18 +75,21 @@ class CsStream {
   std::vector<Signature> push_all(const common::Matrix& columns);
 
  private:
-  void maybe_retrain();
-  std::optional<Signature> emit_if_due();
+  Signature unflatten(std::vector<double> features) const;
+  /// Mirrors the live method's model into model_ after a retrain (called at
+  /// the end of every ingest), keeping the model() reference contract.
+  void sync_model();
 
-  CsModel model_;
   StreamOptions options_;
-  common::RingMatrix history_;  ///< n_sensors x history_length column ring.
-  common::Matrix window_;       ///< Reused n_sensors x wl assembly buffer.
-  common::Matrix seed_col_;     ///< Reused n_sensors x 1 seed buffer.
-  std::size_t samples_seen_ = 0;
-  std::size_t next_emit_at_ = 0;
-  std::size_t signatures_emitted_ = 0;
-  std::size_t retrain_count_ = 0;
+  std::size_t blocks_ = 0;  ///< Resolved block count l per signature.
+  // unique_ptr keeps MethodStream an incomplete type here (streaming.hpp is
+  // included by method_stream.hpp for StreamOptions).
+  std::unique_ptr<MethodStream> stream_;
+  // Stable home for model(): MethodStream swaps its method object on
+  // retrain, so the model is mirrored here to keep handed-out references
+  // valid and current.
+  CsModel model_;
+  std::size_t model_synced_at_ = 0;  ///< retrain_count at last sync.
 };
 
 }  // namespace csm::core

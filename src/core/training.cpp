@@ -50,11 +50,11 @@ std::vector<std::size_t> correlation_ordering(
   return p;
 }
 
-CsModel train(const common::Matrix& s) {
+CsModel train(const common::MatrixView& s) {
   return train_with_strategy(s, OrderingStrategy::kAlgorithm1);
 }
 
-CsModel train_with_strategy(const common::Matrix& s,
+CsModel train_with_strategy(const common::MatrixView& s,
                             OrderingStrategy strategy) {
   if (s.empty()) throw std::invalid_argument("train: empty sensor matrix");
   std::vector<stats::MinMaxBounds> bounds = stats::row_bounds(s);

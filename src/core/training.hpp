@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 #include "core/cs_model.hpp"
 
 namespace csm::core {
@@ -24,9 +25,14 @@ std::vector<std::size_t> correlation_ordering(
     const common::Matrix& shifted_correlations,
     const std::vector<double>& global_coefficients);
 
-/// Trains a CS model from historical data `s` (rows = sensors).
-/// Throws std::invalid_argument if `s` is empty.
-CsModel train(const common::Matrix& s);
+/// Trains a CS model from historical data `s` (rows = sensors). Accepts any
+/// window view — a common::Matrix converts implicitly, and streaming
+/// retrains pass RingMatrix::history_view(). Bounds are scanned off the
+/// view directly; the O(n^2 t) correlation kernel gathers ring-segment
+/// views into contiguous rows once internally (see
+/// stats::shifted_correlation_matrix). Results are bit-identical across
+/// layouts. Throws std::invalid_argument if `s` is empty.
+CsModel train(const common::MatrixView& s);
 
 /// Alternative orderings used by the ablation benchmark.
 enum class OrderingStrategy {
@@ -37,6 +43,7 @@ enum class OrderingStrategy {
 };
 
 /// Trains with a specific ordering strategy (bounds are always computed).
-CsModel train_with_strategy(const common::Matrix& s, OrderingStrategy strategy);
+CsModel train_with_strategy(const common::MatrixView& s,
+                            OrderingStrategy strategy);
 
 }  // namespace csm::core

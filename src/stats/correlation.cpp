@@ -18,26 +18,38 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   return covariance(x, y) / (sx * sy);
 }
 
-common::Matrix shifted_correlation_matrix(const common::Matrix& s) {
+common::Matrix shifted_correlation_matrix(const common::MatrixView& s) {
   const std::size_t n = s.rows();
   const std::size_t t = s.cols();
   common::Matrix out(n, n);
 
-  // Pre-compute per-row means and standard deviations once: the pairwise loop
-  // then only needs the cross terms.
+  // The O(n^2 t) pairwise pass below rereads every row ~n times, so keep
+  // its inner loops on contiguous spans: a row-major view hands its rows
+  // out zero-copy, a ring-segment view is gathered once (O(n t), per-row
+  // order preserved, so results stay bit-identical to the materialised
+  // path — the same copy the pre-view code made with to_matrix(), now
+  // confined to this kernel).
+  const bool direct = s.contiguous_rows();
+  const common::Matrix gathered = direct ? common::Matrix() : s.materialize();
+  const auto row_of = [&](std::size_t i) {
+    return direct ? s.row(i) : gathered.row(i);
+  };
+
+  // Pre-compute per-row means and standard deviations once: the pairwise
+  // loop then only needs the cross terms.
   std::vector<double> means(n), sds(n);
   for (std::size_t i = 0; i < n; ++i) {
-    means[i] = mean(s.row(i));
-    sds[i] = stddev(s.row(i));
+    means[i] = mean(row_of(i));
+    sds[i] = stddev(row_of(i));
   }
 
   common::parallel_for_dynamic(n, [&](std::size_t i) {
     out(i, i) = 2.0;  // pearson(x, x) = 1, shifted by +1.
-    const auto xi = s.row(i);
+    const auto xi = row_of(i);
     for (std::size_t j = i + 1; j < n; ++j) {
       double rho = 0.0;
       if (sds[i] != 0.0 && sds[j] != 0.0 && t >= 2) {
-        const auto xj = s.row(j);
+        const auto xj = row_of(j);
         double cov = 0.0;
         for (std::size_t k = 0; k < t; ++k) {
           cov += (xi[k] - means[i]) * (xj[k] - means[j]);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 
 namespace csm::stats {
 
@@ -20,8 +21,12 @@ double pearson(std::span<const double> x, std::span<const double> y);
 
 /// Full pairwise *shifted* correlation matrix of the rows of `s`:
 /// out(i,j) = pearson(row i, row j) + 1, in [0, 2]; diagonal = 2.
-/// Complexity O(n^2 t); parallelised across row pairs.
-common::Matrix shifted_correlation_matrix(const common::Matrix& s);
+/// Complexity O(n^2 t); parallelised across row pairs. Accepts any window
+/// view (a common::Matrix converts implicitly), so streaming retrains can
+/// feed ring-buffer history without materialising it; the accumulation
+/// order is fixed (time-ascending per coefficient), making results
+/// bit-identical across layouts.
+common::Matrix shifted_correlation_matrix(const common::MatrixView& s);
 
 /// Global correlation coefficients per row (Eq. 1, right):
 /// rho_Si = (1 / (n-1)) * sum_{j != i} shifted(i, j).

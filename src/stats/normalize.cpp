@@ -5,13 +5,18 @@
 
 namespace csm::stats {
 
-std::vector<MinMaxBounds> row_bounds(const common::Matrix& s) {
+std::vector<MinMaxBounds> row_bounds(const common::MatrixView& s) {
   std::vector<MinMaxBounds> out(s.rows());
+  if (s.cols() == 0) return out;
   for (std::size_t r = 0; r < s.rows(); ++r) {
-    const auto row = s.row(r);
-    if (row.empty()) continue;
-    const auto [lo_it, hi_it] = std::minmax_element(row.begin(), row.end());
-    out[r] = MinMaxBounds{*lo_it, *hi_it};
+    double lo = s(r, 0);
+    double hi = lo;
+    for (std::size_t c = 1; c < s.cols(); ++c) {
+      const double v = s(r, c);
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    out[r] = MinMaxBounds{lo, hi};
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/matrix_view.hpp"
 
 namespace csm::stats {
 
@@ -32,8 +33,10 @@ struct MinMaxBounds {
   bool operator==(const MinMaxBounds&) const noexcept = default;
 };
 
-/// Computes per-row bounds of `s`.
-std::vector<MinMaxBounds> row_bounds(const common::Matrix& s);
+/// Computes per-row bounds of `s`. Accepts any window view (a
+/// common::Matrix converts implicitly), so ring-buffer history can be
+/// scanned in place.
+std::vector<MinMaxBounds> row_bounds(const common::MatrixView& s);
 
 /// Returns a copy of `s` with every row mapped through its bounds.
 /// Throws std::invalid_argument if bounds.size() != s.rows().

@@ -105,6 +105,46 @@ TEST(RingMatrix, ClearKeepsCapacity) {
   EXPECT_EQ(ring.column(0)[0], 7.0);
 }
 
+TEST(RingMatrix, LatestViewIsOneSegmentBeforeWrap) {
+  RingMatrix ring(3, 6);
+  for (double k = 0; k < 5; ++k) ring.push(col_of(10 * k, 3));
+  const MatrixView view = ring.latest_view(4);
+  EXPECT_EQ(view.rows(), 3u);
+  EXPECT_EQ(view.cols(), 4u);
+  EXPECT_EQ(view.n_col_segments(), 1u);
+  // Zero-copy: the first viewed column aliases logical column 1's slot.
+  EXPECT_EQ(view.col(0).data(), ring.column(1).data());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(view(0, c), 10.0 * static_cast<double>(c + 1));
+  }
+}
+
+TEST(RingMatrix, LatestViewSplitsAcrossWrapBoundary) {
+  RingMatrix ring(2, 4);
+  for (double k = 0; k < 6; ++k) ring.push(col_of(k, 2));  // Keeps 2..5.
+  const MatrixView view = ring.latest_view(4);
+  EXPECT_EQ(view.n_col_segments(), 2u);
+  Matrix expected(2, 4);
+  ring.copy_latest(4, expected);
+  EXPECT_EQ(view.materialize(), expected);
+  // The two segments alias ring storage on both sides of the wrap.
+  EXPECT_EQ(view.col(0).data(), ring.column(0).data());
+  EXPECT_EQ(view.col(3).data(), ring.column(3).data());
+}
+
+TEST(RingMatrix, HistoryViewMatchesToMatrix) {
+  RingMatrix ring(3, 5);
+  for (double k = 0; k < 13; ++k) ring.push(col_of(k, 3));
+  EXPECT_EQ(ring.history_view().materialize(), ring.to_matrix());
+}
+
+TEST(RingMatrix, LatestViewValidation) {
+  RingMatrix ring(2, 3);
+  ring.push(col_of(0, 2));
+  EXPECT_THROW((void)ring.latest_view(2), std::invalid_argument);
+  EXPECT_TRUE(ring.latest_view(0).empty());
+}
+
 TEST(RingMatrix, LongStreamNeverReallocates) {
   RingMatrix ring(4, 8);
   ring.push(col_of(0, 4));

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/training.hpp"
@@ -31,16 +33,55 @@ StreamOptions small_options() {
   return opts;
 }
 
-TEST(StreamOptions, Validation) {
+// Asserts that validate() throws std::invalid_argument whose message names
+// the offending field, so operators can fix the right knob.
+void expect_rejected(const StreamOptions& opts, const std::string& field) {
+  try {
+    opts.validate();
+    FAIL() << "expected std::invalid_argument naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message \"" << e.what() << "\" does not name " << field;
+  }
+}
+
+TEST(StreamOptions, RejectsZeroWindowLengthNamingField) {
   StreamOptions opts = small_options();
   opts.window_length = 0;
-  EXPECT_THROW(opts.validate(), std::invalid_argument);
-  opts = small_options();
+  expect_rejected(opts, "window_length");
+}
+
+TEST(StreamOptions, RejectsZeroWindowStepNamingField) {
+  StreamOptions opts = small_options();
   opts.window_step = 0;
-  EXPECT_THROW(opts.validate(), std::invalid_argument);
-  opts = small_options();
+  expect_rejected(opts, "window_step");
+}
+
+TEST(StreamOptions, RejectsHistoryTooSmallForSeededWindowNamingField) {
+  StreamOptions opts = small_options();
   opts.history_length = opts.window_length;  // Too small for the seed.
-  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  expect_rejected(opts, "history_length");
+}
+
+TEST(StreamOptions, RejectsZeroHistoryNamingField) {
+  StreamOptions opts = small_options();
+  opts.history_length = 0;
+  expect_rejected(opts, "history_length");
+}
+
+TEST(StreamOptions, HistoryCheckSurvivesWindowLengthOverflow) {
+  // window_length + 1 would overflow to 0 and wave the check through; the
+  // <= comparison must still reject this contradictory configuration.
+  StreamOptions opts = small_options();
+  opts.window_length = std::numeric_limits<std::size_t>::max();
+  opts.history_length = std::numeric_limits<std::size_t>::max();
+  expect_rejected(opts, "history_length");
+}
+
+TEST(StreamOptions, AcceptsMinimalLegalHistory) {
+  StreamOptions opts = small_options();
+  opts.history_length = opts.window_length + 1;
+  EXPECT_NO_THROW(opts.validate());
 }
 
 TEST(CsStream, EmitsAtWindowBoundaries) {
@@ -157,6 +198,36 @@ TEST(CsStream, RetrainedModelDiffersWhenDataShifts) {
   stream.push_all(s);
   EXPECT_GT(stream.retrain_count(), 0u);
   EXPECT_NE(stream.model().permutation(), before);
+}
+
+TEST(CsStream, ModelReferenceFollowsRetrainsInPlace) {
+  // model() hands out a reference with the historical contract: it stays
+  // valid for the stream's lifetime and is updated in place by retrains —
+  // even though the underlying MethodStream swaps its method object. The
+  // correlation structure flips halfway so the retrained permutation is
+  // guaranteed to differ (same setup as RetrainedModelDiffersWhenDataShifts).
+  common::Rng rng(9);
+  const std::size_t n = 6;
+  common::Matrix s(n, 300);
+  for (std::size_t c = 0; c < 300; ++c) {
+    const double f = std::sin(0.1 * static_cast<double>(c));
+    for (std::size_t r = 0; r < n; ++r) {
+      const bool active = c < 150 ? r < 3 : r >= 3;
+      s(r, c) = (active ? f : 0.0) + 0.05 * rng.gaussian();
+    }
+  }
+  StreamOptions opts = small_options();
+  opts.retrain_interval = 100;
+  opts.history_length = 120;
+  CsStream stream(train(s.sub_cols(0, 100)), opts);
+  const CsModel& live = stream.model();
+  const auto before = live.permutation();
+  stream.push_all(s);
+  EXPECT_GT(stream.retrain_count(), 0u);
+  // The pre-retrain reference observes the retrained model without another
+  // model() call — the update happens in place during ingestion.
+  EXPECT_NE(live.permutation(), before);
+  EXPECT_EQ(&live, &stream.model());
 }
 
 TEST(CsStream, InputValidation) {

@@ -3,10 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <span>
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "baselines/pca.hpp"
+#include "baselines/registry.hpp"
+#include "common/ring_matrix.hpp"
 #include "common/rng.hpp"
+#include "core/method_stream.hpp"
 #include "core/pipeline.hpp"
 #include "core/smoothing.hpp"
 #include "core/streaming.hpp"
@@ -256,6 +264,105 @@ INSTANTIATE_TEST_SUITE_P(
                        // a mid-size ring, and one larger than the stream.
                        ::testing::Values(21, 40, 1024),
                        ::testing::Values(3, 17)));
+
+// ---------------------------------------------------------------------------
+// View-vs-copy streaming equivalence: for EVERY registry method, the
+// zero-copy MethodStream path (windows read in place as ring-segment
+// MatrixViews) must emit byte-identical feature vectors to the seed's
+// copy-based path, which assembled each window with copy_latest into a
+// dense matrix before calling compute_streaming. The reference below
+// reproduces that copy-based loop verbatim. Randomised wl/ws/history
+// combinations include history = wl + 1, where every window straddles the
+// ring wrap point once the buffer is full.
+
+class ViewVsCopyStreamProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t, std::size_t, std::size_t,
+                     std::uint64_t>> {};
+
+TEST_P(ViewVsCopyStreamProperty, ViewPathIsByteIdenticalToCopyPath) {
+  const auto [spec, wl, ws, history, seed] = GetParam();
+  if (history <= wl) {
+    GTEST_SKIP() << "history too small for this window length";
+  }
+  const std::size_t n = 6;
+  const common::Matrix train_data = random_matrix(n, 90, seed);
+  const common::Matrix live = random_matrix(n, 170, seed + 1000);
+
+  const std::shared_ptr<const core::SignatureMethod> method(
+      baselines::default_registry().create(spec)->fit(train_data));
+
+  core::StreamOptions opts;
+  opts.window_length = wl;
+  opts.window_step = ws;
+  opts.history_length = history;
+  core::MethodStream view_stream(method, opts, n);
+  const auto viewed = view_stream.push_all(live);
+
+  // Seed copy-based reference: ring ingest, copy_latest window assembly,
+  // n x 1 seed matrix, thin Matrix compute_streaming overload.
+  std::vector<std::vector<double>> copied;
+  common::RingMatrix ring(n, history);
+  common::Matrix window(n, wl);
+  common::Matrix seed_col(n, 1);
+  std::size_t next_emit_at = wl;
+  for (std::size_t c = 0; c < live.cols(); ++c) {
+    std::vector<double> column(n);
+    for (std::size_t r = 0; r < n; ++r) column[r] = live(r, c);
+    ring.push(column);
+    if (c + 1 < next_emit_at) continue;
+    next_emit_at += ws;
+    ring.copy_latest(wl, window);
+    if (ring.size() > wl) {
+      const std::span<const double> prev = ring.newest(wl);
+      for (std::size_t r = 0; r < n; ++r) seed_col(r, 0) = prev[r];
+      copied.push_back(method->compute_streaming(window, &seed_col));
+    } else {
+      copied.push_back(method->compute_streaming(window, nullptr));
+    }
+  }
+
+  ASSERT_EQ(viewed.size(), copied.size());
+  for (std::size_t i = 0; i < viewed.size(); ++i) {
+    // operator== on vector<double> is exact: byte-identical or bust.
+    EXPECT_EQ(viewed[i], copied[i]) << spec << " signature " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ViewVsCopyStreamProperty,
+    ::testing::Combine(
+        ::testing::Values(std::string("cs:blocks=5"),
+                          std::string("cs:blocks=3,real-only"),
+                          std::string("tuncer"), std::string("bodik"),
+                          std::string("lan:wr=7"),
+                          std::string("pca:components=3")),
+        ::testing::Values(12, 20),    // wl
+        ::testing::Values(5, 9),      // ws
+        ::testing::Values(13, 21, 64),  // history; 13 = wl+1 for wl=12.
+        ::testing::Values(29, 71)));
+
+// Retraining reads the ring history through history_view(); training from
+// the view must reproduce the materialised to_matrix() training bit for bit
+// (CS compares models member-wise, PCA via its full-precision
+// serialisation), including when the retained history straddles the wrap.
+TEST(TrainFromViewProperty, RingHistoryViewTrainsIdenticallyToMaterialised) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::size_t n = 7;
+    const common::Matrix data = random_matrix(n, 150, seed);
+    common::RingMatrix ring(n, 64);  // 150 pushes -> wraps twice.
+    std::vector<double> column(n);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      for (std::size_t r = 0; r < n; ++r) column[r] = data(r, c);
+      ring.push(column);
+    }
+    const common::Matrix materialised = ring.to_matrix();
+    EXPECT_EQ(core::train(ring.history_view()), core::train(materialised));
+    EXPECT_EQ(
+        baselines::PcaModel::fit(ring.history_view(), 3).serialize(),
+        baselines::PcaModel::fit(materialised, 3).serialize());
+  }
+}
 
 // ---------------------------------------------------------------------------
 // JS divergence properties: monotone fidelity in block count.

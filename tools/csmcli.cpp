@@ -446,12 +446,21 @@ int cmd_stream(const Options& opts) {
     engine.ingest_batch(batches);
   }
 
+  // Per-node accounting first (emitted counts and retrains straight from
+  // each MethodStream), then the aggregate EngineStats — the numbers an
+  // operator needs to debug a fleet replay at a glance.
   for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
-    std::printf("  %-12s %6zu signatures (%zu retrains)\n",
-                engine.node_name(b).c_str(), engine.pending(b),
-                engine.stream(b).retrain_count());
+    const core::MethodStream& stream = engine.stream(b);
+    std::printf("  %-12s %6zu samples -> %5zu signatures, %zu retrains\n",
+                engine.node_name(b).c_str(), stream.samples_seen(),
+                stream.signatures_emitted(), stream.retrain_count());
   }
   const core::EngineStats stats = engine.stats();
+  std::printf("engine totals: %llu samples ingested, %llu signatures "
+              "emitted, %llu retrains\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              static_cast<unsigned long long>(stats.retrains));
   std::printf("ingested %llu samples -> %llu signatures in %.3f s "
               "(%.0f samples/s aggregate)\n",
               static_cast<unsigned long long>(stats.samples),
