@@ -3,7 +3,7 @@
 #include <array>
 #include <stdexcept>
 
-#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
 #include "stats/descriptive.hpp"
 
 namespace csm::baselines {
@@ -31,8 +31,8 @@ std::unique_ptr<core::SignatureMethod> BodikMethod::fit(
   return std::make_unique<BodikMethod>(*this);
 }
 
-std::string BodikMethod::serialize() const {
-  return core::method_header("bodik");
+void BodikMethod::save(core::codec::Sink& /*sink*/) const {
+  // Stateless: the codec key alone reconstructs the method.
 }
 
 }  // namespace csm::baselines

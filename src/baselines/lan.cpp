@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
 
 namespace csm::baselines {
 
@@ -46,8 +46,8 @@ std::unique_ptr<core::SignatureMethod> LanMethod::fit(
   return std::make_unique<LanMethod>(*this);
 }
 
-std::string LanMethod::serialize() const {
-  return core::method_header("lan") + "wr " + std::to_string(wr_) + "\n";
+void LanMethod::save(core::codec::Sink& sink) const {
+  sink.size("wr", wr_);
 }
 
 }  // namespace csm::baselines

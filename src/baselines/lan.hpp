@@ -32,7 +32,8 @@ class LanMethod final : public core::SignatureMethod {
   // Stateless lifecycle: fit() is a copy; serialisation keeps wr.
   std::unique_ptr<core::SignatureMethod> fit(
       const common::MatrixView& train) const override;
-  std::string serialize() const override;
+  std::string codec_key() const override { return "lan"; }
+  void save(core::codec::Sink& sink) const override;
 
  private:
   std::size_t wr_;

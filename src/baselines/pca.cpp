@@ -1,11 +1,12 @@
 #include "baselines/pca.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
-#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/eigen.hpp"
 #include "stats/finite_diff.hpp"
@@ -195,11 +196,43 @@ std::unique_ptr<core::SignatureMethod> PcaMethod::fit(
   return std::make_unique<PcaMethod>(PcaModel::fit(train, components_));
 }
 
-std::string PcaMethod::serialize() const {
+void PcaMethod::save(core::codec::Sink& sink) const {
   if (!trained()) {
     throw std::logic_error("PcaMethod: serialize() before fit()");
   }
-  return core::method_header("pca") + model_.serialize();
+  const std::size_t n = model_.n_sensors();
+  const std::size_t k = model_.n_components();
+  sink.size("sensors", n);
+  sink.size("components", k);
+  sink.f64_array("means", model_.means());
+  sink.f64_array("inv-std", model_.inv_std());
+  sink.f64_array("explained", model_.explained_variance());
+  // The k x n basis matrix is row-major contiguous already.
+  sink.f64_array("basis", {model_.components().data(), k * n});
+}
+
+std::unique_ptr<PcaMethod> PcaMethod::read(core::codec::Source& in) {
+  const std::size_t n = in.size("sensors");
+  const std::size_t k = in.size("components");
+  std::vector<double> means = in.f64_array("means");
+  std::vector<double> inv_std = in.f64_array("inv-std");
+  std::vector<double> explained = in.f64_array("explained");
+  const std::vector<double> basis = in.f64_array("basis");
+  if (n == 0 || k == 0 || n > kMaxPcaDim || k > kMaxPcaDim ||
+      means.size() != n || inv_std.size() != n || explained.size() != k ||
+      basis.size() != k * n) {
+    throw std::runtime_error(
+        "PcaMethod: field shapes are inconsistent with sensors/components");
+  }
+  common::Matrix components(k, n);
+  std::copy(basis.begin(), basis.end(), components.data());
+  try {
+    return std::make_unique<PcaMethod>(
+        PcaModel(std::move(means), std::move(inv_std), std::move(components),
+                 std::move(explained)));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("PcaMethod: ") + e.what());
+  }
 }
 
 std::unique_ptr<PcaMethod> PcaMethod::deserialize_body(

@@ -89,11 +89,18 @@ class PcaMethod final : public core::SignatureMethod {
   /// Fits the standardisation + eigenbasis on `train`.
   std::unique_ptr<core::SignatureMethod> fit(
       const common::MatrixView& train) const override;
-  std::string serialize() const override;
+  std::string codec_key() const override { return "pca"; }
+  /// Fields: sensors, components, means, inv-std, explained, basis
+  /// (k x n row-major).
+  void save(core::codec::Sink& sink) const override;
 
   const PcaModel& model() const noexcept { return model_; }
 
-  /// Parses the body of the tagged "csmethod v1 pca" format.
+  /// Reads the save() fields back from either codec back-end. Throws
+  /// std::runtime_error on malformed input.
+  static std::unique_ptr<PcaMethod> read(core::codec::Source& in);
+
+  /// Parses the body of the legacy "csmethod v1 pca" format.
   static std::unique_ptr<PcaMethod> deserialize_body(const std::string& body);
 
  private:

@@ -35,6 +35,9 @@ void register_baseline_methods(core::MethodRegistry& registry) {
         spec.expect_only({});
         return std::make_unique<TuncerMethod>();
       },
+      [](core::codec::Source&) -> std::unique_ptr<SignatureMethod> {
+        return std::make_unique<TuncerMethod>();
+      },
       [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
         expect_empty_body(body, "TuncerMethod");
         return std::make_unique<TuncerMethod>();
@@ -45,6 +48,9 @@ void register_baseline_methods(core::MethodRegistry& registry) {
       "Nine per-sensor quantile indicators (Sec. III-B [16]); stateless",
       [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
         spec.expect_only({});
+        return std::make_unique<BodikMethod>();
+      },
+      [](core::codec::Source&) -> std::unique_ptr<SignatureMethod> {
         return std::make_unique<BodikMethod>();
       },
       [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
@@ -59,6 +65,13 @@ void register_baseline_methods(core::MethodRegistry& registry) {
       [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
         spec.expect_only({"wr"});
         return std::make_unique<LanMethod>(spec.get_size_t("wr", 10));
+      },
+      [](core::codec::Source& in) -> std::unique_ptr<SignatureMethod> {
+        const std::size_t wr = in.size("wr");
+        if (wr == 0) {
+          throw std::runtime_error("LanMethod: wr must be positive");
+        }
+        return std::make_unique<LanMethod>(wr);
       },
       [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
         std::istringstream in(body);
@@ -83,6 +96,9 @@ void register_baseline_methods(core::MethodRegistry& registry) {
       [](const MethodSpec& spec) -> std::unique_ptr<SignatureMethod> {
         spec.expect_only({"components"});
         return std::make_unique<PcaMethod>(spec.get_size_t("components", 8));
+      },
+      [](core::codec::Source& in) -> std::unique_ptr<SignatureMethod> {
+        return PcaMethod::read(in);
       },
       [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
         return PcaMethod::deserialize_body(body);

@@ -3,7 +3,7 @@
 #include <array>
 #include <stdexcept>
 
-#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
 #include "stats/descriptive.hpp"
 
 namespace csm::baselines {
@@ -37,8 +37,8 @@ std::unique_ptr<core::SignatureMethod> TuncerMethod::fit(
   return std::make_unique<TuncerMethod>(*this);
 }
 
-std::string TuncerMethod::serialize() const {
-  return core::method_header("tuncer");
+void TuncerMethod::save(core::codec::Sink& /*sink*/) const {
+  // Stateless: the codec key alone reconstructs the method.
 }
 
 }  // namespace csm::baselines

@@ -26,10 +26,11 @@ class TuncerMethod final : public core::SignatureMethod {
   std::vector<double> compute(
       const common::MatrixView& window) const override;
 
-  // Stateless lifecycle: fit() is a copy, serialisation is header-only.
+  // Stateless lifecycle: fit() is a copy, serialisation carries no fields.
   std::unique_ptr<core::SignatureMethod> fit(
       const common::MatrixView& train) const override;
-  std::string serialize() const override;
+  std::string codec_key() const override { return "tuncer"; }
+  void save(core::codec::Sink& sink) const override;
 };
 
 }  // namespace csm::baselines

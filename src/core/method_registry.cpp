@@ -14,7 +14,8 @@ namespace csm::core {
 namespace {
 
 constexpr std::string_view kMagic = "csmethod";
-constexpr std::string_view kVersion = "v1";
+constexpr std::string_view kLegacyVersion = "v1";
+constexpr std::string_view kVersion = "v2";
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
@@ -149,9 +150,9 @@ void MethodRegistry::add(Entry entry) {
     throw std::invalid_argument("MethodRegistry: bad key \"" + entry.key +
                                 "\"");
   }
-  if (!entry.factory || !entry.deserializer) {
+  if (!entry.factory || !entry.read) {
     throw std::invalid_argument("MethodRegistry: entry \"" + entry.key +
-                                "\" is missing a factory or deserializer");
+                                "\" is missing a factory or reader");
   }
   if (contains(entry.key)) {
     throw std::invalid_argument("MethodRegistry: duplicate key \"" +
@@ -200,20 +201,46 @@ std::unique_ptr<SignatureMethod> MethodRegistry::deserialize(
   std::istringstream in(text);
   std::string magic, version, key;
   in >> magic >> version >> key;
-  if (!in || magic != kMagic || version != kVersion) {
+  if (!in || magic != kMagic ||
+      (version != kVersion && version != kLegacyVersion)) {
     throw std::runtime_error(
-        "MethodRegistry::deserialize: bad header (expected \"csmethod v1 "
+        "MethodRegistry::deserialize: bad header (expected \"csmethod v2 "
         "<key>\")");
   }
   if (!contains(key)) {
     throw std::runtime_error(
         "MethodRegistry::deserialize: unknown method tag \"" + key + "\"");
   }
+  const Entry& e = entry(key);
   // Body = everything after the header line.
   const std::size_t eol = text.find('\n');
   const std::string body =
       eol == std::string::npos ? std::string{} : text.substr(eol + 1);
-  return entry(key).deserializer(body);
+  if (version == kLegacyVersion) {
+    if (!e.deserializer) {
+      throw std::runtime_error(
+          "MethodRegistry::deserialize: method \"" + key +
+          "\" has no legacy v1 reader");
+    }
+    return e.deserializer(body);
+  }
+  codec::TextSource source(body);
+  std::unique_ptr<SignatureMethod> method = e.read(source);
+  source.finish();
+  return method;
+}
+
+std::unique_ptr<SignatureMethod> MethodRegistry::decode(
+    std::span<const std::uint8_t> record) const {
+  const codec::RecordView view = codec::parse_record(record);
+  if (!contains(view.key)) {
+    throw std::runtime_error("MethodRegistry::decode: unknown method tag \"" +
+                             view.key + "\"");
+  }
+  codec::BinarySource source(view.body, view.body_offset);
+  std::unique_ptr<SignatureMethod> method = entry(view.key).read(source);
+  source.finish();
+  return method;
 }
 
 std::unique_ptr<SignatureMethod> MethodRegistry::load(
@@ -225,17 +252,16 @@ std::unique_ptr<SignatureMethod> MethodRegistry::load(
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return deserialize(buf.str());
+  const std::string blob = buf.str();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(blob.data());
+  if (codec::is_binary_record({bytes, blob.size()})) {
+    return decode({bytes, blob.size()});
+  }
+  return deserialize(blob);
 }
 
 std::string method_header(std::string_view key) {
-  std::string out(kMagic);
-  out += ' ';
-  out += kVersion;
-  out += ' ';
-  out += key;
-  out += '\n';
-  return out;
+  return codec::text_header(key);
 }
 
 bool is_tagged_method(std::string_view text) {
@@ -244,12 +270,19 @@ bool is_tagged_method(std::string_view text) {
 }
 
 void save_method(const SignatureMethod& method,
-                 const std::filesystem::path& file) {
+                 const std::filesystem::path& file,
+                 codec::ModelFormat format) {
   std::ofstream out(file, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw std::runtime_error("save_method: cannot open " + file.string());
   }
-  out << method.serialize();
+  if (format == codec::ModelFormat::kBinary) {
+    const std::vector<std::uint8_t> record = codec::encode_binary(method);
+    out.write(reinterpret_cast<const char*>(record.data()),
+              static_cast<std::streamsize>(record.size()));
+  } else {
+    out << method.serialize();
+  }
   if (!out) throw std::runtime_error("save_method: write failed");
 }
 
@@ -264,6 +297,9 @@ void register_cs_method(MethodRegistry& registry) {
         options.blocks = spec.get_size_t("blocks", 0);
         options.real_only = spec.get_flag("real-only");
         return std::make_unique<CsSignatureMethod>(options);
+      },
+      [](codec::Source& in) -> std::unique_ptr<SignatureMethod> {
+        return CsSignatureMethod::read(in);
       },
       [](const std::string& body) -> std::unique_ptr<SignatureMethod> {
         return CsSignatureMethod::deserialize_body(body);

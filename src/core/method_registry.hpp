@@ -9,11 +9,16 @@
 // Names and keys are case-insensitive ([a-z0-9_-] after lowering); values
 // are kept verbatim. A MethodRegistry maps spec names to factories that turn
 // a MethodSpec into an (untrained or stateless) SignatureMethod, and to
-// deserialisers that revive trained methods from the tagged text format
-// written by SignatureMethod::serialize():
+// readers that revive trained methods from either model-codec wire format
+// (see core/model_codec.hpp):
 //
-//   csmethod v1 <key>
-//   <method-specific body>
+//   csmethod v2 <key>        | "CSMB" binary record
+//   <field lines>            | (CRC-framed little-endian fields)
+//
+// Both formats carry the same codec::Sink fields, so one Entry::read
+// callback serves text (deserialize/load) and binary (decode/ModelPack).
+// The legacy "csmethod v1 <key>" bodies from earlier releases stay readable
+// through the optional per-entry Deserializer.
 //
 // Adding a future method is one registry registration: the harness line-ups,
 // csmcli (--method / methods), the benches and the streaming layer all
@@ -30,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/model_codec.hpp"
 #include "core/signature_method.hpp"
 
 namespace csm::core {
@@ -62,11 +68,17 @@ struct MethodSpec {
   void expect_only(std::initializer_list<std::string_view> allowed) const;
 };
 
-/// Maps spec names to method factories and trained-state deserialisers.
+/// Maps spec names to method factories and trained-state readers.
 class MethodRegistry {
  public:
   using Factory =
       std::function<std::unique_ptr<SignatureMethod>(const MethodSpec&)>;
+  /// Reads the codec::Sink fields written by SignatureMethod::save() back
+  /// from either back-end. The registry calls Source::finish() afterwards.
+  using Reader =
+      std::function<std::unique_ptr<SignatureMethod>(codec::Source& in)>;
+  /// Legacy reader for pre-codec "csmethod v1" text bodies (read-only
+  /// compatibility; nothing writes v1 anymore).
   using Deserializer =
       std::function<std::unique_ptr<SignatureMethod>(const std::string& body)>;
 
@@ -75,11 +87,13 @@ class MethodRegistry {
     std::string grammar;  ///< Spec grammar shown in listings.
     std::string summary;  ///< One-line description for listings.
     Factory factory;
-    Deserializer deserializer;
+    Reader read;
+    Deserializer deserializer;  ///< Optional legacy v1 text reader.
   };
 
   /// Registers an entry. Throws std::invalid_argument on an empty or
-  /// duplicate key or missing callbacks.
+  /// duplicate key or a missing factory/read callback (the legacy
+  /// deserializer is optional).
   void add(Entry entry);
 
   bool contains(std::string_view key) const;
@@ -95,12 +109,21 @@ class MethodRegistry {
   std::unique_ptr<SignatureMethod> create(const MethodSpec& spec) const;
   std::unique_ptr<SignatureMethod> create(std::string_view spec_text) const;
 
-  /// Revives a trained method from the tagged text written by
-  /// SignatureMethod::serialize(). Throws std::runtime_error on a bad
-  /// header or unknown tag; the per-method deserialiser validates the body.
+  /// Revives a trained method from tagged text — the "csmethod v2" form
+  /// written by SignatureMethod::serialize(), or a legacy "csmethod v1"
+  /// body when the entry registered a Deserializer. Throws
+  /// std::runtime_error on a bad header or unknown tag; the per-method
+  /// reader validates the body.
   std::unique_ptr<SignatureMethod> deserialize(const std::string& text) const;
 
-  /// File convenience around deserialize().
+  /// Revives a trained method from one binary record written by
+  /// codec::encode_binary (framing and CRC are validated here; the
+  /// per-method reader validates the fields). Throws std::runtime_error.
+  std::unique_ptr<SignatureMethod> decode(
+      std::span<const std::uint8_t> record) const;
+
+  /// File convenience: sniffs the binary record magic and dispatches to
+  /// decode() or deserialize().
   std::unique_ptr<SignatureMethod> load(
       const std::filesystem::path& file) const;
 
@@ -108,17 +131,18 @@ class MethodRegistry {
   std::vector<Entry> entries_;
 };
 
-/// Serialisation header shared by all methods: "csmethod v1 <key>\n".
+/// Current text serialisation header: "csmethod v2 <key>\n".
 std::string method_header(std::string_view key);
 
 /// True when `text` starts with the tagged-method magic (vs e.g. a legacy
 /// bare CsModel blob).
 bool is_tagged_method(std::string_view text);
 
-/// Writes method.serialize() to `file`; throws std::runtime_error on I/O
-/// failure.
+/// Writes the method to `file` in the requested model-codec format; throws
+/// std::runtime_error on I/O failure.
 void save_method(const SignatureMethod& method,
-                 const std::filesystem::path& file);
+                 const std::filesystem::path& file,
+                 codec::ModelFormat format = codec::ModelFormat::kText);
 
 /// Registers the core CS method ("cs[:blocks=L,real-only]"; blocks=0 means
 /// one block per sensor, i.e. CS-All). Baseline registrations live in

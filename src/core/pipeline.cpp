@@ -3,7 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
 #include "core/smoothing.hpp"
 #include "core/training.hpp"
 #include "stats/finite_diff.hpp"
@@ -110,15 +110,48 @@ std::unique_ptr<SignatureMethod> CsSignatureMethod::fit(
   return std::make_unique<CsSignatureMethod>(std::move(pipeline), name_);
 }
 
-std::string CsSignatureMethod::serialize() const {
+void CsSignatureMethod::save(codec::Sink& sink) const {
   if (!pipeline_) {
     throw std::logic_error("CsSignatureMethod: serialize() before fit()");
   }
-  std::ostringstream out;
-  out << method_header("cs") << "blocks " << options_.blocks << "\nreal-only "
-      << (options_.real_only ? 1 : 0) << "\n"
-      << pipeline_->model().serialize();
-  return out.str();
+  const CsModel& model = pipeline_->model();
+  sink.size("blocks", options_.blocks);
+  sink.flag("real-only", options_.real_only);
+  sink.sizes("perm", model.permutation());
+  std::vector<double> lo, hi;
+  lo.reserve(model.bounds().size());
+  hi.reserve(model.bounds().size());
+  for (const stats::MinMaxBounds& b : model.bounds()) {
+    lo.push_back(b.lo);
+    hi.push_back(b.hi);
+  }
+  sink.f64_array("lo", lo);
+  sink.f64_array("hi", hi);
+}
+
+std::unique_ptr<CsSignatureMethod> CsSignatureMethod::read(codec::Source& in) {
+  CsOptions options;
+  options.blocks = in.size("blocks");
+  options.real_only = in.flag("real-only");
+  const std::vector<std::size_t> perm = in.sizes("perm");
+  const std::vector<double> lo = in.f64_array("lo");
+  const std::vector<double> hi = in.f64_array("hi");
+  if (lo.size() != perm.size() || hi.size() != perm.size()) {
+    throw std::runtime_error(
+        "CsSignatureMethod: bounds arrays do not match the permutation "
+        "length");
+  }
+  std::vector<stats::MinMaxBounds> bounds(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    bounds[i] = {lo[i], hi[i]};
+  }
+  try {
+    auto pipeline = std::make_shared<const CsPipeline>(
+        CsModel(perm, std::move(bounds)), options);
+    return std::make_unique<CsSignatureMethod>(std::move(pipeline));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("CsSignatureMethod: ") + e.what());
+  }
 }
 
 std::unique_ptr<CsSignatureMethod> CsSignatureMethod::deserialize_body(

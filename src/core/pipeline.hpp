@@ -101,7 +101,9 @@ class CsSignatureMethod final : public SignatureMethod {
   /// Trains Algorithm 1 + bounds on `train` under this method's options.
   std::unique_ptr<SignatureMethod> fit(
       const common::MatrixView& train) const override;
-  std::string serialize() const override;
+  std::string codec_key() const override { return "cs"; }
+  /// Fields: blocks, real-only, perm, lo, hi (the embedded CsModel).
+  void save(codec::Sink& sink) const override;
   /// Seeds the derivative channel with the raw column preceding the window.
   std::vector<double> compute_streaming(
       const common::MatrixView& window,
@@ -113,7 +115,11 @@ class CsSignatureMethod final : public SignatureMethod {
     return pipeline_;
   }
 
-  /// Parses the body of the tagged "csmethod v1 cs" format (options plus an
+  /// Reads the save() fields back from either codec back-end. Throws
+  /// std::runtime_error on malformed input.
+  static std::unique_ptr<CsSignatureMethod> read(codec::Source& in);
+
+  /// Parses the body of the legacy "csmethod v1 cs" format (options plus an
   /// embedded CsModel blob). Throws std::runtime_error on malformed input.
   static std::unique_ptr<CsSignatureMethod> deserialize_body(
       const std::string& body);

@@ -37,6 +37,11 @@
 
 namespace csm::core {
 
+namespace codec {
+class Sink;
+class Source;
+}
+
 /// Abstract signature extractor.
 class SignatureMethod {
  public:
@@ -84,13 +89,25 @@ class SignatureMethod {
     return fit(common::MatrixView(train));
   }
 
-  /// Serialises the trained state as tagged text ("csmethod v1 <key>" header
-  /// plus a method-specific body); parse back with
-  /// MethodRegistry::deserialize. Throws std::logic_error if the method is
+  // --- model codec ---------------------------------------------------------
+
+  /// Registry key the model codec files this method under ("cs", "pca", ...).
+  /// Empty (the default) marks the method as not serialisable — ad-hoc
+  /// subclasses such as benchmark one-offs need not opt in.
+  virtual std::string codec_key() const { return {}; }
+
+  /// Writes the trained state as named, typed fields. This is the single
+  /// write path behind both wire formats: codec::encode_text renders the
+  /// fields as "csmethod v2" lines, codec::encode_binary as a CRC-framed
+  /// little-endian record, and the matching registry reader consumes them in
+  /// the same order from a codec::Source. Default: not supported.
+  virtual void save(codec::Sink& sink) const;
+
+  /// Deprecated-style string adapter over save() (tagged text form, parse
+  /// back with MethodRegistry::deserialize) so pipeline/harness/examples
+  /// keep compiling unchanged. Throws std::logic_error if the method is
   /// untrained or not serialisable.
-  virtual std::string serialize() const {
-    throw std::logic_error(name() + ": serialize() is not supported");
-  }
+  std::string serialize() const;
 
   /// Streaming variant of compute(): may additionally use the raw (unsorted)
   /// sensor column that immediately precedes the window (null when the

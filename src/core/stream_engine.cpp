@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/model_pack.hpp"
 #include "core/pipeline.hpp"
 
 namespace csm::core {
@@ -25,6 +26,12 @@ std::size_t StreamEngine::add_node(std::string name, CsModel model) {
   return add_node(std::move(name),
                   std::make_shared<const CsSignatureMethod>(
                       std::move(pipeline)));
+}
+
+std::size_t StreamEngine::add_node(const ModelPack& pack, std::string_view id,
+                                   const MethodRegistry& registry,
+                                   std::size_t n_sensors) {
+  return add_node(std::string(id), pack.load(id, registry), n_sensors);
 }
 
 void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {

@@ -29,6 +29,9 @@
 
 namespace csm::core {
 
+class MethodRegistry;
+class ModelPack;
+
 /// Aggregate counters across all nodes of a StreamEngine.
 struct EngineStats {
   std::uint64_t samples = 0;     ///< Columns ingested, summed over nodes.
@@ -64,6 +67,14 @@ class StreamEngine {
 
   /// CS convenience: wraps `model` with this engine's CsOptions.
   std::size_t add_node(std::string name, CsModel model);
+
+  /// Fleet-store convenience: lazily deserialises node `id`'s record from a
+  /// mapped ModelPack through `registry` (the node keeps `id` as its name).
+  /// Throws std::runtime_error when the id is absent or its record is
+  /// corrupt.
+  std::size_t add_node(const ModelPack& pack, std::string_view id,
+                       const MethodRegistry& registry,
+                       std::size_t n_sensors = 0);
 
   std::size_t n_nodes() const noexcept { return nodes_.size(); }
   const StreamOptions& options() const noexcept { return options_; }

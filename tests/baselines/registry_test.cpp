@@ -73,6 +73,61 @@ TEST(DefaultRegistry, EverySpecRoundTripsParseFitSerializeDeserialize) {
   }
 }
 
+TEST(DefaultRegistry, EverySpecRoundTripsThroughTheBinaryCodec) {
+  const MethodRegistry& registry = default_registry();
+  const common::Matrix history = wave_matrix(7, 180, 20);
+  const common::Matrix window = wave_matrix(7, 30, 21);
+
+  for (const auto& [key, spec_text] : example_specs()) {
+    SCOPED_TRACE(spec_text);
+    const auto trained = registry.create(spec_text)->fit(history);
+    const std::vector<double> reference = trained->compute(window);
+
+    const std::vector<std::uint8_t> record = core::codec::encode_binary(*trained);
+    ASSERT_TRUE(core::codec::is_binary_record(record));
+    EXPECT_EQ(core::codec::parse_record(record).key, key);
+    const auto revived = registry.decode(record);
+    ASSERT_TRUE(revived->trained());
+    EXPECT_EQ(revived->name(), trained->name());
+    EXPECT_EQ(revived->compute(window), reference);
+
+    // Re-encoding the revived method must reproduce the record bytes — the
+    // binary form is canonical.
+    EXPECT_EQ(core::codec::encode_binary(*revived), record);
+  }
+}
+
+TEST(DefaultRegistry, TextAndBinaryFormsAreInterchangeable) {
+  const MethodRegistry& registry = default_registry();
+  const common::Matrix history = wave_matrix(7, 180, 22);
+  const common::Matrix window = wave_matrix(7, 30, 23);
+
+  for (const auto& [key, spec_text] : example_specs()) {
+    SCOPED_TRACE(spec_text);
+    const auto trained = registry.create(spec_text)->fit(history);
+    const std::vector<double> reference = trained->compute(window);
+
+    // text -> method -> binary -> method: signatures and text form survive
+    // the full cross-format cycle bit-exactly.
+    const auto via_text = registry.deserialize(trained->serialize());
+    const auto via_both = registry.decode(core::codec::encode_binary(*via_text));
+    EXPECT_EQ(via_both->compute(window), reference);
+    EXPECT_EQ(via_both->serialize(), trained->serialize());
+  }
+}
+
+TEST(DefaultRegistry, DecodeRejectsUnknownKeys) {
+  const MethodRegistry& registry = default_registry();
+  const std::vector<std::uint8_t> record =
+      core::codec::frame_record("mystery", {});
+  try {
+    (void)registry.decode(record);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mystery"), std::string::npos);
+  }
+}
+
 TEST(DefaultRegistry, EveryMethodStreamsOverTheRingBuffer) {
   const MethodRegistry& registry = default_registry();
   const common::Matrix history = wave_matrix(6, 150, 12);

@@ -1,0 +1,276 @@
+#include "core/model_pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "common/rng.hpp"
+#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
+#include "core/pipeline.hpp"
+#include "core/stream_engine.hpp"
+#include "core/training.hpp"
+
+namespace csm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory: gtest_discover_tests runs TESTs of one
+// binary as separate (possibly concurrent) ctest entries, so paths must not
+// be shared across tests.
+fs::path test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() / "csm_model_pack_test" /
+                       (std::string(info->test_suite_name()) + "_" +
+                        info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+common::Matrix wave_matrix(std::size_t n, std::size_t t, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      s(r, c) = std::sin(0.05 * static_cast<double>(c) +
+                         0.4 * static_cast<double>(r)) +
+                0.1 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<const CsSignatureMethod> trained_cs(std::uint64_t seed) {
+  auto pipeline = std::make_shared<const CsPipeline>(
+      train(wave_matrix(6, 120, seed)), CsOptions{});
+  return std::make_shared<const CsSignatureMethod>(std::move(pipeline));
+}
+
+std::vector<std::uint8_t> file_bytes(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const fs::path& file, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ModelPack, RoundTripsSortedByNodeId) {
+  const fs::path file = test_dir() / "fleet.pack";
+  const auto m0 = trained_cs(1);
+  const auto m1 = trained_cs(2);
+  const auto m2 = trained_cs(3);
+  ModelPackWriter writer(file);
+  writer.add("beta", *m1);  // Deliberately unsorted insertion order.
+  writer.add("alpha", *m0);
+  writer.add("gamma", *m2);
+  EXPECT_EQ(writer.size(), 3u);
+  writer.finish();
+
+  const ModelPack pack = ModelPack::open(file);
+  EXPECT_EQ(pack.size(), 3u);
+  EXPECT_EQ(pack.path(), file);
+  EXPECT_EQ(pack.id(0), "alpha");
+  EXPECT_EQ(pack.id(1), "beta");
+  EXPECT_EQ(pack.id(2), "gamma");
+  EXPECT_TRUE(pack.contains("beta"));
+  EXPECT_FALSE(pack.contains("delta"));
+  EXPECT_EQ(pack.record("alpha").size(), pack.record(0).size());
+
+  const auto& registry = baselines::default_registry();
+  const auto revived = pack.load("alpha", registry);
+  EXPECT_EQ(revived->name(), m0->name());
+  const common::Matrix window = wave_matrix(6, 25, 9);
+  EXPECT_EQ(revived->compute(window), m0->compute(window));
+}
+
+TEST(ModelPack, CopiesShareTheMapping) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(4));
+  writer.finish();
+  ModelPack copy = [&] {
+    const ModelPack pack = ModelPack::open(file);
+    return pack;  // The mapping must outlive the original handle.
+  }();
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.id(0), "n0");
+}
+
+TEST(ModelPack, IndexAccessOutOfRangeThrows) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(5));
+  writer.finish();
+  const ModelPack pack = ModelPack::open(file);
+  EXPECT_THROW((void)pack.id(1), std::out_of_range);
+  EXPECT_THROW((void)pack.record(1), std::out_of_range);
+}
+
+TEST(ModelPack, MissingIdNamesTheIdAndFile) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(6));
+  writer.finish();
+  const ModelPack pack = ModelPack::open(file);
+  try {
+    (void)pack.record("ghost");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("\"ghost\""), std::string::npos);
+    EXPECT_NE(what.find("fleet.pack"), std::string::npos);
+  }
+}
+
+TEST(ModelPackWriter, RejectsDuplicateIds) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("twin", *trained_cs(7));
+  writer.add("twin", *trained_cs(8));
+  try {
+    writer.finish();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate node id \"twin\""),
+              std::string::npos);
+  }
+}
+
+TEST(ModelPackWriter, RejectsEmptyIdsAndMalformedRecords) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  EXPECT_THROW(writer.add("", *trained_cs(9)), std::runtime_error);
+  const std::vector<std::uint8_t> junk = {'j', 'u', 'n', 'k'};
+  EXPECT_THROW(writer.add_record("n0", junk), std::runtime_error);
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+TEST(ModelPackWriter, IsSingleUse) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(10));
+  writer.finish();
+  EXPECT_THROW(writer.add("n1", *trained_cs(11)), std::logic_error);
+  EXPECT_THROW(writer.finish(), std::logic_error);
+}
+
+TEST(ModelPackOpen, RejectsMissingAndForeignFiles) {
+  const fs::path dir = test_dir();
+  EXPECT_THROW((void)ModelPack::open(dir / "absent.pack"),
+               std::runtime_error);
+
+  const fs::path text = dir / "model.csm";
+  std::ofstream(text) << "csmethod v2 cs\nblocks 4\n";
+  try {
+    (void)ModelPack::open(text);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("is not a model pack (bad magic)"),
+              std::string::npos);
+  }
+
+  // A truncated header is indistinguishable from a foreign file.
+  const fs::path stub = dir / "stub.pack";
+  std::ofstream(stub) << "CSMPAC";
+  EXPECT_THROW((void)ModelPack::open(stub), std::runtime_error);
+}
+
+TEST(ModelPackOpen, RejectsWrongVersionByte) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(12));
+  writer.finish();
+  std::vector<std::uint8_t> bytes = file_bytes(file);
+  bytes[7] = 9;
+  write_bytes(file, bytes);
+  try {
+    (void)ModelPack::open(file);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("unsupported model pack version 9"),
+              std::string::npos);
+  }
+}
+
+TEST(ModelPackOpen, RejectsCorruptHeader) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(13));
+  writer.finish();
+  std::vector<std::uint8_t> bytes = file_bytes(file);
+  bytes[8] ^= 0xFF;  // Record count, guarded by the header CRC.
+  write_bytes(file, bytes);
+  try {
+    (void)ModelPack::open(file);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("header CRC mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(ModelPack, RecordCorruptionIsCaughtLazilyPerNode) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("aa", *trained_cs(14));  // First record, bytes [48, 48+len).
+  writer.add("bb", *trained_cs(15));
+  writer.finish();
+
+  const std::size_t first_len = [&] {
+    const ModelPack pack = ModelPack::open(file);
+    return pack.record("aa").size();
+  }();
+  std::vector<std::uint8_t> bytes = file_bytes(file);
+  bytes[kPackHeaderSize + first_len / 2] ^= 0x01;  // Inside record "aa".
+  write_bytes(file, bytes);
+
+  // Opening stays O(1): record CRCs are only checked by load().
+  const ModelPack pack = ModelPack::open(file);
+  const auto& registry = baselines::default_registry();
+  EXPECT_THROW((void)pack.load("aa", registry), std::runtime_error);
+  EXPECT_NE(pack.load("bb", registry), nullptr);
+}
+
+TEST(ModelPack, EngineNodesFromPackStreamIdentically) {
+  const fs::path file = test_dir() / "fleet.pack";
+  const auto method = trained_cs(16);
+  ModelPackWriter writer(file);
+  writer.add("node00", *method);
+  writer.finish();
+  const ModelPack pack = ModelPack::open(file);
+  const auto& registry = baselines::default_registry();
+
+  StreamOptions opts;
+  opts.window_length = 16;
+  opts.window_step = 8;
+  opts.history_length = 32;
+  StreamEngine direct(opts);
+  StreamEngine packed(opts);
+  direct.add_node("node00", method);
+  EXPECT_EQ(packed.add_node(pack, "node00", registry), 0u);
+  EXPECT_EQ(packed.node_name(0), "node00");
+  EXPECT_THROW((void)packed.add_node(pack, "ghost", registry),
+               std::runtime_error);
+
+  const common::Matrix batch = wave_matrix(6, 64, 17);
+  direct.ingest(0, batch);
+  packed.ingest(0, batch);
+  EXPECT_EQ(direct.drain(0), packed.drain(0));
+}
+
+}  // namespace
+}  // namespace csm::core

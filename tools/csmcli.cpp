@@ -10,13 +10,26 @@
 //       List the registered signature methods and their spec grammar.
 //
 //   csmcli train   <sensor_dir> <model_file> [--interval MS] [--method SPEC]
-//       Align the sensors and fit a method on them. Without --method this
-//       writes the legacy bare CsModel blob (Algorithm 1 + bounds); with
-//       --method it writes the tagged method format, which every other
-//       subcommand also accepts.
+//           [--format text|binary]
+//       Align the sensors and fit a method on them (classic CS without
+//       --method), writing the tagged model-codec format — human-readable
+//       text by default, the CRC-framed binary record with
+//       --format binary. Every other subcommand accepts both, plus the
+//       legacy bare CsModel blobs older releases wrote.
 //
-//   csmcli info    <model_file>
-//       Print a model summary (works on both file formats).
+//   csmcli info    <model_file | pack_file>
+//       Print a model summary (any model format), or the index summary of
+//       a model pack.
+//
+//   csmcli pack    <model_dir> <pack_file>
+//       Bundle every model file in a directory into one mmap-able model
+//       pack (node id = file stem, records re-encoded as binary).
+//
+//   csmcli unpack  <pack_file> <out_dir> [--format text|binary]
+//       Extract every pack record back into per-node model files.
+//
+//   csmcli convert <model_in> <model_out> [--format text|binary]
+//       Re-encode one model file between the codec formats.
 //
 //   csmcli extract <sensor_dir> <model_file> <out_csv>
 //           [--blocks L] [--window WL] [--step WS] [--interval MS]
@@ -35,16 +48,21 @@
 //
 //   csmcli stream  <segment> [--method SPEC] [--scale S] [--blocks L]
 //           [--window WL] [--step WS] [--history H] [--retrain N]
-//           [--batch B]
+//           [--batch B] [--pack FILE] [--dump-models DIR]
 //       Replay a synthetic HPC-ODA segment (fault, application, power,
 //       infrastructure, cross-arch) through a StreamEngine — one
 //       MethodStream per component, fitted per node — in batches of B
 //       columns, and report per-node signature counts plus aggregate
-//       ingestion throughput.
+//       ingestion throughput. --pack skips the training pass and loads the
+//       per-node models lazily from a model pack; --dump-models writes the
+//       fitted per-node models to a directory (feed it to `csmcli pack`).
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -57,6 +75,8 @@
 #include "baselines/registry.hpp"
 #include "benchkit/args.hpp"
 #include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
+#include "core/model_pack.hpp"
 #include "core/pipeline.hpp"
 #include "core/stream_engine.hpp"
 #include "core/training.hpp"
@@ -85,14 +105,32 @@ struct Options {
   std::size_t history = 1024;
   std::size_t retrain = 0;
   std::size_t batch = 256;
+  std::string format = "text";  // --format text|binary for model writes.
+  std::string pack_file;        // --pack FILE (stream: load models from it).
+  std::string dump_dir;         // --dump-models DIR (stream: save models).
 };
+
+core::codec::ModelFormat parse_format(const std::string& value) {
+  if (value == "text") return core::codec::ModelFormat::kText;
+  if (value == "binary") return core::codec::ModelFormat::kBinary;
+  throw std::invalid_argument("--format: expected \"text\" or \"binary\", got \"" +
+                              value + "\"");
+}
+
+/// Conventional model-file extension for a codec format.
+const char* format_extension(core::codec::ModelFormat format) {
+  return format == core::codec::ModelFormat::kBinary ? ".csmb" : ".csm";
+}
 
 void usage(std::ostream& out) {
   out << "usage:\n"
       << "  csmcli methods\n"
       << "  csmcli train   <sensor_dir> <model_file> [--interval MS]\n"
-      << "                 [--method SPEC]\n"
-      << "  csmcli info    <model_file>\n"
+      << "                 [--method SPEC] [--format text|binary]\n"
+      << "  csmcli info    <model_file | pack_file>\n"
+      << "  csmcli pack    <model_dir> <pack_file>\n"
+      << "  csmcli unpack  <pack_file> <out_dir> [--format text|binary]\n"
+      << "  csmcli convert <model_in> <model_out> [--format text|binary]\n"
       << "  csmcli extract <sensor_dir> <model_file> <out_csv>\n"
       << "                 [--blocks L] [--window WL] [--step WS]\n"
       << "                 [--interval MS] [--real-only]\n"
@@ -103,6 +141,7 @@ void usage(std::ostream& out) {
       << "  csmcli stream  <segment> [--method SPEC] [--scale S]\n"
       << "                 [--blocks L] [--window WL] [--step WS]\n"
       << "                 [--history H] [--retrain N] [--batch B]\n"
+      << "                 [--pack FILE] [--dump-models DIR]\n"
       << "                 (segment: fault | application | power |\n"
       << "                  infrastructure | cross-arch)\n"
       << "\n"
@@ -146,6 +185,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
           benchkit::parse_size_t("--retrain", next_value("--retrain"));
     } else if (arg == "--batch") {
       opts.batch = benchkit::parse_size_t("--batch", next_value("--batch"));
+    } else if (arg == "--format") {
+      opts.format = next_value("--format");
+      (void)parse_format(opts.format);  // Reject bad values at parse time.
+    } else if (arg == "--pack") {
+      opts.pack_file = next_value("--pack");
+    } else if (arg == "--dump-models") {
+      opts.dump_dir = next_value("--dump-models");
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -162,6 +208,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
     std::cerr << "--blocks/--real-only conflict with --method; put the "
                  "parameters in the spec instead (e.g. --method "
                  "cs:blocks=10,real-only)\n";
+    return false;
+  }
+  // A pack carries fully trained models, so a training spec next to it
+  // would be silently ignored — reject the combination instead.
+  if (!opts.pack_file.empty() && !opts.method.empty()) {
+    std::cerr << "--pack conflicts with --method (the pack already fixes "
+                 "each node's trained method)\n";
     return false;
   }
   return true;
@@ -182,17 +235,33 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-// A model file is either a tagged method ("csmethod v1 ...") or a legacy
-// bare CsModel blob ("csmodel v1 ...").
+// A model file is either a codec binary record ("CSMB..."), tagged method
+// text ("csmethod v2 ..." or legacy v1), or a legacy bare CsModel blob
+// ("csmodel v1 ...").
 using LoadedModel = std::variant<std::unique_ptr<core::SignatureMethod>,
                                  core::CsModel>;
 
+std::span<const std::uint8_t> as_bytes(const std::string& blob) {
+  return {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()};
+}
+
 LoadedModel load_any_model(const std::string& path) {
-  const std::string text = read_file(path);
-  if (core::is_tagged_method(text)) {
-    return baselines::default_registry().deserialize(text);
+  const std::string blob = read_file(path);
+  if (core::codec::is_binary_record(as_bytes(blob))) {
+    return baselines::default_registry().decode(as_bytes(blob));
   }
-  return core::CsModel::deserialize(text);
+  if (core::is_tagged_method(blob)) {
+    return baselines::default_registry().deserialize(blob);
+  }
+  return core::CsModel::deserialize(blob);
+}
+
+bool is_pack_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char head[sizeof(core::kPackMagic)] = {};
+  in.read(head, sizeof(head));
+  return in.gcount() == sizeof(head) &&
+         std::memcmp(head, core::kPackMagic, sizeof(head)) == 0;
 }
 
 int cmd_methods(const Options& opts) {
@@ -217,19 +286,14 @@ int cmd_train(const Options& opts) {
   std::cout << "aligned " << aligned.matrix.rows() << " sensors x "
             << aligned.matrix.cols() << " samples (interval "
             << aligned.interval_ms << " ms)\n";
-  if (opts.method.empty()) {
-    // Legacy format: a bare CsModel blob readable by older tooling.
-    const core::CsModel model = core::train(aligned.matrix);
-    model.save(opts.positional[1]);
-    std::cout << "model written to " << opts.positional[1] << '\n';
-  } else {
-    const auto method = baselines::default_registry()
-                            .create(opts.method)
-                            ->fit(aligned.matrix);
-    core::save_method(*method, opts.positional[1]);
-    std::cout << method->name() << " model written to " << opts.positional[1]
-              << '\n';
-  }
+  // Default spec: classic CS-All. (Older releases wrote a bare CsModel blob
+  // here; reading those still works everywhere, writing them doesn't.)
+  const std::string spec = opts.method.empty() ? "cs" : opts.method;
+  const auto method =
+      baselines::default_registry().create(spec)->fit(aligned.matrix);
+  core::save_method(*method, opts.positional[1], parse_format(opts.format));
+  std::cout << method->name() << " model written to " << opts.positional[1]
+            << '\n';
   return 0;
 }
 
@@ -237,6 +301,21 @@ int cmd_info(const Options& opts) {
   if (opts.positional.size() != 1) {
     usage(std::cerr);
     return 1;
+  }
+  if (is_pack_file(opts.positional[0])) {
+    const core::ModelPack pack = core::ModelPack::open(opts.positional[0]);
+    std::cout << "model pack: " << pack.size() << " models\n";
+    constexpr std::size_t kListed = 10;
+    for (std::size_t i = 0; i < std::min(pack.size(), kListed); ++i) {
+      const auto record = pack.record(i);
+      const core::codec::RecordView view = core::codec::parse_record(record);
+      std::cout << "  " << pack.id(i) << ": " << view.key << ", "
+                << record.size() << " bytes\n";
+    }
+    if (pack.size() > kListed) {
+      std::cout << "  ... (" << pack.size() - kListed << " more)\n";
+    }
+    return 0;
   }
   const LoadedModel loaded = load_any_model(opts.positional[0]);
   if (const auto* method =
@@ -384,6 +463,75 @@ int cmd_sort(const Options& opts) {
   return 0;
 }
 
+int cmd_pack(const Options& opts) {
+  if (opts.positional.size() != 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const std::filesystem::path dir = opts.positional[0];
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "error: " << dir.string() << " is not a directory\n";
+    return 2;
+  }
+  // Deterministic packs: iterate the model files in sorted order (the index
+  // is sorted anyway, but record order affects the bytes).
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "error: no model files in " << dir.string() << '\n';
+    return 2;
+  }
+  const core::MethodRegistry& registry = baselines::default_registry();
+  core::ModelPackWriter writer(opts.positional[1]);
+  for (const std::filesystem::path& file : files) {
+    // Node id = file stem, so `stream --dump-models` names round-trip.
+    writer.add(file.stem().string(), *registry.load(file));
+  }
+  writer.finish();
+  std::cout << "packed " << files.size() << " models into "
+            << opts.positional[1] << '\n';
+  return 0;
+}
+
+int cmd_unpack(const Options& opts) {
+  if (opts.positional.size() != 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const core::ModelPack pack = core::ModelPack::open(opts.positional[0]);
+  const core::MethodRegistry& registry = baselines::default_registry();
+  const auto format = parse_format(opts.format);
+  std::filesystem::create_directories(opts.positional[1]);
+  for (std::size_t i = 0; i < pack.size(); ++i) {
+    const std::string id(pack.id(i));
+    // Round-trip through the registry so every record's CRC and fields are
+    // validated, whatever the output format.
+    const auto method = pack.load(id, registry);
+    core::save_method(*method,
+                      std::filesystem::path(opts.positional[1]) /
+                          (id + format_extension(format)),
+                      format);
+  }
+  std::cout << "unpacked " << pack.size() << " models to "
+            << opts.positional[1] << '\n';
+  return 0;
+}
+
+int cmd_convert(const Options& opts) {
+  if (opts.positional.size() != 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const auto method = baselines::default_registry().load(opts.positional[0]);
+  core::save_method(*method, opts.positional[1], parse_format(opts.format));
+  std::cout << method->name() << " model re-encoded as " << opts.format
+            << " in " << opts.positional[1] << '\n';
+  return 0;
+}
+
 hpcoda::Segment make_segment(const std::string& name, double scale) {
   hpcoda::GeneratorConfig config;
   config.scale = scale;
@@ -418,19 +566,43 @@ int cmd_stream(const Options& opts) {
             << ", ws=" << stream_opts.window_step << ", history="
             << stream_opts.history_length << ")\n";
 
-  // One stream per component, each with a method fitted on its own sensors
-  // — the per-node out-of-band training pass of Fig. 1. --method swaps the
-  // whole fleet onto any registered method; the default is classic CS.
+  // One stream per component — the per-node out-of-band training pass of
+  // Fig. 1. --method swaps the whole fleet onto any registered method (the
+  // default synthesizes a CS spec from the legacy flags, so all nodes go
+  // through the registry and dump/pack see one code path); --pack skips
+  // training entirely and lazily deserialises each node from a model pack.
+  const core::MethodRegistry& registry = baselines::default_registry();
+  std::string spec = opts.method;
+  if (spec.empty()) {
+    spec = "cs:blocks=" + std::to_string(opts.blocks);
+    if (opts.real_only) spec += ",real-only";
+  }
   core::StreamEngine engine(stream_opts);
-  for (const hpcoda::ComponentBlock& block : seg.blocks) {
-    if (opts.method.empty()) {
-      engine.add_node(block.name, core::train(block.sensors));
-    } else {
+  if (!opts.pack_file.empty()) {
+    const core::ModelPack pack = core::ModelPack::open(opts.pack_file);
+    for (const hpcoda::ComponentBlock& block : seg.blocks) {
+      engine.add_node(pack, block.name, registry, block.sensors.rows());
+    }
+    std::cout << "models: " << pack.size() << "-model pack "
+              << opts.pack_file << '\n';
+  } else {
+    for (const hpcoda::ComponentBlock& block : seg.blocks) {
       std::shared_ptr<const core::SignatureMethod> method =
-          baselines::default_registry().create(opts.method)->fit(
-              block.sensors);
+          registry.create(spec)->fit(block.sensors);
       engine.add_node(block.name, std::move(method), block.sensors.rows());
     }
+  }
+  if (!opts.dump_dir.empty()) {
+    const auto format = parse_format(opts.format);
+    std::filesystem::create_directories(opts.dump_dir);
+    for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+      const std::filesystem::path file =
+          std::filesystem::path(opts.dump_dir) /
+          (engine.node_name(b) + format_extension(format));
+      core::save_method(engine.stream(b).method(), file, format);
+    }
+    std::cout << "dumped " << engine.n_nodes() << " node models to "
+              << opts.dump_dir << '\n';
   }
   std::cout << "method: " << engine.stream(0).method().name() << '\n';
 
@@ -499,6 +671,9 @@ int main(int argc, char** argv) {
     if (command == "methods") return cmd_methods(opts);
     if (command == "train") return cmd_train(opts);
     if (command == "info") return cmd_info(opts);
+    if (command == "pack") return cmd_pack(opts);
+    if (command == "unpack") return cmd_unpack(opts);
+    if (command == "convert") return cmd_convert(opts);
     if (command == "extract") return cmd_extract(opts);
     if (command == "sort") return cmd_sort(opts);
     if (command == "stream") return cmd_stream(opts);
