@@ -1,0 +1,25 @@
+// Shared helpers for the fuzz harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace csm::fuzz {
+
+inline std::string_view as_text(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+/// Aborts (a fuzzer finding) when a differential/round-trip property fails.
+/// Used instead of assert so the check survives NDEBUG builds.
+inline void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace csm::fuzz

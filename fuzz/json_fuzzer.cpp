@@ -1,0 +1,31 @@
+// Fuzz target: benchkit::Json::parse — the reader behind benchdiff, the
+// nightly-perf comparator and the coming config-driven fleet files.
+//
+// Arbitrary text either parses or throws std::runtime_error (the
+// deep-nesting regression in fuzz/regressions/json/ used to run the stack
+// out instead). Parsed documents must be dump-stable: dump() reparses to a
+// value that dumps identically, in both pretty and compact renderings.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "benchkit/json.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  csm::benchkit::Json doc;
+  try {
+    doc = csm::benchkit::Json::parse(csm::fuzz::as_text(data, size));
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  const std::string pretty = doc.dump(2);
+  const std::string compact = doc.dump(0);
+  const csm::benchkit::Json again = csm::benchkit::Json::parse(pretty);
+  csm::fuzz::require(again.dump(2) == pretty,
+                     "Json pretty dump is not parse-stable");
+  csm::fuzz::require(again.dump(0) == compact,
+                     "Json compact dump diverged across a reparse");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Seed-corpus generator: writes one real fixture per format family under
+// <out-dir>/<harness>/ so the fuzzers start from valid inputs instead of
+// random bytes. Run after codec/schema changes and commit the refreshed
+// corpus:
+//
+//   cmake --build build/release --target csm_make_corpus
+//   ./build/release/fuzz/csm_make_corpus fuzz/corpus
+//
+// Seeds are deterministic (fixed RNG seed) so regeneration is diff-clean
+// unless a wire format actually changed.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "benchkit/json.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/method_registry.hpp"
+#include "core/model_codec.hpp"
+#include "core/model_pack.hpp"
+#include "core/signature_method.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_bytes(const fs::path& file, const void* data, std::size_t size) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: write failed: %s\n", file.c_str());
+    std::exit(1);
+  }
+}
+
+void write_text(const fs::path& file, const std::string& text) {
+  write_bytes(file, text.data(), text.size());
+}
+
+/// A small deterministic training matrix (rows = sensors, cols = samples).
+csm::common::Matrix training_matrix(std::size_t sensors, std::size_t samples) {
+  csm::common::Matrix m(sensors, samples);
+  csm::common::Rng rng(42);
+  for (std::size_t r = 0; r < sensors; ++r) {
+    for (std::size_t c = 0; c < samples; ++c) {
+      m(r, c) = rng.uniform(-1.0, 1.0) +
+                static_cast<double>(r) * 0.25 +
+                0.1 * static_cast<double>(c % 7);
+    }
+  }
+  return m;
+}
+
+/// One trained method per registry family, keyed by a filename-safe label.
+std::vector<std::pair<std::string,
+                      std::unique_ptr<csm::core::SignatureMethod>>>
+trained_methods() {
+  const csm::core::MethodRegistry& registry =
+      csm::baselines::default_registry();
+  const csm::common::Matrix train = training_matrix(8, 64);
+  std::vector<std::pair<std::string,
+                        std::unique_ptr<csm::core::SignatureMethod>>>
+      out;
+  for (const std::string& spec :
+       {std::string("cs:blocks=2"), std::string("cs:real-only"),
+        std::string("pca:components=3"), std::string("tuncer"),
+        std::string("bodik"), std::string("lan:wr=5")}) {
+    std::string label = spec;
+    for (char& c : label) {
+      if (c == ':' || c == ',' || c == '=') c = '-';
+    }
+    auto method = registry.create(spec);
+    out.emplace_back(label, method->trained()
+                                ? std::move(method)
+                                : method->fit(train));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  for (const char* harness : {"model-codec", "model-text", "model-pack",
+                              "method-spec", "json", "sensor-csv"}) {
+    fs::create_directories(root / harness);
+  }
+
+  // --- model-codec (binary records) + model-text (tagged text) -------------
+  for (const auto& [label, method] : trained_methods()) {
+    const std::vector<std::uint8_t> record =
+        csm::core::codec::encode_binary(*method);
+    write_bytes(root / "model-codec" / (label + ".csmb"), record.data(),
+                record.size());
+    write_text(root / "model-text" / (label + ".csmt"), method->serialize());
+  }
+
+  // --- model-pack: a 3-node mixed-method fleet store -----------------------
+  {
+    const fs::path pack_file = root / "model-pack" / "fleet3.csmp";
+    csm::core::ModelPackWriter writer(pack_file);
+    auto methods = trained_methods();
+    writer.add("node-07", *methods[0].second);
+    writer.add("node-03", *methods[2].second);
+    writer.add("node-11", *methods[5].second);
+    writer.finish();
+  }
+
+  // --- method-spec ---------------------------------------------------------
+  {
+    const char* specs[] = {"cs",
+                           "cs:blocks=20,real-only",
+                           "pca:components=8",
+                           "tuncer:bins=30",
+                           "lan:wr=10",
+                           "bodik",
+                           "CS : Blocks = 4",
+                           "unknown-method:flag"};
+    int i = 0;
+    for (const char* spec : specs) {
+      write_text(root / "method-spec" / ("spec" + std::to_string(i++) + ".txt"),
+                 spec);
+    }
+  }
+
+  // --- json: a miniature csm-bench-v1 result + edge documents --------------
+  {
+    csm::benchkit::Json run = csm::benchkit::Json::object();
+    run.set("schema", "csm-bench-v1");
+    run.set("driver", "stream_throughput");
+    run.set("seed", "12345678901234567890");
+    csm::benchkit::Json cases = csm::benchkit::Json::array();
+    csm::benchkit::Json c = csm::benchkit::Json::object();
+    c.set("name", "ring/hist=4096");
+    c.set("wall_seconds", 0.0123);
+    c.set("items_per_second", 812345.5);
+    csm::benchkit::Json params = csm::benchkit::Json::object();
+    params.set("history", 4096);
+    params.set("sensors", 16);
+    c.set("params", std::move(params));
+    cases.push(std::move(c));
+    run.set("cases", std::move(cases));
+    write_text(root / "json" / "bench-v1.json", run.dump(2));
+    write_text(root / "json" / "scalars.json", "[null, true, -1.5e-3, \"a\"]");
+    write_text(root / "json" / "escapes.json",
+               "{\"s\": \"line\\n\\ttab \\u0007 quote\\\"\"}");
+  }
+
+  // --- sensor-csv ----------------------------------------------------------
+  {
+    write_text(root / "sensor-csv" / "plain.csv",
+               "timestamp,value\n"
+               "1000,0.5\n"
+               "2000,0.75\n"
+               "3000,1.25\n");
+    write_text(root / "sensor-csv" / "comments.csv",
+               "# exported by hpcoda\n"
+               "  Timestamp , Value \n"
+               "1000 , -3.5e2\n"
+               "\n"
+               "2000,nan\n");
+    write_text(root / "sensor-csv" / "bare.csv", "5,1\n6,2\n");
+  }
+
+  std::printf("make_corpus: seeds written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fuzz target: MethodSpec::parse — the spec-string grammar every CLI flag,
+// bench line-up and (soon) fleet config file funnels through.
+//
+// Arbitrary text either parses or throws std::invalid_argument. Parsed
+// specs must reach a canonical fixpoint: to_string() reparses to the same
+// canonical form, and registry construction of a known method either
+// succeeds or rejects the parameters with std::invalid_argument.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "core/method_registry.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(csm::fuzz::as_text(data, size));
+  csm::core::MethodSpec spec;
+  try {
+    spec = csm::core::MethodSpec::parse(text);
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+  const std::string canonical = spec.to_string();
+  const csm::core::MethodSpec again = csm::core::MethodSpec::parse(canonical);
+  csm::fuzz::require(again.to_string() == canonical,
+                     "MethodSpec canonical form is not a parse fixpoint");
+  try {
+    (void)csm::baselines::default_registry().create(spec);
+  } catch (const std::invalid_argument&) {
+    // Unknown method name or rejected parameters — the documented contract.
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fuzz target: ModelPack::open_bytes + lazy per-node loads.
+//
+// A pack image is what a fleet daemon would mmap from disk (or, later,
+// receive over a transport): header, concatenated CSMB records, names blob,
+// sorted index. open_bytes validates the geometry; every index access and
+// record load afterwards must stay in bounds no matter how hostile the
+// image is, throwing std::runtime_error (or std::out_of_range for bad
+// positions) instead of reading wild memory.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "core/method_registry.hpp"
+#include "core/model_pack.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const csm::core::MethodRegistry& registry =
+      csm::baselines::default_registry();
+  try {
+    const csm::core::ModelPack pack =
+        csm::core::ModelPack::open_bytes({data, data + size}, "<fuzz>");
+    // Walk the whole index (a corrupt entry throws) and load each record
+    // through the registry; cap the walk so a forged record count cannot
+    // turn one input into minutes of work.
+    const std::size_t n = pack.size() < 64 ? pack.size() : 64;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string id(pack.id(i));
+      try {
+        (void)pack.contains(id);
+        (void)pack.record(i);
+        (void)pack.load(id, registry);
+      } catch (const std::runtime_error&) {
+        // Per-record corruption is detected lazily — keep walking.
+      }
+    }
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  return 0;
+}

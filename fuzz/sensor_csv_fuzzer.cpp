@@ -1,0 +1,28 @@
+// Fuzz target: data::parse_sensor_csv — the HPC-ODA "timestamp,value"
+// reader that every imported sensor file passes through.
+//
+// Arbitrary text either parses into a TimeSeries or throws
+// std::runtime_error naming the offending line. Parsed series must carry
+// exactly the finite structure the text declared: one sample per
+// non-comment data row.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "data/csv.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(csm::fuzz::as_text(data, size));
+  try {
+    const csm::data::TimeSeries series =
+        csm::data::parse_sensor_csv(text, "fuzz");
+    csm::fuzz::require(series.samples.size() <= text.size(),
+                       "parse_sensor_csv produced more samples than bytes");
+  } catch (const std::runtime_error&) {
+    // Malformed rows must raise — silent truncation would corrupt every
+    // downstream correlation.
+  }
+  return 0;
+}

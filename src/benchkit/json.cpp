@@ -96,7 +96,14 @@ class Parser {
     return true;
   }
 
+  // Parsing recurses once per nesting level, so untrusted input like
+  // "[[[[..." would otherwise run the stack out (fuzz regression
+  // fuzz/regressions/json/deep-nesting). The cap is far above anything the
+  // bench schema produces and far below any thread's stack budget.
+  static constexpr std::size_t kMaxDepth = 192;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 192 levels");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -116,9 +123,11 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    ++depth_;
     Json out = Json::object();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return out;
     }
     for (;;) {
@@ -131,15 +140,18 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return out;
     }
   }
 
   Json parse_array() {
     expect('[');
+    ++depth_;
     Json out = Json::array();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return out;
     }
     for (;;) {
@@ -149,6 +161,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return out;
     }
   }
@@ -216,6 +229,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "core/model_codec.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <charconv>
@@ -100,6 +101,17 @@ std::string format_f64(double v) {
   std::array<char, 40> buf{};
   const int n = std::snprintf(buf.data(), buf.size(), "%.17g", v);
   return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+// A declared element count is untrusted until the elements actually parse:
+// reserving it verbatim lets a ~20-byte hostile body demand a 512 MB
+// allocation (kMaxFieldElements * 8) before the first missing element fails
+// the parse (fuzz regression fuzz/regressions/model-text/count-amplification).
+// Geometric push_back growth costs little for honest large arrays.
+constexpr std::uint64_t kMaxUpFrontReserve = 4096;
+
+std::size_t clamped_reserve(std::uint64_t count) {
+  return static_cast<std::size_t>(std::min(count, kMaxUpFrontReserve));
 }
 
 }  // namespace
@@ -282,7 +294,7 @@ std::vector<std::uint64_t> TextSource::u64_array(std::string_view name) {
          " exceeds the element cap");
   }
   std::vector<std::uint64_t> values;
-  values.reserve(static_cast<std::size_t>(count));
+  values.reserve(clamped_reserve(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     values.push_back(parse_u64(name));
   }
@@ -297,7 +309,7 @@ std::vector<double> TextSource::f64_array(std::string_view name) {
          " exceeds the element cap");
   }
   std::vector<double> values;
-  values.reserve(static_cast<std::size_t>(count));
+  values.reserve(clamped_reserve(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     values.push_back(parse_f64(name));
   }

@@ -188,6 +188,10 @@ struct ModelPack::Mapping {
   const char* names = nullptr;
   std::uint64_t names_len = 0;
 
+  /// Backing storage for open_bytes() (and, on platforms without mmap, the
+  /// whole-file read fallback). Empty when the pack is mmap-ed.
+  std::vector<std::uint8_t> bytes;
+
 #if !defined(_WIN32)
   void* map_base = nullptr;
   std::size_t map_size = 0;
@@ -197,8 +201,6 @@ struct ModelPack::Mapping {
       ::munmap(map_base, map_size);
     }
   }
-#else
-  std::vector<std::uint8_t> bytes;  ///< Fallback: whole-file read.
 #endif
 
   struct IndexEntry {
@@ -240,6 +242,10 @@ struct ModelPack::Mapping {
     }
     return lo;
   }
+
+  /// Header/index validation shared by open() and open_bytes(): data, size
+  /// and file must already be set.
+  void validate();
 };
 
 ModelPack ModelPack::open(const std::filesystem::path& file) {
@@ -278,7 +284,23 @@ ModelPack ModelPack::open(const std::filesystem::path& file) {
   mapping->size = mapping->bytes.size();
 #endif
 
-  const std::uint8_t* data = mapping->data;
+  mapping->validate();
+  return ModelPack(std::move(mapping));
+}
+
+ModelPack ModelPack::open_bytes(std::vector<std::uint8_t> bytes,
+                                std::filesystem::path name) {
+  auto mapping = std::make_shared<Mapping>();
+  mapping->file = std::move(name);
+  mapping->bytes = std::move(bytes);
+  mapping->data = mapping->bytes.data();
+  mapping->size = mapping->bytes.size();
+  mapping->validate();
+  return ModelPack(std::move(mapping));
+}
+
+void ModelPack::Mapping::validate() {
+  Mapping* mapping = this;
   const std::size_t size_total = mapping->size;
   if (size_total < kPackHeaderSize ||
       std::memcmp(data, kPackMagic, sizeof(kPackMagic)) != 0) {
@@ -312,7 +334,6 @@ ModelPack ModelPack::open(const std::filesystem::path& file) {
   }
   mapping->index = data + index_off;
   mapping->names = reinterpret_cast<const char*>(data + names_off);
-  return ModelPack(std::move(mapping));
 }
 
 std::size_t ModelPack::size() const noexcept {

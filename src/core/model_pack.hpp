@@ -96,6 +96,12 @@ class ModelPack {
   /// Throws std::runtime_error naming the defect.
   static ModelPack open(const std::filesystem::path& file);
 
+  /// Same validation over an in-memory pack image (e.g. received over a
+  /// transport instead of read from disk); the pack takes ownership of
+  /// `bytes` and `name` stands in for the file path in error messages.
+  static ModelPack open_bytes(std::vector<std::uint8_t> bytes,
+                              std::filesystem::path name = "<memory>");
+
   std::size_t size() const noexcept;
   const std::filesystem::path& path() const noexcept;
 

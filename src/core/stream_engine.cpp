@@ -11,12 +11,34 @@
 
 namespace csm::core {
 
+StreamEngine::Node& StreamEngine::node_at(std::size_t node) const {
+  std::shared_lock lock(nodes_mutex_);
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("StreamEngine: node index " +
+                            std::to_string(node) + " out of range (fleet has " +
+                            std::to_string(nodes_.size()) + " nodes)");
+  }
+  return *nodes_[node];
+}
+
+void StreamEngine::add_ingest_seconds(double seconds) noexcept {
+  // compare_exchange loop instead of fetch_add: portable across standard
+  // libraries that predate atomic<double>::fetch_add.
+  double current = ingest_seconds_.load(std::memory_order_relaxed);
+  while (!ingest_seconds_.compare_exchange_weak(current, current + seconds,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
 std::size_t StreamEngine::add_node(
     std::string name, std::shared_ptr<const SignatureMethod> method,
     std::size_t n_sensors) {
-  nodes_.push_back(Node{
-      std::move(name),
-      MethodStream(std::move(method), options_, n_sensors), {}});
+  // Construct (and let MethodStream validate) outside the exclusive lock so
+  // a bad method never stalls concurrent ingestion.
+  auto node = std::make_unique<Node>(
+      std::move(name), MethodStream(std::move(method), options_, n_sensors));
+  std::unique_lock lock(nodes_mutex_);
+  nodes_.push_back(std::move(node));
   return nodes_.size() - 1;
 }
 
@@ -34,22 +56,41 @@ std::size_t StreamEngine::add_node(const ModelPack& pack, std::string_view id,
   return add_node(std::string(id), pack.load(id, registry), n_sensors);
 }
 
+std::size_t StreamEngine::n_nodes() const noexcept {
+  std::shared_lock lock(nodes_mutex_);
+  return nodes_.size();
+}
+
+const std::string& StreamEngine::node_name(std::size_t node) const {
+  return node_at(node).name;
+}
+
+const MethodStream& StreamEngine::stream(std::size_t node) const {
+  return node_at(node).stream;
+}
+
 void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {
-  Node& n = nodes_.at(node);
+  Node& n = node_at(node);
   const common::Timer timer;
-  auto sigs = n.stream.push_all(columns);
-  ingest_seconds_ += timer.seconds();
-  n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
-                 std::make_move_iterator(sigs.end()));
+  {
+    std::lock_guard node_lock(n.mutex);
+    auto sigs = n.stream.push_all(columns);
+    n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
+                   std::make_move_iterator(sigs.end()));
+  }
+  add_ingest_seconds(timer.seconds());
 }
 
 void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
+  // The shared table lock pins the batch's node set for the whole call:
+  // concurrent add_node waits, concurrent ingest/drain proceed.
+  std::shared_lock lock(nodes_mutex_);
   if (batches.size() != nodes_.size()) {
     throw std::invalid_argument(
         "StreamEngine::ingest_batch: one batch per node required");
   }
   for (std::size_t i = 0; i < batches.size(); ++i) {
-    if (batches[i].rows() != nodes_[i].stream.n_sensors()) {
+    if (batches[i].rows() != nodes_[i]->stream.n_sensors()) {
       throw std::invalid_argument("StreamEngine::ingest_batch: batch " +
                                   std::to_string(i) +
                                   " has wrong sensor count");
@@ -61,31 +102,42 @@ void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
   const common::Timer timer;
   common::parallel_for(nodes_.size(), [&](std::size_t i) {
     try {
-      auto sigs = nodes_[i].stream.push_all(batches[i]);
-      auto& queue = nodes_[i].queue;
-      queue.insert(queue.end(), std::make_move_iterator(sigs.begin()),
-                   std::make_move_iterator(sigs.end()));
+      Node& n = *nodes_[i];
+      std::lock_guard node_lock(n.mutex);
+      auto sigs = n.stream.push_all(batches[i]);
+      n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
+                     std::make_move_iterator(sigs.end()));
     } catch (...) {
       errors[i] = std::current_exception();
     }
   });
-  ingest_seconds_ += timer.seconds();
+  add_ingest_seconds(timer.seconds());
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
 }
 
+std::size_t StreamEngine::pending(std::size_t node) const {
+  Node& n = node_at(node);
+  std::lock_guard node_lock(n.mutex);
+  return n.queue.size();
+}
+
 std::vector<std::vector<double>> StreamEngine::drain(std::size_t node) {
-  return std::exchange(nodes_.at(node).queue, {});
+  Node& n = node_at(node);
+  std::lock_guard node_lock(n.mutex);
+  return std::exchange(n.queue, {});
 }
 
 EngineStats StreamEngine::stats() const {
   EngineStats s;
-  s.ingest_seconds = ingest_seconds_;
-  for (const Node& n : nodes_) {
-    s.samples += n.stream.samples_seen();
-    s.signatures += n.stream.signatures_emitted();
-    s.retrains += n.stream.retrain_count();
+  s.ingest_seconds = ingest_seconds_.load(std::memory_order_relaxed);
+  std::shared_lock lock(nodes_mutex_);
+  for (const auto& n : nodes_) {
+    std::lock_guard node_lock(n->mutex);
+    s.samples += n->stream.samples_seen();
+    s.signatures += n->stream.signatures_emitted();
+    s.retrains += n->stream.retrain_count();
   }
   return s;
 }

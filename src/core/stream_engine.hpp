@@ -12,11 +12,26 @@
 // samples/sec across the whole fleet. Memory stays bounded: each node holds
 // exactly n_sensors x history_length doubles of history plus its undrained
 // queue.
+//
+// Concurrency contract: ingest(), ingest_batch(), drain(), pending(),
+// stats() and every add_node() overload may be called concurrently from
+// multiple threads (the soak test in tests/core/stream_engine_soak_test.cpp
+// runs exactly that mix under ThreadSanitizer). Each node carries its own
+// mutex — ingest and drain on the same node serialise, different nodes
+// proceed in parallel — and the node table is guarded by a shared_mutex so
+// add_node can grow a live fleet without invalidating in-flight ingestion.
+// Per-call ordering is the only guarantee: a drain racing an ingest returns
+// either side of that batch's signatures, never a torn vector. The
+// stream() accessor returns a reference into a node's live state and is
+// safe only while no other thread is feeding that node.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -76,15 +91,12 @@ class StreamEngine {
                        const MethodRegistry& registry,
                        std::size_t n_sensors = 0);
 
-  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+  std::size_t n_nodes() const noexcept;
   const StreamOptions& options() const noexcept { return options_; }
-  const std::string& node_name(std::size_t node) const {
-    return nodes_.at(node).name;
-  }
+  const std::string& node_name(std::size_t node) const;
   /// The underlying per-node stream (e.g. to inspect the live method).
-  const MethodStream& stream(std::size_t node) const {
-    return nodes_.at(node).stream;
-  }
+  /// Not synchronised: only safe while no other thread feeds this node.
+  const MethodStream& stream(std::size_t node) const;
 
   /// Feeds a batch of columns to one node; emitted feature vectors are
   /// appended to that node's queue.
@@ -94,13 +106,12 @@ class StreamEngine {
   /// may have different column counts, rows must match each node's sensor
   /// count). Nodes are processed concurrently with common::parallel_for.
   /// Shapes are validated up front; a mid-flight failure in any node (e.g.
-  /// a degenerate retrain) is re-thrown after the batch completes.
+  /// a degenerate retrain) is re-thrown after the batch completes. Nodes
+  /// added concurrently with this call are not part of the batch.
   void ingest_batch(std::span<const common::Matrix> batches);
 
   /// Number of feature vectors waiting in a node's queue.
-  std::size_t pending(std::size_t node) const {
-    return nodes_.at(node).queue.size();
-  }
+  std::size_t pending(std::size_t node) const;
 
   /// Takes (moves out) all feature vectors queued for a node.
   std::vector<std::vector<double>> drain(std::size_t node);
@@ -110,14 +121,25 @@ class StreamEngine {
 
  private:
   struct Node {
-    std::string name;
+    std::string name;  ///< Immutable after construction.
     MethodStream stream;
     std::vector<std::vector<double>> queue;
+    mutable std::mutex mutex;  ///< Guards stream + queue.
+
+    Node(std::string name_, MethodStream stream_)
+        : name(std::move(name_)), stream(std::move(stream_)) {}
   };
 
+  /// Looks a node up under the table lock; throws std::out_of_range.
+  Node& node_at(std::size_t node) const;
+  void add_ingest_seconds(double seconds) noexcept;
+
   StreamOptions options_;
-  std::vector<Node> nodes_;
-  double ingest_seconds_ = 0.0;
+  /// unique_ptr keeps node addresses (and their mutexes) stable while
+  /// add_node grows the table under the exclusive lock.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  mutable std::shared_mutex nodes_mutex_;  ///< Guards the nodes_ table.
+  std::atomic<double> ingest_seconds_{0.0};
 };
 
 }  // namespace csm::core

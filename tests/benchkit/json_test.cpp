@@ -71,6 +71,21 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_THROW(Json::parse("{} x"), std::runtime_error);
 }
 
+TEST(JsonParse, DeepNestingIsRejectedNotOverflowed) {
+  // fuzz/regressions/json/deep-nesting.json: 100k unmatched '[' used to
+  // recurse once per level and run the parser off the stack. The parser now
+  // rejects documents past its 192-level depth cap with a normal parse
+  // error instead.
+  EXPECT_THROW(Json::parse(std::string(100000, '[')), std::runtime_error);
+
+  // The boundary: 191 well-formed levels parse, 192 are rejected.
+  const auto nested = [](std::size_t levels) {
+    return std::string(levels, '[') + "0" + std::string(levels, ']');
+  };
+  EXPECT_NO_THROW((void)Json::parse(nested(191)));
+  EXPECT_THROW((void)Json::parse(nested(192)), std::runtime_error);
+}
+
 TEST(JsonParse, ErrorsCarryTheByteOffset) {
   try {
     Json::parse("[1, oops]");

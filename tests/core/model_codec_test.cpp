@@ -350,6 +350,30 @@ common::Matrix wave_matrix(std::size_t n, std::size_t t) {
   return s;
 }
 
+TEST(TextCodec, HostileArrayCountFailsWithoutAmplification) {
+  // fuzz/regressions/model-text/count-amplification.csmt: a ~20-byte body
+  // declaring 2^26 - 1 array elements used to reserve count * 8 bytes
+  // (512 MB) before the first element parsed. The up-front reserve is now
+  // clamped and the parse still fails on the missing elements.
+  TextSource f64s("means 67108863 0.5\n");
+  EXPECT_THROW((void)f64s.f64_array("means"), std::runtime_error);
+  TextSource u64s("perm 67108863 1\n");
+  EXPECT_THROW((void)u64s.u64_array("perm"), std::runtime_error);
+}
+
+TEST(TextCodec, CountsAboveTheReserveClampStillParse) {
+  // The clamp only bounds the speculative reserve — real arrays larger than
+  // it must still decode completely.
+  std::string body = "vals 8192";
+  for (int i = 0; i < 8192; ++i) body += " 1.5";
+  body += "\n";
+  TextSource in(body);
+  const std::vector<double> vals = in.f64_array("vals");
+  ASSERT_EQ(vals.size(), 8192u);
+  EXPECT_EQ(vals.front(), 1.5);
+  EXPECT_EQ(vals.back(), 1.5);
+}
+
 TEST(Encoders, TextAndBinaryCarryTheSameFields) {
   const auto pipeline = std::make_shared<const CsPipeline>(
       train(wave_matrix(6, 120)), CsOptions{});

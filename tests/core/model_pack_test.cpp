@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -220,6 +221,37 @@ TEST(ModelPackOpen, RejectsCorruptHeader) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("header CRC mismatch"),
               std::string::npos);
+  }
+}
+
+TEST(ModelPackOpenBytes, MatchesTheFileMapping) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("n0", *trained_cs(21));
+  writer.add("n1", *trained_cs(22));
+  writer.finish();
+
+  const ModelPack mapped = ModelPack::open(file);
+  const ModelPack in_memory = ModelPack::open_bytes(file_bytes(file));
+  ASSERT_EQ(in_memory.size(), mapped.size());
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    EXPECT_EQ(in_memory.id(i), mapped.id(i));
+    const auto a = in_memory.record(i);
+    const auto b = mapped.record(i);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "record " << i;
+  }
+  EXPECT_NE(in_memory.load("n1", baselines::default_registry()), nullptr);
+}
+
+TEST(ModelPackOpenBytes, ValidatesLikeOpenAndNamesTheSource) {
+  try {
+    (void)ModelPack::open_bytes({'n', 'o', 'p', 'e'});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("is not a model pack (bad magic)"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("<memory>"), std::string::npos);
   }
 }
 
