@@ -10,6 +10,15 @@
 #include <limits>
 #include <stdexcept>
 
+#if !(defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L)
+// newlocale/uselocale are POSIX, declared in <locale.h> (not <clocale>);
+// macOS additionally keeps them in <xlocale.h>.
+#include <locale.h>  // NOLINT(modernize-deprecated-headers)
+#if defined(__APPLE__)
+#include <xlocale.h>
+#endif
+#endif
+
 #include "core/signature_method.hpp"
 
 namespace csm::core::codec {
@@ -97,10 +106,43 @@ const char* type_name(std::uint8_t type) {
 
 // --- text helpers -----------------------------------------------------------
 
+// The text form is a transport format, so it must not bend with the host
+// locale: an embedding application that called setlocale() into a
+// comma-decimal locale would otherwise write non-portable models and fail
+// to parse portable ones. <charconv> is locale-blind by specification, and
+// std::to_chars with an explicit precision is defined to produce exactly
+// printf "%.17g" in the "C" locale; toolchains without the floating-point
+// overloads (AppleClang's libc++) fall back to the C library pinned to a
+// per-thread "C" locale via uselocale().
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+#define CSM_CODEC_FP_CHARCONV 1
+#else
+#define CSM_CODEC_FP_CHARCONV 0
+#endif
+
+#if !CSM_CODEC_FP_CHARCONV
+locale_t c_numeric_locale() {
+  static const locale_t loc =
+      ::newlocale(LC_ALL_MASK, "C", static_cast<locale_t>(nullptr));
+  return loc;
+}
+#endif
+
 std::string format_f64(double v) {
   std::array<char, 40> buf{};
+#if CSM_CODEC_FP_CHARCONV
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v,
+                                       std::chars_format::general, 17);
+  if (ec != std::errc()) {
+    throw std::logic_error("ModelCodec: cannot format double");
+  }
+  return std::string(buf.data(), ptr);
+#else
+  const locale_t prev = ::uselocale(c_numeric_locale());
   const int n = std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  ::uselocale(prev);
   return std::string(buf.data(), static_cast<std::size_t>(n));
+#endif
 }
 
 // A declared element count is untrusted until the elements actually parse:
@@ -264,12 +306,21 @@ double TextSource::parse_f64(std::string_view name) {
   if (!(in_ >> token)) {
     fail("truncated field " + quoted(name));
   }
-  // strtod, not std::from_chars: AppleClang's libc++ lacks the
-  // floating-point from_chars overloads.
+  double value = 0.0;
+  bool parsed = false;
+#if CSM_CODEC_FP_CHARCONV
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  parsed = ec == std::errc() && ptr == token.data() + token.size();
+#else
   const char* begin = token.c_str();
   char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  if (end != begin + token.size()) {
+  const locale_t prev = ::uselocale(c_numeric_locale());
+  value = std::strtod(begin, &end);
+  ::uselocale(prev);
+  parsed = end == begin + token.size();
+#endif
+  if (!parsed) {
     fail("field " + quoted(name) + " is not a number (got " + quoted(token) +
          ")");
   }
@@ -512,12 +563,17 @@ RecordView parse_record(std::span<const std::uint8_t> record) {
   cursor += key_len;
   const std::uint32_t body_len = load_u32(record.data() + cursor);
   cursor += 4;
-  if (record.size() - cursor < static_cast<std::size_t>(body_len) + 4) {
+  // Compare in 64 bits: body_len is untrusted and `body_len + 4` wraps a
+  // 32-bit size_t, which would let a truncated record pass this check and
+  // run subspan() out of bounds.
+  const std::uint64_t remaining = record.size() - cursor;
+  const std::uint64_t body_and_crc = std::uint64_t{body_len} + 4;
+  if (remaining < body_and_crc) {
     fail("truncated record body at offset " + std::to_string(cursor) +
          " (declared " + std::to_string(body_len) + " bytes)");
   }
-  if (record.size() - cursor != static_cast<std::size_t>(body_len) + 4) {
-    fail(std::to_string(record.size() - cursor - body_len - 4) +
+  if (remaining != body_and_crc) {
+    fail(std::to_string(remaining - body_and_crc) +
          " trailing bytes after record CRC");
   }
   view.body = record.subspan(cursor, body_len);

@@ -87,6 +87,19 @@ std::vector<std::uint8_t> pack_header(std::uint64_t count,
 
 }  // namespace
 
+bool is_safe_pack_id(std::string_view id) noexcept {
+  if (id.empty() || id == "." || id == "..") {
+    return false;
+  }
+  for (const char c : id) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '/' || c == '\\' || byte < 0x20 || byte == 0x7F) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
@@ -112,8 +125,13 @@ void ModelPackWriter::add_record(std::string_view id,
   if (finished_) {
     throw std::logic_error("ModelPackWriter: add_record() after finish()");
   }
-  if (id.empty() || id.size() > std::numeric_limits<std::uint32_t>::max()) {
+  if (id.size() > std::numeric_limits<std::uint32_t>::max()) {
     fail("invalid node id length " + std::to_string(id.size()));
+  }
+  if (!is_safe_pack_id(id)) {
+    fail("unsafe node id \"" + std::string(id) +
+         "\" (ids must be usable as file names: no separators, control "
+         "bytes, \".\" or \"..\")");
   }
   (void)codec::parse_record(record);  // Reject malformed records up front.
   out_.write(reinterpret_cast<const char*>(record.data()),
@@ -225,6 +243,11 @@ struct ModelPack::Mapping {
            " points outside the pack file");
     }
     e.name = std::string_view(names + name_off, name_len);
+    // A hostile pack must not be able to smuggle a traversal id ("../x",
+    // absolute paths) to consumers that join ids onto output paths.
+    if (!is_safe_pack_id(e.name)) {
+      fail("index entry " + std::to_string(i) + " has an unsafe node id");
+    }
     return e;
   }
 

@@ -49,6 +49,14 @@ inline constexpr std::uint8_t kPackMagic[7] = {'C', 'S', 'M', 'P', 'A', 'C',
 inline constexpr std::uint8_t kPackVersion = 1;
 inline constexpr std::size_t kPackHeaderSize = 48;
 
+/// True when `id` is usable verbatim as a single path component: rejects
+/// empty ids, "." and "..", '/' and '\\' separators, and control bytes.
+/// ModelPackWriter enforces this on add_record() and ModelPack enforces it
+/// on every index access, so consumers that join a pack id onto an output
+/// path (`csmcli unpack`, `stream --dump-models`) cannot be steered outside
+/// their target directory by a hostile pack.
+bool is_safe_pack_id(std::string_view id) noexcept;
+
 /// Streams records into a new pack file. add() in any id order; finish()
 /// sorts the index, rejects duplicate ids and patches the header. The
 /// writer is single-use: further calls after finish() throw.
@@ -61,8 +69,9 @@ class ModelPackWriter {
   void add(std::string_view id, const SignatureMethod& method);
 
   /// Appends one pre-framed binary record (must pass codec::parse_record)
-  /// under node id `id`. Throws std::runtime_error on an empty id or a
-  /// malformed record, std::logic_error after finish().
+  /// under node id `id`. Throws std::runtime_error on an unsafe id (see
+  /// is_safe_pack_id) or a malformed record, std::logic_error after
+  /// finish().
   void add_record(std::string_view id, std::span<const std::uint8_t> record);
 
   /// Records added so far.
@@ -93,7 +102,9 @@ class ModelPack {
  public:
   /// Maps `file` and validates the header, the header CRC and the index
   /// geometry (not the per-record CRCs — those are checked by load()).
-  /// Throws std::runtime_error naming the defect.
+  /// Index entries are validated lazily on access: an out-of-range name or
+  /// record span, or an id that fails is_safe_pack_id, throws from the
+  /// accessor that touches it. Throws std::runtime_error naming the defect.
   static ModelPack open(const std::filesystem::path& file);
 
   /// Same validation over an in-memory pack image (e.g. received over a

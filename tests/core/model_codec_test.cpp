@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
+#include <clocale>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
 #include <vector>
@@ -83,6 +86,36 @@ TEST(TextCodec, DoublesRoundTripExactly) {
     EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
               std::bit_cast<std::uint64_t>(values[i]));
   }
+}
+
+TEST(TextCodec, RoundTripIsLocaleIndependent) {
+  // The text form is a transport format: an embedding application that
+  // setlocale()s into a comma-decimal locale must still write '.'-radix
+  // models and parse models written elsewhere. Skipped when no
+  // comma-decimal locale is installed on the host.
+  struct ScopedNumericLocale {
+    std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+    ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved.c_str()); }
+  } guard;
+  const char* comma = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (comma == nullptr) comma = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+  if (comma == nullptr) comma = std::setlocale(LC_NUMERIC, "fr_FR.UTF-8");
+  if (comma == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  std::array<char, 8> probe{};
+  std::snprintf(probe.data(), probe.size(), "%.1f", 0.5);
+  if (probe[1] != ',') {
+    GTEST_SKIP() << "locale " << comma << " does not use a comma radix";
+  }
+
+  TextSink sink;
+  write_sample(sink);
+  const std::string body = sink.body();
+  EXPECT_EQ(body.find(','), std::string::npos);
+  EXPECT_NE(body.find("0.1"), std::string::npos);
+  TextSource in(body);
+  read_sample(in);
 }
 
 TEST(TextCodec, SourceNamesTheOffendingField) {
@@ -326,6 +359,23 @@ TEST(RecordFraming, RejectsTrailingBytesAfterCrc) {
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("trailing bytes after record CRC"),
+              std::string::npos);
+  }
+}
+
+TEST(RecordFraming, HugeDeclaredBodyLenIsTruncationNotWrap) {
+  // body_len is an untrusted u32, so `body_len + 4` must be computed in 64
+  // bits: on a 32-bit size_t, a declared 0xFFFFFFFF wraps to 3, and a
+  // record with exactly 3 bytes left would pass both length checks and run
+  // the body subspan out of bounds.
+  std::vector<std::uint8_t> record = {'C', 'S', 'M', 'B', kBinaryVersion,
+                                      1,   'k', 0xFF, 0xFF, 0xFF, 0xFF};
+  record.resize(record.size() + 3, 0);  // remaining == wrapped body_len + 4.
+  try {
+    (void)parse_record(record);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated record body"),
               std::string::npos);
   }
 }

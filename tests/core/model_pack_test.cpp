@@ -9,6 +9,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/registry.hpp"
@@ -157,6 +158,66 @@ TEST(ModelPackWriter, RejectsEmptyIdsAndMalformedRecords) {
   const std::vector<std::uint8_t> junk = {'j', 'u', 'n', 'k'};
   EXPECT_THROW(writer.add_record("n0", junk), std::runtime_error);
   EXPECT_EQ(writer.size(), 0u);
+}
+
+TEST(PackIdSafety, ClassifiesPathComponents) {
+  EXPECT_TRUE(is_safe_pack_id("node00"));
+  EXPECT_TRUE(is_safe_pack_id("rack0.node-3_a"));
+  EXPECT_FALSE(is_safe_pack_id(""));
+  EXPECT_FALSE(is_safe_pack_id("."));
+  EXPECT_FALSE(is_safe_pack_id(".."));
+  EXPECT_FALSE(is_safe_pack_id("../evil"));
+  EXPECT_FALSE(is_safe_pack_id("/etc/passwd"));
+  EXPECT_FALSE(is_safe_pack_id("a/b"));
+  EXPECT_FALSE(is_safe_pack_id("a\\b"));
+  EXPECT_FALSE(is_safe_pack_id(std::string_view("a\0b", 3)));
+  EXPECT_FALSE(is_safe_pack_id("a\nb"));
+}
+
+TEST(ModelPackWriter, RejectsPathTraversalIds) {
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  const std::vector<std::uint8_t> record =
+      codec::encode_binary(*trained_cs(30));
+  for (const char* id : {"../evil", "..", ".", "a/b", "a\\b", "/abs"}) {
+    EXPECT_THROW(writer.add_record(id, record), std::runtime_error) << id;
+  }
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+TEST(ModelPack, TraversalIdInAForgedPackFailsOnAccess) {
+  // ModelPackWriter refuses unsafe ids, so forge one by patching the names
+  // blob of a valid pack: a same-length substitution keeps the geometry
+  // valid, and the header CRC only guards bytes [0, 40), so the forged pack
+  // still opens. Every id access must then throw instead of handing a
+  // traversal id ("../evil") to a consumer that joins it onto a path.
+  const fs::path file = test_dir() / "fleet.pack";
+  ModelPackWriter writer(file);
+  writer.add("XXXXXXX", *trained_cs(31));
+  writer.finish();
+  std::vector<std::uint8_t> bytes = file_bytes(file);
+  std::uint64_t names_off = 0;  // Header offset 24: u64 names-blob offset.
+  for (int i = 0; i < 8; ++i) {
+    names_off |= std::uint64_t{bytes[24 + static_cast<std::size_t>(i)]}
+                 << (8 * i);
+  }
+  const std::string_view evil = "../evil";
+  std::copy(evil.begin(), evil.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(names_off));
+
+  const ModelPack pack = ModelPack::open_bytes(std::move(bytes));
+  ASSERT_EQ(pack.size(), 1u);
+  try {
+    (void)pack.id(0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsafe node id"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)pack.record(0), std::runtime_error);
+  EXPECT_THROW((void)pack.contains("../evil"), std::runtime_error);
+  EXPECT_THROW((void)pack.load("../evil", baselines::default_registry()),
+               std::runtime_error);
 }
 
 TEST(ModelPackWriter, IsSingleUse) {

@@ -507,6 +507,13 @@ int cmd_unpack(const Options& opts) {
   std::filesystem::create_directories(opts.positional[1]);
   for (std::size_t i = 0; i < pack.size(); ++i) {
     const std::string id(pack.id(i));
+    // pack.id() already rejects ids that are unsafe as file names; keep a
+    // local guard so the path join below can never escape the output
+    // directory even if that invariant loosens.
+    if (!core::is_safe_pack_id(id)) {
+      std::cerr << "error: unsafe node id in " << opts.positional[0] << '\n';
+      return 2;
+    }
     // Round-trip through the registry so every record's CRC and fields are
     // validated, whatever the output format.
     const auto method = pack.load(id, registry);
@@ -596,9 +603,17 @@ int cmd_stream(const Options& opts) {
     const auto format = parse_format(opts.format);
     std::filesystem::create_directories(opts.dump_dir);
     for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+      const std::string& name = engine.node_name(b);
+      // Node names come from the generator or from a pack (whose ids are
+      // validated on access); guard the join regardless.
+      if (!core::is_safe_pack_id(name)) {
+        std::cerr << "error: node name \"" << name
+                  << "\" is not usable as a file name\n";
+        return 2;
+      }
       const std::filesystem::path file =
           std::filesystem::path(opts.dump_dir) /
-          (engine.node_name(b) + format_extension(format));
+          (name + format_extension(format));
       core::save_method(engine.stream(b).method(), file, format);
     }
     std::cout << "dumped " << engine.n_nodes() << " node models to "
