@@ -18,6 +18,12 @@
 // reports aggregate samples/sec, and the driver exits non-zero if
 // StreamEngine ever disagrees with per-node CsStream runs.
 //
+// The daemon-loopback table prices the fleet-daemon service path: the same
+// ingest driven through a FleetServer over the in-process loopback
+// transport — CSMF frame encode, CRC, connection servicing and all —
+// against direct StreamEngine calls. The drained signatures must be
+// bit-for-bit identical to the direct engine's, or the driver fails.
+//
 // The cold-start table measures the fleet-standup path the ModelPack exists
 // for: reviving all N trained node models, once from N per-file text models
 // (open + parse each) and once from a single mmap-ed pack (open once,
@@ -38,6 +44,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/registry.hpp"
@@ -53,6 +60,10 @@
 #include "core/stream_engine.hpp"
 #include "core/streaming.hpp"
 #include "core/training.hpp"
+#include "net/loopback.hpp"
+#include "net/message.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
 #include "stats/finite_diff.hpp"
 
 namespace {
@@ -235,7 +246,8 @@ namespace csm::benchkit {
 Setup bench_setup() {
   return {"stream_throughput",
           "CsStream push path (erase-front history vs ring buffer), "
-          "StreamEngine fleet-scaling throughput and fleet cold-start from "
+          "StreamEngine fleet-scaling throughput, the daemon loopback "
+          "frame path vs direct engine ingest, and fleet cold-start from "
           "per-file models vs one model pack",
           kFlagOutDir, ""};
 }
@@ -394,6 +406,137 @@ int bench_run(Runner& run) {
                 static_cast<unsigned long long>(nodes * fleet_t),
                 result.items_per_sec,
                 static_cast<unsigned long long>(signatures));
+  }
+
+  // Daemon frame path: the same fleet ingest, once through direct
+  // StreamEngine calls and once through a FleetServer serving CSMF frames
+  // over the in-process loopback transport. The gap is the whole protocol
+  // tax — frame encode on the client (pre-paid outside the timed region,
+  // as a real collector would pay it), CRC verify + decode + connection
+  // servicing on the daemon. Both paths must drain bit-for-bit identical
+  // signatures. Wire bytes are pre-encoded so repetitions re-run only the
+  // daemon side: fresh engine, fresh server thread, fresh connection.
+  {
+    const std::size_t daemon_nodes = 4;
+    const std::size_t daemon_sensors = 16;
+    const std::size_t daemon_t = quick ? 2000 : 8000;
+    const std::size_t daemon_chunk = 250;  // Columns per kSampleBatch.
+    const std::uint64_t daemon_seed = run.derive_seed("daemon-loopback");
+    std::printf("\n== Fleet ingest: direct engine vs daemon loopback frame "
+                "path (%zu nodes, %zu sensors/node, %zu samples/node) ==\n",
+                daemon_nodes, daemon_sensors, daemon_t);
+
+    core::StreamOptions d_opts;
+    d_opts.window_length = 60;
+    d_opts.window_step = 10;
+    d_opts.history_length = 1024;
+    d_opts.cs.blocks = 8;
+    const auto& registry = baselines::default_registry();
+
+    std::vector<std::string> ids;
+    std::vector<common::Matrix> batches;
+    std::vector<std::shared_ptr<const core::SignatureMethod>> methods;
+    std::vector<net::Frame> add_frames;
+    std::vector<std::vector<std::uint8_t>> wire(daemon_nodes);
+    for (std::size_t i = 0; i < daemon_nodes; ++i) {
+      ids.push_back("bench" + std::to_string(i));
+      batches.push_back(
+          synthetic_stream(daemon_sensors, daemon_t, daemon_seed + i));
+      methods.push_back(registry.create("cs:blocks=8")->fit(batches.back()));
+      net::NodeAdd add;
+      add.record = core::codec::encode_binary(*methods.back());
+      net::Frame frame;
+      frame.type = net::FrameType::kNodeAdd;
+      frame.node = ids.back();
+      frame.payload = net::encode_node_add(add);
+      add_frames.push_back(std::move(frame));
+      for (std::size_t at = 0; at < daemon_t; at += daemon_chunk) {
+        net::Frame batch;
+        batch.type = net::FrameType::kSampleBatch;
+        batch.node = ids.back();
+        batch.payload = net::encode_sample_batch(batches.back().sub_cols(
+            at, std::min(daemon_chunk, daemon_t - at)));
+        const std::vector<std::uint8_t> bytes = net::encode_frame(batch);
+        wire[i].insert(wire[i].end(), bytes.begin(), bytes.end());
+      }
+    }
+
+    const std::string daemon_point =
+        "nodes=" + std::to_string(daemon_nodes);
+    std::vector<std::vector<std::vector<double>>> expected(daemon_nodes);
+    CaseResult& direct = run.measure(
+        "engine-direct/" + daemon_point,
+        static_cast<double>(daemon_nodes * daemon_t), [&] {
+          core::StreamEngine engine(d_opts);
+          for (std::size_t i = 0; i < daemon_nodes; ++i) {
+            engine.add_node(ids[i], methods[i]);
+          }
+          engine.ingest_batch(batches);
+          for (std::size_t i = 0; i < daemon_nodes; ++i) {
+            expected[i] = engine.drain(i);
+          }
+        });
+
+    std::vector<std::vector<std::vector<double>>> drained(daemon_nodes);
+    CaseResult& daemon = run.measure(
+        "daemon-loopback/" + daemon_point,
+        static_cast<double>(daemon_nodes * daemon_t), [&] {
+          core::StreamEngine engine(d_opts);
+          net::LoopbackHub hub;
+          net::FleetServerOptions server_opts;
+          server_opts.server_version = "bench";
+          server_opts.registry = &registry;
+          server_opts.poll_timeout_ms = 10;
+          net::FleetServer server(hub.listen(), engine,
+                                  std::move(server_opts));
+          std::thread server_thread([&] { server.run(); });
+          {
+            const std::unique_ptr<net::Connection> conn = hub.connect();
+            net::FrameReader reader;
+            for (const net::Frame& add : add_frames) {
+              net::call(*conn, reader, add, 30000);
+            }
+            for (std::size_t i = 0; i < daemon_nodes; ++i) {
+              net::write_all(*conn, wire[i]);
+            }
+            // Drains double as the sync point: batches are not acked, but
+            // the server answers a drain only after every frame queued
+            // before it on this connection has been ingested.
+            for (std::size_t i = 0; i < daemon_nodes; ++i) {
+              net::Frame request;
+              request.type = net::FrameType::kDrainRequest;
+              request.node = ids[i];
+              const net::Frame response =
+                  net::call(*conn, reader, request, 30000);
+              drained[i] =
+                  net::decode_drain_response(response.payload).signatures;
+            }
+          }
+          server.stop();
+          server_thread.join();
+        });
+
+    for (std::size_t i = 0; i < daemon_nodes; ++i) {
+      if (expected[i].empty() || drained[i] != expected[i]) {
+        std::fprintf(stderr,
+                     "FAIL: daemon-drained signatures differ from the "
+                     "direct engine on %s\n", ids[i].c_str());
+        return 1;
+      }
+    }
+    for (CaseResult* c : {&direct, &daemon}) {
+      c->seed = daemon_seed;
+      c->param("nodes", std::to_string(daemon_nodes));
+      c->param("sensors", std::to_string(daemon_sensors));
+      c->param("samples_per_node", std::to_string(daemon_t));
+      c->param("batch_cols", std::to_string(daemon_chunk));
+    }
+    const double tax = direct.items_per_sec / daemon.items_per_sec;
+    daemon.metric("slowdown_vs_direct", tax);
+    std::printf("%12s %15s %11s\n", "path", "agg smp/s", "frame tax");
+    std::printf("%12s %15.0f %11s\n", "direct", direct.items_per_sec, "-");
+    std::printf("%12s %15.0f %10.2fx\n", "loopback", daemon.items_per_sec,
+                tax);
   }
 
   // Fleet cold-start: the same N trained models land on disk twice — once

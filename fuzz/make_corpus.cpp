@@ -23,6 +23,8 @@
 #include "core/model_codec.hpp"
 #include "core/model_pack.hpp"
 #include "core/signature_method.hpp"
+#include "net/frame.hpp"
+#include "net/message.hpp"
 
 namespace {
 
@@ -91,7 +93,8 @@ int main(int argc, char** argv) {
   }
   const fs::path root = argv[1];
   for (const char* harness : {"model-codec", "model-text", "model-pack",
-                              "method-spec", "json", "sensor-csv"}) {
+                              "method-spec", "json", "sensor-csv",
+                              "frame"}) {
     fs::create_directories(root / harness);
   }
 
@@ -153,6 +156,55 @@ int main(int argc, char** argv) {
     write_text(root / "json" / "scalars.json", "[null, true, -1.5e-3, \"a\"]");
     write_text(root / "json" / "escapes.json",
                "{\"s\": \"line\\n\\ttab \\u0007 quote\\\"\"}");
+  }
+
+  // --- frame: CSMF wire frames (single and back-to-back) -------------------
+  {
+    using csm::net::Frame;
+    using csm::net::FrameType;
+    const auto dump = [&](const char* name, const Frame& frame) {
+      const std::vector<std::uint8_t> wire = csm::net::encode_frame(frame);
+      write_bytes(root / "frame" / name, wire.data(), wire.size());
+    };
+
+    Frame batch;
+    batch.type = FrameType::kSampleBatch;
+    batch.node = "node-07";
+    batch.payload = csm::net::encode_sample_batch(training_matrix(4, 6));
+    dump("sample-batch.csmf", batch);
+
+    Frame add;
+    add.type = FrameType::kNodeAdd;
+    add.node = "node-07";
+    csm::net::NodeAdd msg;
+    msg.source = csm::net::NodeAddSource::kInlineRecord;
+    msg.record = csm::core::codec::encode_binary(
+        *trained_methods().front().second);
+    add.payload = csm::net::encode_node_add(msg);
+    dump("node-add-inline.csmf", add);
+
+    Frame drain;
+    drain.type = FrameType::kDrainRequest;
+    drain.node = "node-07";
+    dump("drain-request.csmf", drain);
+
+    Frame stats;
+    stats.type = FrameType::kStatsRequest;
+    dump("stats-request.csmf", stats);
+
+    Frame error;
+    error.type = FrameType::kError;
+    error.payload = csm::net::encode_error_text("unknown node \"ghost\"");
+    dump("error.csmf", error);
+
+    // Several frames back to back, as a socket actually delivers them.
+    std::vector<std::uint8_t> stream;
+    for (const Frame* frame : {&batch, &drain, &stats}) {
+      const std::vector<std::uint8_t> wire = csm::net::encode_frame(*frame);
+      stream.insert(stream.end(), wire.begin(), wire.end());
+    }
+    write_bytes(root / "frame" / "three-frames.csmf", stream.data(),
+                stream.size());
   }
 
   // --- sensor-csv ----------------------------------------------------------

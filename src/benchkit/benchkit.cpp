@@ -43,11 +43,6 @@ std::string lowered(std::string_view s) {
   return out;
 }
 
-std::string git_sha() {
-  if (const char* env = std::getenv("CSM_GIT_SHA")) return env;
-  return CSM_GIT_SHA;
-}
-
 std::string utc_timestamp() {
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
@@ -85,6 +80,11 @@ double cpu_seconds_now() {
 }
 
 }  // namespace
+
+std::string git_sha() {
+  if (const char* env = std::getenv("CSM_GIT_SHA")) return env;
+  return CSM_GIT_SHA;
+}
 
 std::string usage(const Setup& setup) {
   std::string out = "usage: " + setup.driver +

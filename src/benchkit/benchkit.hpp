@@ -78,6 +78,12 @@ struct Options {
   }
 };
 
+/// The git sha this build was configured from (the CSM_GIT_SHA runtime env
+/// var overrides, e.g. in CI after a shallow checkout; "unknown" when
+/// neither is available). Recorded in bench JSON, `csmcli version` and
+/// csmd's stats scrapes, so every artefact names the build it came from.
+std::string git_sha();
+
 /// Usage text for a driver (common flags + the driver's optional ones).
 std::string usage(const Setup& setup);
 

@@ -39,7 +39,15 @@ std::string quoted(std::string_view name) {
   return out;
 }
 
-// --- little-endian primitives ----------------------------------------------
+}  // namespace
+
+// --- little-endian primitives (shared with the src/net frame codec) ---------
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
 
 void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -50,6 +58,18 @@ void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
 void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t load_u16(const std::uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  } else {
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(p[0]) |
+        (static_cast<std::uint16_t>(p[1]) << 8));
   }
 }
 
@@ -81,6 +101,8 @@ std::uint64_t load_u64(const std::uint8_t* p) {
     return v;
   }
 }
+
+namespace {
 
 // --- binary field type tags -------------------------------------------------
 

@@ -43,6 +43,17 @@ inline std::string text_header(std::string_view key) {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
+/// Little-endian wire primitives, shared by the binary model codec, the
+/// model pack and the src/net frame codec: append_* pushes the value onto a
+/// byte buffer, load_* reads one from `p` (the caller guarantees the bytes
+/// are in range). Little-endian hosts read in place; others assemble.
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint16_t load_u16(const std::uint8_t* p);
+std::uint32_t load_u32(const std::uint8_t* p);
+std::uint64_t load_u64(const std::uint8_t* p);
+
 /// Binary record framing constants.
 inline constexpr std::uint8_t kBinaryMagic[4] = {'C', 'S', 'M', 'B'};
 inline constexpr std::uint8_t kBinaryVersion = 1;

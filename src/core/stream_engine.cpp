@@ -1,6 +1,7 @@
 #include "core/stream_engine.hpp"
 
 #include <exception>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -11,14 +12,25 @@
 
 namespace csm::core {
 
-StreamEngine::Node& StreamEngine::node_at(std::size_t node) const {
+StreamEngine::Node& StreamEngine::node_at(std::size_t node, bool live) const {
   std::shared_lock lock(nodes_mutex_);
   if (node >= nodes_.size()) {
     throw std::out_of_range("StreamEngine: node index " +
                             std::to_string(node) + " out of range (fleet has " +
                             std::to_string(nodes_.size()) + " nodes)");
   }
-  return *nodes_[node];
+  Node& n = *nodes_[node];
+  if (live) {
+    // The removed check needs the node mutex (remove_node resets the
+    // stream under it); take it briefly so a racing removal is seen.
+    std::lock_guard node_lock(n.mutex);
+    if (!n.stream.has_value()) {
+      throw std::invalid_argument("StreamEngine: node " +
+                                  std::to_string(node) + " (\"" + n.name +
+                                  "\") has been removed");
+    }
+  }
+  return n;
 }
 
 void StreamEngine::add_ingest_seconds(double seconds) noexcept {
@@ -28,6 +40,33 @@ void StreamEngine::add_ingest_seconds(double seconds) noexcept {
   while (!ingest_seconds_.compare_exchange_weak(current, current + seconds,
                                                 std::memory_order_relaxed)) {
   }
+}
+
+void StreamEngine::enqueue(Node& n, std::vector<std::vector<double>>&& sigs) {
+  n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
+                 std::make_move_iterator(sigs.end()));
+  const std::size_t cap = options_.max_pending;
+  if (cap != 0 && n.queue.size() > cap) {
+    const std::size_t excess = n.queue.size() - cap;
+    n.queue.erase(n.queue.begin(),
+                  n.queue.begin() + static_cast<std::ptrdiff_t>(excess));
+    n.dropped += excess;
+  }
+}
+
+void StreamEngine::ingest_locked(Node& n, const common::Matrix& columns) {
+  // Caller holds n.mutex. The timer covers processing only (push_all +
+  // queue append), not lock wait — that is the per-call ingest latency the
+  // histogram records.
+  const common::Timer timer;
+  if (!n.stream.has_value()) {
+    throw std::invalid_argument("StreamEngine: node \"" + n.name +
+                                "\" has been removed");
+  }
+  enqueue(n, n.stream->push_all(columns));
+  const double seconds = timer.seconds();
+  n.latency_us.add(seconds * 1e6);
+  add_ingest_seconds(seconds);
 }
 
 std::size_t StreamEngine::add_node(
@@ -62,35 +101,76 @@ std::size_t StreamEngine::n_nodes() const noexcept {
 }
 
 const std::string& StreamEngine::node_name(std::size_t node) const {
-  return node_at(node).name;
+  return node_at(node, /*live=*/false).name;
 }
 
 const MethodStream& StreamEngine::stream(std::size_t node) const {
-  return node_at(node).stream;
+  return *node_at(node).stream;
+}
+
+bool StreamEngine::alive(std::size_t node) const noexcept {
+  std::shared_lock lock(nodes_mutex_);
+  if (node >= nodes_.size()) return false;
+  Node& n = *nodes_[node];
+  std::lock_guard node_lock(n.mutex);
+  return n.stream.has_value();
+}
+
+std::vector<std::vector<double>> StreamEngine::remove_node(std::size_t node) {
+  // Exclusive table lock: stats() and a racing remove of the same node
+  // serialise against the retired_ fold below. The Node shell survives so
+  // threads already holding a reference merely observe the tombstone.
+  std::unique_lock lock(nodes_mutex_);
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("StreamEngine: node index " +
+                            std::to_string(node) + " out of range (fleet has " +
+                            std::to_string(nodes_.size()) + " nodes)");
+  }
+  Node& n = *nodes_[node];
+  std::lock_guard node_lock(n.mutex);
+  if (!n.stream.has_value()) {
+    throw std::invalid_argument("StreamEngine: node " + std::to_string(node) +
+                                " (\"" + n.name + "\") has been removed");
+  }
+  retired_.samples += n.stream->samples_seen();
+  retired_.signatures += n.stream->signatures_emitted();
+  retired_.retrains += n.stream->retrain_count();
+  retired_.dropped += n.dropped;
+  retired_.latency_us.merge(n.latency_us);
+  n.stream.reset();  // Frees the ring history; the tombstone stays.
+  std::vector<std::vector<double>> remaining(
+      std::make_move_iterator(n.queue.begin()),
+      std::make_move_iterator(n.queue.end()));
+  n.queue.clear();
+  n.queue.shrink_to_fit();
+  return remaining;
 }
 
 void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {
   Node& n = node_at(node);
-  const common::Timer timer;
-  {
-    std::lock_guard node_lock(n.mutex);
-    auto sigs = n.stream.push_all(columns);
-    n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
-                   std::make_move_iterator(sigs.end()));
-  }
-  add_ingest_seconds(timer.seconds());
+  std::lock_guard node_lock(n.mutex);
+  ingest_locked(n, columns);
 }
 
 void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
   // The shared table lock pins the batch's node set for the whole call:
-  // concurrent add_node waits, concurrent ingest/drain proceed.
+  // concurrent add_node/remove_node wait, concurrent ingest/drain proceed.
   std::shared_lock lock(nodes_mutex_);
   if (batches.size() != nodes_.size()) {
     throw std::invalid_argument(
         "StreamEngine::ingest_batch: one batch per node required");
   }
   for (std::size_t i = 0; i < batches.size(); ++i) {
-    if (batches[i].rows() != nodes_[i]->stream.n_sensors()) {
+    std::lock_guard node_lock(nodes_[i]->mutex);
+    if (!nodes_[i]->stream.has_value()) {
+      // Removed slots keep their index; the caller signals "nothing for
+      // this tombstone" with an empty batch.
+      if (batches[i].cols() != 0) {
+        throw std::invalid_argument(
+            "StreamEngine::ingest_batch: batch " + std::to_string(i) +
+            " targets a removed node (pass an empty batch for its slot)");
+      }
+    } else if (batches[i].rows() != nodes_[i]->stream->n_sensors()) {
       throw std::invalid_argument("StreamEngine::ingest_batch: batch " +
                                   std::to_string(i) +
                                   " has wrong sensor count");
@@ -99,19 +179,16 @@ void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
   // parallel_for bodies must not throw; capture the first node failure and
   // surface it once the whole batch has run.
   std::vector<std::exception_ptr> errors(nodes_.size());
-  const common::Timer timer;
   common::parallel_for(nodes_.size(), [&](std::size_t i) {
     try {
       Node& n = *nodes_[i];
       std::lock_guard node_lock(n.mutex);
-      auto sigs = n.stream.push_all(batches[i]);
-      n.queue.insert(n.queue.end(), std::make_move_iterator(sigs.begin()),
-                     std::make_move_iterator(sigs.end()));
+      if (!n.stream.has_value()) return;  // Tombstone, empty batch: no-op.
+      ingest_locked(n, batches[i]);
     } catch (...) {
       errors[i] = std::current_exception();
     }
   });
-  add_ingest_seconds(timer.seconds());
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -126,18 +203,43 @@ std::size_t StreamEngine::pending(std::size_t node) const {
 std::vector<std::vector<double>> StreamEngine::drain(std::size_t node) {
   Node& n = node_at(node);
   std::lock_guard node_lock(n.mutex);
-  return std::exchange(n.queue, {});
+  std::vector<std::vector<double>> out(
+      std::make_move_iterator(n.queue.begin()),
+      std::make_move_iterator(n.queue.end()));
+  n.queue.clear();
+  return out;
+}
+
+std::uint64_t StreamEngine::dropped(std::size_t node) const {
+  Node& n = node_at(node, /*live=*/false);
+  std::lock_guard node_lock(n.mutex);
+  return n.dropped;
+}
+
+stats::Histogram StreamEngine::latency_histogram(std::size_t node) const {
+  Node& n = node_at(node, /*live=*/false);
+  std::lock_guard node_lock(n.mutex);
+  return n.latency_us;
 }
 
 EngineStats StreamEngine::stats() const {
   EngineStats s;
   s.ingest_seconds = ingest_seconds_.load(std::memory_order_relaxed);
   std::shared_lock lock(nodes_mutex_);
+  s.samples = retired_.samples;
+  s.signatures = retired_.signatures;
+  s.retrains = retired_.retrains;
+  s.dropped = retired_.dropped;
+  s.ingest_latency_us.merge(retired_.latency_us);
   for (const auto& n : nodes_) {
     std::lock_guard node_lock(n->mutex);
-    s.samples += n->stream.samples_seen();
-    s.signatures += n->stream.signatures_emitted();
-    s.retrains += n->stream.retrain_count();
+    if (!n->stream.has_value()) continue;
+    ++s.nodes;
+    s.samples += n->stream->samples_seen();
+    s.signatures += n->stream->signatures_emitted();
+    s.retrains += n->stream->retrain_count();
+    s.dropped += n->dropped;
+    s.ingest_latency_us.merge(n->latency_us);
   }
   return s;
 }

@@ -14,23 +14,29 @@
 // queue.
 //
 // Concurrency contract: ingest(), ingest_batch(), drain(), pending(),
-// stats() and every add_node() overload may be called concurrently from
-// multiple threads (the soak test in tests/core/stream_engine_soak_test.cpp
-// runs exactly that mix under ThreadSanitizer). Each node carries its own
-// mutex — ingest and drain on the same node serialise, different nodes
-// proceed in parallel — and the node table is guarded by a shared_mutex so
-// add_node can grow a live fleet without invalidating in-flight ingestion.
-// Per-call ordering is the only guarantee: a drain racing an ingest returns
-// either side of that batch's signatures, never a torn vector. The
-// stream() accessor returns a reference into a node's live state and is
-// safe only while no other thread is feeding that node.
+// stats(), remove_node() and every add_node() overload may be called
+// concurrently from multiple threads (the soak test in
+// tests/core/stream_engine_soak_test.cpp runs exactly that mix under
+// ThreadSanitizer). Each node carries its own mutex — ingest and drain on
+// the same node serialise, different nodes proceed in parallel — and the
+// node table is guarded by a shared_mutex so add_node can grow a live
+// fleet without invalidating in-flight ingestion. Removal tombstones the
+// slot instead of erasing it, so node indices stay stable for the engine's
+// lifetime and a thread racing the removal sees either the live node or a
+// named "node removed" error, never a dangling reference. Per-call
+// ordering is the only guarantee: a drain racing an ingest returns either
+// side of that batch's signatures, never a torn vector. The stream()
+// accessor returns a reference into a node's live state and is safe only
+// while no other thread is feeding or removing that node.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -41,18 +47,38 @@
 #include "core/method_stream.hpp"
 #include "core/signature_method.hpp"
 #include "core/streaming.hpp"
+#include "stats/histogram.hpp"
 
 namespace csm::core {
 
 class MethodRegistry;
 class ModelPack;
 
-/// Aggregate counters across all nodes of a StreamEngine.
+/// Per-node ingest-latency histogram shape: time spent processing one
+/// ingest call (push_all + queue append, excluding lock wait) in
+/// microseconds. Fixed-width bins over [0, kLatencyMaxUs]; slower calls
+/// (e.g. a retrain pass inside the ingest) clamp into the last bin and
+/// show up in overflow() per the stats::Histogram clamp policy.
+inline constexpr std::size_t kLatencyBins = 128;
+inline constexpr double kLatencyMaxUs = 16384.0;
+
+inline stats::Histogram make_latency_histogram() {
+  return stats::Histogram(kLatencyBins, 0.0, kLatencyMaxUs);
+}
+
+/// Aggregate counters across all nodes of a StreamEngine. Counters are
+/// cumulative over the engine's lifetime: removing a node folds its totals
+/// into the aggregate instead of subtracting them.
 struct EngineStats {
   std::uint64_t samples = 0;     ///< Columns ingested, summed over nodes.
   std::uint64_t signatures = 0;  ///< Feature vectors emitted, summed.
   std::uint64_t retrains = 0;    ///< Retraining passes, summed over nodes.
+  std::uint64_t dropped = 0;     ///< Signatures shed by queue backpressure.
+  std::uint64_t nodes = 0;       ///< Live (non-removed) nodes.
   double ingest_seconds = 0.0;   ///< Wall time spent inside ingestion calls.
+  /// Fleet-wide ingest-latency distribution: per-node histograms merged
+  /// (one sample per ingest call per node).
+  stats::Histogram ingest_latency_us = make_latency_histogram();
 
   /// Samples per second over the accumulated ingestion time (0 if no time
   /// has been accumulated yet).
@@ -91,12 +117,27 @@ class StreamEngine {
                        const MethodRegistry& registry,
                        std::size_t n_sensors = 0);
 
+  /// Number of node slots ever created, INCLUDING removed tombstones —
+  /// node indices are stable for the engine's lifetime, so this is the
+  /// exclusive upper bound on valid indices (check alive() per slot).
   std::size_t n_nodes() const noexcept;
   const StreamOptions& options() const noexcept { return options_; }
   const std::string& node_name(std::size_t node) const;
   /// The underlying per-node stream (e.g. to inspect the live method).
   /// Not synchronised: only safe while no other thread feeds this node.
   const MethodStream& stream(std::size_t node) const;
+
+  /// False once the slot has been remove_node()d (or for an out-of-range
+  /// index).
+  bool alive(std::size_t node) const noexcept;
+
+  /// Removes a node from the live fleet and returns its undrained
+  /// signature queue. The slot becomes a tombstone: indices of every other
+  /// node are unchanged, ingest/drain/stream() on the removed index throw,
+  /// and ingest_batch expects an EMPTY batch for the slot. The node's
+  /// history buffer is released immediately; its cumulative counters stay
+  /// in stats(). Safe to call concurrently with ingestion on other nodes.
+  std::vector<std::vector<double>> remove_node(std::size_t node);
 
   /// Feeds a batch of columns to one node; emitted feature vectors are
   /// appended to that node's queue.
@@ -116,29 +157,64 @@ class StreamEngine {
   /// Takes (moves out) all feature vectors queued for a node.
   std::vector<std::vector<double>> drain(std::size_t node);
 
-  /// Aggregate counters summed over all nodes, plus accumulated wall time.
+  /// Signatures this node has shed under the StreamOptions::max_pending
+  /// backpressure policy (cumulative; still reported after removal).
+  std::uint64_t dropped(std::size_t node) const;
+
+  /// Copy of this node's ingest-latency histogram (one sample per ingest
+  /// call; see kLatencyBins/kLatencyMaxUs for the shape).
+  stats::Histogram latency_histogram(std::size_t node) const;
+
+  /// Aggregate counters summed over all nodes (including removed ones),
+  /// plus accumulated wall time and the merged latency histogram.
   EngineStats stats() const;
 
  private:
   struct Node {
     std::string name;  ///< Immutable after construction.
-    MethodStream stream;
-    std::vector<std::vector<double>> queue;
-    mutable std::mutex mutex;  ///< Guards stream + queue.
+    /// Engaged while the node is live; remove_node() releases it (and the
+    /// ring history inside) under the node mutex. The Node shell itself is
+    /// never destroyed while the engine lives, so references and the mutex
+    /// stay valid for threads racing a removal.
+    std::optional<MethodStream> stream;
+    /// Drop-oldest under max_pending: deque so eviction at the front is
+    /// O(1) per dropped signature.
+    std::deque<std::vector<double>> queue;
+    std::uint64_t dropped = 0;
+    stats::Histogram latency_us = make_latency_histogram();
+    mutable std::mutex mutex;  ///< Guards stream + queue + counters above.
 
     Node(std::string name_, MethodStream stream_)
         : name(std::move(name_)), stream(std::move(stream_)) {}
   };
 
-  /// Looks a node up under the table lock; throws std::out_of_range.
-  Node& node_at(std::size_t node) const;
+  /// Counters of removed nodes, folded in at removal so stats() stays
+  /// cumulative. Guarded by nodes_mutex_ (exclusive on write).
+  struct Retired {
+    std::uint64_t samples = 0;
+    std::uint64_t signatures = 0;
+    std::uint64_t retrains = 0;
+    std::uint64_t dropped = 0;
+    stats::Histogram latency_us = make_latency_histogram();
+  };
+
+  /// Looks a node up under the table lock; throws std::out_of_range for a
+  /// bad index. `live` additionally rejects removed slots with
+  /// std::invalid_argument naming the node.
+  Node& node_at(std::size_t node, bool live = true) const;
   void add_ingest_seconds(double seconds) noexcept;
+  /// Appends signatures to a node's queue and applies the max_pending
+  /// drop-oldest policy. Caller holds the node mutex.
+  void enqueue(Node& n, std::vector<std::vector<double>>&& sigs);
+  /// Runs one node's ingest under its mutex and records its latency.
+  void ingest_locked(Node& n, const common::Matrix& columns);
 
   StreamOptions options_;
   /// unique_ptr keeps node addresses (and their mutexes) stable while
   /// add_node grows the table under the exclusive lock.
   std::vector<std::unique_ptr<Node>> nodes_;
   mutable std::shared_mutex nodes_mutex_;  ///< Guards the nodes_ table.
+  Retired retired_;
   std::atomic<double> ingest_seconds_{0.0};
 };
 

@@ -36,6 +36,13 @@ struct StreamOptions {
   /// retrain uses the last `history_length` buffered columns.
   std::size_t retrain_interval = 0;
   std::size_t history_length = 1024;
+  /// Backpressure bound on each StreamEngine node's undrained signature
+  /// queue (0 = unbounded). When a slow consumer lets a queue grow past
+  /// this, the OLDEST signatures are dropped first and counted per node
+  /// (EngineStats::dropped) — a monitoring fleet wants the freshest state,
+  /// and a loud counter, not an OOM. Offline replays that require every
+  /// signature must leave this at 0.
+  std::size_t max_pending = 0;
 
   /// Rejects contradictory configurations with std::invalid_argument naming
   /// the offending field: zero window_length, zero window_step, and a

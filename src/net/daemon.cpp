@@ -1,0 +1,77 @@
+#include "net/daemon.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "core/model_pack.hpp"
+#include "core/stream_engine.hpp"
+#include "net/server.hpp"
+#include "net/unix_socket.hpp"
+
+namespace csm::net {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int /*signum*/) { g_stop = 1; }
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+  if (options.registry == nullptr) {
+    throw std::invalid_argument("run_daemon: a method registry is required");
+  }
+  core::StreamEngine engine(options.stream);
+  std::optional<core::ModelPack> pack;
+  if (!options.pack_path.empty()) {
+    pack = core::ModelPack::open(options.pack_path);
+  }
+
+  FleetServerOptions server_options;
+  server_options.server_version = options.version;
+  server_options.registry = options.registry;
+  server_options.pack = pack.has_value() ? &*pack : nullptr;
+  FleetServer server(listen_unix(options.socket_path), engine,
+                     std::move(server_options));
+
+  g_stop = 0;
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {}, old_term {};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+
+  std::printf("csmd %s: listening on unix:%s (wl=%zu, ws=%zu, history=%zu, "
+              "max_pending=%zu%s%s)\n",
+              options.version.c_str(), options.socket_path.c_str(),
+              options.stream.window_length, options.stream.window_step,
+              options.stream.history_length, options.stream.max_pending,
+              pack.has_value() ? ", pack=" : "", options.pack_path.c_str());
+  std::fflush(stdout);
+
+  // A signal interrupts the poll with EINTR, so shutdown latency is the
+  // poll granularity at worst.
+  while (g_stop == 0) {
+    server.poll_once(200);
+  }
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+
+  const core::EngineStats stats = engine.stats();
+  std::printf("csmd: shutting down — %llu frames handled, %llu samples "
+              "ingested, %llu signatures emitted, %llu dropped across %llu "
+              "live nodes\n",
+              static_cast<unsigned long long>(server.frames_handled()),
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.nodes));
+  return 0;
+}
+
+}  // namespace csm::net

@@ -1,0 +1,33 @@
+// Daemon lifecycle around a FleetServer: build the engine, bind the unix
+// socket, serve until SIGINT/SIGTERM, report totals on the way out. Both
+// daemon faces — the standalone csmd binary and `csmcli serve` — are thin
+// argument parsers over run_daemon(), so they cannot drift apart.
+#pragma once
+
+#include <string>
+
+#include "core/streaming.hpp"
+
+namespace csm::core {
+class MethodRegistry;
+}
+
+namespace csm::net {
+
+struct DaemonOptions {
+  std::string socket_path;     ///< Unix-domain socket to listen on.
+  core::StreamOptions stream;  ///< Engine config (incl. max_pending).
+  std::string pack_path;       ///< Optional ModelPack for by-id node adds.
+  std::string version;         ///< Build identity reported in stats.
+  /// Decodes inline model records in node-add frames (required).
+  const core::MethodRegistry* registry = nullptr;
+};
+
+/// Runs the daemon loop on the calling thread until SIGINT or SIGTERM.
+/// Binds the socket (throwing TransportError if a live daemon already owns
+/// it), serves, then shuts down cleanly: the listener is closed, the
+/// socket file unlinked and the engine totals printed. Returns the process
+/// exit code.
+int run_daemon(const DaemonOptions& options);
+
+}  // namespace csm::net

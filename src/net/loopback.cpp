@@ -1,0 +1,232 @@
+#include "net/loopback.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace csm::net {
+
+namespace {
+
+/// One direction of a loopback pair: an unbounded byte buffer plus the cv
+/// a blocked reader sleeps on. Lock ordering: a thread holding the hub
+/// mutex may take a channel mutex (Listener::wait readiness probe); a
+/// writer never holds a channel mutex while taking the hub mutex.
+struct Channel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::uint8_t> buf;
+  std::size_t head = 0;  ///< Consumed prefix of buf.
+  bool closed = false;   ///< Either endpoint hung up.
+
+  std::size_t available() {
+    std::lock_guard lock(mutex);
+    return buf.size() - head;
+  }
+
+  bool drained_eof() {
+    std::lock_guard lock(mutex);
+    return closed && buf.size() == head;
+  }
+};
+
+}  // namespace
+
+struct LoopbackHub::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool listener_closed = false;
+  std::uint64_t next_id = 0;
+
+  void notify() {
+    {
+      std::lock_guard lock(mutex);
+    }
+    cv.notify_all();
+  }
+};
+
+namespace {
+
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<Channel> in, std::shared_ptr<Channel> out,
+                     std::shared_ptr<LoopbackHub::State> hub,
+                     bool notify_hub, std::uint64_t id)
+      : in_(std::move(in)),
+        out_(std::move(out)),
+        hub_(std::move(hub)),
+        notify_hub_(notify_hub),
+        id_(id) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  std::size_t read_some(std::span<std::uint8_t> out) override {
+    if (self_closed_) return 0;
+    std::lock_guard lock(in_->mutex);
+    const std::size_t avail = in_->buf.size() - in_->head;
+    const std::size_t n = avail < out.size() ? avail : out.size();
+    std::copy_n(in_->buf.begin() + static_cast<std::ptrdiff_t>(in_->head), n,
+                out.begin());
+    in_->head += n;
+    if (in_->head == in_->buf.size()) {
+      in_->buf.clear();
+      in_->head = 0;
+    }
+    return n;
+  }
+
+  std::size_t write_some(std::span<const std::uint8_t> data) override {
+    if (self_closed_) return 0;
+    {
+      std::lock_guard lock(out_->mutex);
+      if (out_->closed) {
+        // Peer hung up: the disconnect shows as a closed connection, not
+        // an exception (matching the socket transport's EPIPE handling).
+        self_closed_ = true;
+        return 0;
+      }
+      out_->buf.insert(out_->buf.end(), data.begin(), data.end());
+    }
+    out_->cv.notify_all();
+    if (notify_hub_) hub_->notify();
+    return data.size();
+  }
+
+  bool is_open() const noexcept override {
+    if (self_closed_) return false;
+    return !in_->drained_eof();
+  }
+
+  void close() noexcept override {
+    if (self_closed_) return;
+    self_closed_ = true;
+    for (Channel* ch : {in_.get(), out_.get()}) {
+      {
+        std::lock_guard lock(ch->mutex);
+        ch->closed = true;
+      }
+      ch->cv.notify_all();
+    }
+    hub_->notify();
+  }
+
+  bool wait_readable(int timeout_ms) override {
+    std::unique_lock lock(in_->mutex);
+    auto ready = [&] {
+      return self_closed_ || in_->closed || in_->buf.size() > in_->head;
+    };
+    if (timeout_ms < 0) {
+      in_->cv.wait(lock, ready);
+      return true;
+    }
+    return in_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            ready);
+  }
+
+  bool wait_writable(int /*timeout_ms*/) override {
+    return true;  // Unbounded buffers: writes always make progress.
+  }
+
+  std::string peer_name() const override {
+    return "loopback#" + std::to_string(id_);
+  }
+
+  /// Readiness probe for Listener::wait (hub mutex held by the caller).
+  bool readable_or_eof() {
+    return self_closed_ || in_->available() > 0 || in_->drained_eof();
+  }
+
+ private:
+  std::shared_ptr<Channel> in_;
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<LoopbackHub::State> hub_;
+  bool notify_hub_;
+  std::uint64_t id_;
+  bool self_closed_ = false;
+};
+
+class LoopbackListener final : public Listener {
+ public:
+  explicit LoopbackListener(std::shared_ptr<LoopbackHub::State> state)
+      : state_(std::move(state)) {}
+
+  ~LoopbackListener() override { close(); }
+
+  std::unique_ptr<Connection> accept() override {
+    std::lock_guard lock(state_->mutex);
+    if (state_->pending.empty()) return nullptr;
+    std::unique_ptr<Connection> conn = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return conn;
+  }
+
+  bool wait(std::span<Connection* const> conns, int timeout_ms) override {
+    std::unique_lock lock(state_->mutex);
+    auto ready = [&] {
+      if (!state_->pending.empty() || state_->listener_closed) return true;
+      for (Connection* c : conns) {
+        if (static_cast<LoopbackConnection*>(c)->readable_or_eof()) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (timeout_ms < 0) {
+      state_->cv.wait(lock, ready);
+      return true;
+    }
+    return state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               ready);
+  }
+
+  void close() noexcept override {
+    {
+      std::lock_guard lock(state_->mutex);
+      state_->listener_closed = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  std::string address() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<LoopbackHub::State> state_;
+};
+
+}  // namespace
+
+LoopbackHub::LoopbackHub() : state_(std::make_shared<State>()) {}
+
+std::unique_ptr<Listener> LoopbackHub::listen() {
+  return std::make_unique<LoopbackListener>(state_);
+}
+
+std::unique_ptr<Connection> LoopbackHub::connect() {
+  auto client_to_server = std::make_shared<Channel>();
+  auto server_to_client = std::make_shared<Channel>();
+  std::unique_ptr<Connection> client;
+  {
+    std::lock_guard lock(state_->mutex);
+    if (state_->listener_closed) {
+      throw TransportError("loopback hub: listener has closed");
+    }
+    const std::uint64_t id = state_->next_id++;
+    // Client writes wake the server's Listener::wait via the hub; server
+    // writes wake only the client's per-channel cv.
+    client = std::make_unique<LoopbackConnection>(
+        server_to_client, client_to_server, state_, /*notify_hub=*/true, id);
+    state_->pending.push_back(std::make_unique<LoopbackConnection>(
+        client_to_server, server_to_client, state_, /*notify_hub=*/true,
+        id));
+  }
+  state_->cv.notify_all();
+  return client;
+}
+
+}  // namespace csm::net

@@ -1,0 +1,41 @@
+// In-process loopback transport: the same Connection/Listener contract as
+// the unix-domain socket, with std::mutex/condition_variable instead of
+// file descriptors. Daemon lifecycle tests and benches run a real
+// FleetServer against real client threads — byte streams, arbitrary read
+// boundaries and all — without touching the filesystem, and the whole
+// exchange runs under ThreadSanitizer in the soak preset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace csm::net {
+
+/// Rendezvous point between loopback clients and the one loopback
+/// listener. Thread-safe: connect() may be called from any thread while a
+/// server thread sits in Listener::wait(). The hub must outlive its
+/// listener and every endpoint's *calls* (endpoints keep the shared state
+/// alive, so destruction order of the objects themselves is free).
+class LoopbackHub {
+ public:
+  LoopbackHub();
+
+  /// The server side. One listener per hub.
+  std::unique_ptr<Listener> listen();
+
+  /// Opens a client connection; the matching server endpoint becomes
+  /// accept()able. Throws TransportError once the listener has closed.
+  std::unique_ptr<Connection> connect();
+
+  struct State;  ///< Implementation detail (public for the .cpp's use).
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace csm::net

@@ -12,6 +12,29 @@ Histogram::Histogram(std::size_t bins, double lo, double hi)
   if (hi < lo) throw std::invalid_argument("Histogram: hi < lo");
 }
 
+Histogram::Histogram(double lo, double hi, std::vector<std::uint64_t> counts,
+                     std::uint64_t underflow, std::uint64_t overflow)
+    : lo_(lo), hi_(hi), counts_(std::move(counts)), underflow_(underflow),
+      overflow_(overflow) {
+  if (counts_.empty()) throw std::invalid_argument("Histogram: zero bins");
+  if (hi < lo) throw std::invalid_argument("Histogram: hi < lo");
+  for (std::uint64_t c : counts_) total_ += c;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument(
+        "Histogram::merge: bin count and range must match");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 std::size_t Histogram::bin_index(double v) const noexcept {
   // NaN must not reach the double->size_t cast below (UB); it is treated as
   // underflow and lands in bin 0.
@@ -35,6 +58,27 @@ void Histogram::add(double v) noexcept {
 
 void Histogram::add(std::span<const double> values) noexcept {
   for (double v : values) add(v);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  if (std::isnan(q) || q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Ceil without floating error at the q = 1.0 end: the target count is at
+  // least 1 so an all-in-one-bin histogram reports that bin's upper edge.
+  const double want = q * static_cast<double>(total_);
+  std::uint64_t target = static_cast<std::uint64_t>(want);
+  if (static_cast<double>(target) < want) ++target;
+  if (target == 0) target = 1;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return lo_ + width * static_cast<double>(i + 1);
+    }
+  }
+  return hi_;
 }
 
 std::vector<double> Histogram::pmf() const {

@@ -26,9 +26,24 @@ class Histogram {
   /// Throws std::invalid_argument if bins == 0 or hi < lo.
   Histogram(std::size_t bins, double lo, double hi);
 
+  /// Restores a histogram from previously captured state (e.g. one scraped
+  /// over the wire by the fleet daemon protocol). `total` is recomputed as
+  /// the sum of `counts`. Throws std::invalid_argument on empty counts or
+  /// hi < lo.
+  Histogram(double lo, double hi, std::vector<std::uint64_t> counts,
+            std::uint64_t underflow, std::uint64_t overflow);
+
   void add(double v) noexcept;
   void add(std::span<const double> values) noexcept;
 
+  /// Accumulates `other` into this histogram (counts, total, clamp
+  /// counters). Throws std::invalid_argument unless both histograms share
+  /// the same bin count and range — merging differently shaped histograms
+  /// would silently redistribute mass.
+  void merge(const Histogram& other);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::size_t bins() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const noexcept { return total_; }
@@ -45,6 +60,14 @@ class Histogram {
 
   /// Probability mass function; all zeros if the histogram is empty.
   std::vector<double> pmf() const;
+
+  /// Upper edge of the first bin whose cumulative count reaches q * total()
+  /// — a conservative (never under-reporting) quantile estimate, the value
+  /// operators read as "p99 ingest latency". q is clamped to [0, 1];
+  /// returns lo() for an empty histogram. Remember the clamp policy:
+  /// samples beyond hi() sit in the last bin, so a quantile that lands
+  /// there means "at least hi()" (check overflow()).
+  double quantile(double q) const noexcept;
 
  private:
   double lo_;

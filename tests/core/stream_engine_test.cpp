@@ -167,5 +167,120 @@ TEST(StreamEngine, RetrainsPropagateToStats) {
   EXPECT_EQ(engine.stats().retrains, 4u);  // At samples 50/100/150/200.
 }
 
+TEST(StreamEngine, RemoveNodeTombstonesTheSlot) {
+  StreamEngine engine(engine_options());
+  const common::Matrix a = node_matrix(4, 60, 21);
+  const common::Matrix b = node_matrix(4, 60, 22);
+  engine.add_node("a", train(a));
+  engine.add_node("b", train(b));
+  engine.ingest(0, a);
+  engine.ingest(1, b);
+
+  const auto leftovers = engine.remove_node(0);
+  EXPECT_FALSE(leftovers.empty());  // The undrained queue comes back.
+  EXPECT_FALSE(engine.alive(0));
+  EXPECT_TRUE(engine.alive(1));
+  EXPECT_EQ(engine.n_nodes(), 2u);  // Indices stay stable: no shift.
+  EXPECT_EQ(engine.node_name(0), "a");  // The name outlives the stream.
+
+  // The tombstone rejects further traffic by name...
+  EXPECT_THROW(engine.ingest(0, a), std::invalid_argument);
+  EXPECT_THROW(engine.drain(0), std::invalid_argument);
+  EXPECT_THROW((void)engine.pending(0), std::invalid_argument);
+  EXPECT_THROW(engine.remove_node(0), std::invalid_argument);
+  // ...while the survivor is untouched.
+  EXPECT_EQ(engine.drain(1).size(), 5u);
+
+  // A new node reuses no index: slots are append-only.
+  EXPECT_EQ(engine.add_node("c", train(a)), 2u);
+}
+
+TEST(StreamEngine, RemovedNodeCountersStayInStats) {
+  StreamEngine engine(engine_options());
+  const common::Matrix s = node_matrix(4, 60, 23);
+  engine.add_node("gone", train(s));
+  engine.ingest(0, s);
+  const EngineStats before = engine.stats();
+  EXPECT_EQ(before.nodes, 1u);
+
+  engine.remove_node(0);
+  const EngineStats after = engine.stats();
+  // Counters are cumulative over the engine's lifetime; only the live
+  // node count drops.
+  EXPECT_EQ(after.samples, before.samples);
+  EXPECT_EQ(after.signatures, before.signatures);
+  EXPECT_EQ(after.ingest_latency_us.total(),
+            before.ingest_latency_us.total());
+  EXPECT_EQ(after.nodes, 0u);
+  // The per-node drop counter stays queryable on the tombstone.
+  EXPECT_EQ(engine.dropped(0), 0u);
+}
+
+TEST(StreamEngine, IngestBatchSkipsTombstonesWithEmptyPlaceholder) {
+  StreamEngine engine(engine_options());
+  const common::Matrix a = node_matrix(4, 60, 24);
+  const common::Matrix b = node_matrix(4, 60, 25);
+  engine.add_node("a", train(a));
+  engine.add_node("b", train(b));
+  engine.remove_node(0);
+
+  // The batch still has one slot per index; the tombstone's must be empty.
+  std::vector<common::Matrix> batches{common::Matrix(), b};
+  engine.ingest_batch(batches);
+  EXPECT_EQ(engine.drain(1).size(), 5u);
+
+  std::vector<common::Matrix> bad{a, b};
+  EXPECT_THROW(engine.ingest_batch(bad), std::invalid_argument);
+}
+
+TEST(StreamEngine, MaxPendingDropsOldestAndCounts) {
+  StreamOptions opts = engine_options();
+  opts.max_pending = 3;
+  StreamEngine engine(opts);
+  const common::Matrix s = node_matrix(4, 120, 26);
+  engine.add_node("n0", train(s));
+  engine.ingest(0, s);  // Emits 11 signatures; the queue keeps 3.
+
+  EXPECT_EQ(engine.pending(0), 3u);
+  EXPECT_EQ(engine.dropped(0), 8u);
+  EXPECT_EQ(engine.stats().dropped, 8u);
+
+  // Drop-oldest: what survives is the TAIL of the full sequence.
+  StreamOptions unbounded = engine_options();
+  StreamEngine reference(unbounded);
+  reference.add_node("n0", train(s));
+  reference.ingest(0, s);
+  const auto all = reference.drain(0);
+  const auto kept = engine.drain(0);
+  ASSERT_EQ(all.size(), 11u);
+  ASSERT_EQ(kept.size(), 3u);
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    EXPECT_EQ(kept[k], all[all.size() - kept.size() + k]) << k;
+  }
+
+  // Draining resets the queue, not the cumulative counter.
+  engine.ingest(0, s.sub_cols(0, 20));
+  EXPECT_EQ(engine.dropped(0), 8u);
+}
+
+TEST(StreamEngine, LatencyHistogramCountsIngestCalls) {
+  StreamEngine engine(engine_options());
+  const common::Matrix s = node_matrix(4, 60, 27);
+  engine.add_node("a", train(s));
+  engine.add_node("b", train(s));
+  engine.ingest(0, s.sub_cols(0, 30));
+  engine.ingest(0, s.sub_cols(30, 30));
+  engine.ingest(1, s);
+
+  // One histogram sample per ingest call per node (the clamp policy keeps
+  // even a slow outlier in total()).
+  EXPECT_EQ(engine.latency_histogram(0).total(), 2u);
+  EXPECT_EQ(engine.latency_histogram(1).total(), 1u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.ingest_latency_us.total(), 3u);
+  EXPECT_EQ(stats.ingest_latency_us.bins(), kLatencyBins);
+  EXPECT_EQ(stats.ingest_latency_us.hi(), kLatencyMaxUs);
+}
+
 }  // namespace
 }  // namespace csm::core

@@ -1,0 +1,179 @@
+#include "net/loopback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace csm::net {
+namespace {
+
+TEST(Loopback, ConnectBecomesAcceptable) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  EXPECT_EQ(listener->accept(), nullptr);
+
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(listener->accept(), nullptr);
+  EXPECT_TRUE(client->is_open());
+  EXPECT_TRUE(server->is_open());
+  EXPECT_EQ(client->native_handle(), -1);
+}
+
+TEST(Loopback, BytesCrossInBothDirections) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  const std::vector<std::uint8_t> ping = {1, 2, 3};
+  EXPECT_EQ(client->write_some(ping), ping.size());
+  std::array<std::uint8_t, 16> buf{};
+  ASSERT_TRUE(server->wait_readable(1000));
+  EXPECT_EQ(server->read_some(buf), ping.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(buf.begin(), buf.begin() + 3), ping);
+
+  const std::vector<std::uint8_t> pong = {9, 8};
+  EXPECT_EQ(server->write_some(pong), pong.size());
+  ASSERT_TRUE(client->wait_readable(1000));
+  EXPECT_EQ(client->read_some(buf), pong.size());
+}
+
+TEST(Loopback, ReadReturnsZeroWhenNothingPending) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_EQ(server->read_some(buf), 0u);
+  EXPECT_TRUE(server->is_open());  // Would-block, not EOF.
+  EXPECT_FALSE(server->wait_readable(0));
+}
+
+TEST(Loopback, PeerCloseIsEofAfterDrainingBufferedBytes) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  const std::vector<std::uint8_t> tail = {7, 7};
+  client->write_some(tail);
+  client->close();
+
+  // Buffered bytes survive the close; EOF only after they are read.
+  std::array<std::uint8_t, 8> buf{};
+  ASSERT_TRUE(server->wait_readable(1000));
+  EXPECT_EQ(server->read_some(buf), tail.size());
+  EXPECT_EQ(server->read_some(buf), 0u);
+  EXPECT_FALSE(server->is_open());
+}
+
+TEST(Loopback, WriteToClosedPeerDropsConnectionWithoutThrowing) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  server->close();
+  const std::vector<std::uint8_t> bytes = {1};
+  EXPECT_EQ(client->write_some(bytes), 0u);
+  EXPECT_FALSE(client->is_open());
+}
+
+TEST(Loopback, ConnectAfterListenerCloseThrows) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  listener->close();
+  EXPECT_THROW(hub.connect(), TransportError);
+}
+
+TEST(Loopback, ListenerWaitWakesOnReadableConnection) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  Connection* conns[] = {server.get()};
+  EXPECT_FALSE(listener->wait(conns, 0));  // Nothing pending -> timeout.
+
+  std::thread writer([&] {
+    const std::vector<std::uint8_t> bytes = {5};
+    client->write_some(bytes);
+  });
+  EXPECT_TRUE(listener->wait(conns, 5000));
+  writer.join();
+}
+
+TEST(Loopback, ListenerWaitWakesOnNewConnection) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  std::thread connector([&] { auto conn = hub.connect(); });
+  EXPECT_TRUE(listener->wait({}, 5000));
+  connector.join();
+  EXPECT_NE(listener->accept(), nullptr);
+}
+
+// The blocking helpers (the client-side edge) over a loopback pair,
+// exercised across two threads like a real client/server.
+TEST(Loopback, FramesCrossViaBlockingHelpers) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  Frame request;
+  request.type = FrameType::kDrainRequest;
+  request.node = "n0";
+
+  std::thread responder([&] {
+    FrameReader reader;
+    const std::optional<Frame> got = read_frame(*server, reader, 5000);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, request);
+    Frame response;
+    response.type = FrameType::kOk;
+    response.payload = encode_frame(request);  // Arbitrary payload bytes.
+    write_frame(*server, response);
+  });
+
+  FrameReader reader;
+  const Frame response = call(*client, reader, request, 5000);
+  responder.join();
+  EXPECT_EQ(response.type, FrameType::kOk);
+
+  // A clean EOF at a frame boundary reads as "no more frames".
+  server->close();
+  EXPECT_EQ(read_frame(*client, reader, 1000), std::nullopt);
+}
+
+TEST(Loopback, EofMidFrameThrowsTransportError) {
+  LoopbackHub hub;
+  auto listener = hub.listen();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  const std::vector<std::uint8_t> wire = encode_frame(Frame{});
+  server->write_some({wire.data(), wire.size() / 2});
+  server->close();
+
+  FrameReader reader;
+  EXPECT_THROW(read_frame(*client, reader, 1000), TransportError);
+}
+
+}  // namespace
+}  // namespace csm::net

@@ -1,0 +1,197 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace csm::net {
+namespace {
+
+TEST(PayloadReader, ReadsScalarsInOrder) {
+  const std::vector<std::uint8_t> bytes = {
+      0x2a,                    // u8 = 42
+      0x01, 0x02,              // u16 = 0x0201
+      0x04, 0x03, 0x02, 0x01,  // u32 = 0x01020304
+  };
+  PayloadReader in(bytes);
+  EXPECT_EQ(in.u8("a"), 42u);
+  EXPECT_EQ(in.u16("b"), 0x0201u);
+  EXPECT_EQ(in.u32("c"), 0x01020304u);
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_NO_THROW(in.finish("scalars"));
+}
+
+TEST(PayloadReader, TruncationNamesTheField) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x02};
+  PayloadReader in(bytes);
+  try {
+    in.u32("n_sensors");
+    FAIL() << "expected MessageError";
+  } catch (const MessageError& e) {
+    EXPECT_NE(std::string(e.what()).find("n_sensors"), std::string::npos)
+        << e.what();
+  }
+}
+
+// The no-allocation-from-unvalidated-length rule: a count far beyond the
+// bytes present must be rejected up front, not used to size a vector.
+TEST(PayloadReader, HugeArrayCountIsRejectedBeforeAllocation) {
+  const std::vector<std::uint8_t> bytes(16, 0);
+  PayloadReader in(bytes);
+  EXPECT_THROW(in.f64_array("values", UINT64_C(0x2000000000000000)),
+               MessageError);
+  PayloadReader in2(bytes);
+  EXPECT_THROW(in2.u64_array("values", UINT64_C(0x2000000000000000)),
+               MessageError);
+  PayloadReader in3(bytes);
+  EXPECT_THROW(in3.bytes("record", UINT64_C(0xffffffffffffffff)),
+               MessageError);
+}
+
+TEST(PayloadReader, FinishRejectsTrailingBytes) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x02};
+  PayloadReader in(bytes);
+  in.u8("a");
+  EXPECT_THROW(in.finish("message"), MessageError);
+}
+
+TEST(SampleBatch, RoundTripsColumnMajor) {
+  common::Matrix m(3, 4);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = static_cast<double>(10 * r) + static_cast<double>(c) + 0.25;
+    }
+  }
+  const std::vector<std::uint8_t> payload = encode_sample_batch(m);
+  EXPECT_EQ(payload.size(), 8u + 3u * 4u * sizeof(double));
+  const common::Matrix back = decode_sample_batch(payload);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(back(r, c), m(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SampleBatch, RejectsTruncatedData) {
+  common::Matrix m(2, 3);
+  std::vector<std::uint8_t> payload = encode_sample_batch(m);
+  payload.resize(payload.size() - 1);
+  EXPECT_THROW(decode_sample_batch(payload), MessageError);
+}
+
+TEST(SampleBatch, RejectsTrailingBytes) {
+  common::Matrix m(2, 3);
+  std::vector<std::uint8_t> payload = encode_sample_batch(m);
+  payload.push_back(0);
+  EXPECT_THROW(decode_sample_batch(payload), MessageError);
+}
+
+TEST(NodeAdd, RoundTripsInlineRecord) {
+  NodeAdd msg;
+  msg.source = NodeAddSource::kInlineRecord;
+  msg.n_sensors = 12;
+  msg.record = {0xca, 0xfe, 0x00, 0x01};
+  const NodeAdd back = decode_node_add(encode_node_add(msg));
+  EXPECT_EQ(back.source, msg.source);
+  EXPECT_EQ(back.n_sensors, msg.n_sensors);
+  EXPECT_EQ(back.record, msg.record);
+  EXPECT_TRUE(back.pack_id.empty());
+}
+
+TEST(NodeAdd, RoundTripsPackId) {
+  NodeAdd msg;
+  msg.source = NodeAddSource::kPackId;
+  msg.n_sensors = 0;
+  msg.pack_id = "rack3/node07";
+  const NodeAdd back = decode_node_add(encode_node_add(msg));
+  EXPECT_EQ(back.source, msg.source);
+  EXPECT_EQ(back.pack_id, msg.pack_id);
+  EXPECT_TRUE(back.record.empty());
+}
+
+TEST(NodeAdd, RejectsUnknownSource) {
+  NodeAdd msg;
+  std::vector<std::uint8_t> payload = encode_node_add(msg);
+  payload[0] = 7;  // Not a NodeAddSource.
+  EXPECT_THROW(decode_node_add(payload), MessageError);
+}
+
+TEST(DrainResponse, RoundTripsSignaturesAndDropCounter) {
+  DrainResponse msg;
+  msg.dropped = 1234567890123ULL;
+  msg.signatures = {{1.0, -2.5, 3.25}, {}, {0.0}};
+  const DrainResponse back =
+      decode_drain_response(encode_drain_response(msg));
+  EXPECT_EQ(back, msg);
+}
+
+TEST(DrainResponse, RejectsCountBeyondPayload) {
+  DrainResponse msg;
+  msg.signatures = {{1.0}};
+  std::vector<std::uint8_t> payload = encode_drain_response(msg);
+  payload[8] = 0xff;  // count u32 at offset 8: claim 255+ vectors.
+  EXPECT_THROW(decode_drain_response(payload), MessageError);
+}
+
+TEST(StatsResponse, RoundTripsCountersVersionAndHistogram) {
+  core::EngineStats stats;
+  stats.samples = 1000;
+  stats.signatures = 99;
+  stats.retrains = 3;
+  stats.dropped = 7;
+  stats.nodes = 5;
+  stats.ingest_seconds = 1.5;
+  stats.ingest_latency_us.add(12.0);
+  stats.ingest_latency_us.add(90000.0);  // Overflow sample.
+  const StatsResponse msg = make_stats_response(stats, "abc123");
+
+  const StatsResponse back =
+      decode_stats_response(encode_stats_response(msg));
+  EXPECT_EQ(back.samples, stats.samples);
+  EXPECT_EQ(back.signatures, stats.signatures);
+  EXPECT_EQ(back.retrains, stats.retrains);
+  EXPECT_EQ(back.dropped, stats.dropped);
+  EXPECT_EQ(back.nodes, stats.nodes);
+  EXPECT_EQ(back.ingest_seconds, stats.ingest_seconds);
+  EXPECT_EQ(back.server_version, "abc123");
+  ASSERT_EQ(back.ingest_latency_us.bins(), stats.ingest_latency_us.bins());
+  EXPECT_EQ(back.ingest_latency_us.lo(), stats.ingest_latency_us.lo());
+  EXPECT_EQ(back.ingest_latency_us.hi(), stats.ingest_latency_us.hi());
+  EXPECT_EQ(back.ingest_latency_us.total(),
+            stats.ingest_latency_us.total());
+  EXPECT_EQ(back.ingest_latency_us.overflow(),
+            stats.ingest_latency_us.overflow());
+  for (std::size_t b = 0; b < back.ingest_latency_us.bins(); ++b) {
+    EXPECT_EQ(back.ingest_latency_us.count(b),
+              stats.ingest_latency_us.count(b))
+        << "bin " << b;
+  }
+}
+
+TEST(StatsResponse, RejectsTruncatedHistogram) {
+  const StatsResponse msg = make_stats_response(core::EngineStats{}, "v");
+  std::vector<std::uint8_t> payload = encode_stats_response(msg);
+  payload.resize(payload.size() - 4);
+  EXPECT_THROW(decode_stats_response(payload), MessageError);
+}
+
+TEST(OkMessage, RoundTripsWithAndWithoutValue) {
+  EXPECT_EQ(decode_ok(encode_ok(42)), std::optional<std::uint64_t>(42));
+  EXPECT_EQ(decode_ok(encode_ok(std::nullopt)), std::nullopt);
+}
+
+TEST(ErrorMessage, RoundTripsAndTruncatesAtCap) {
+  EXPECT_EQ(decode_error_text(encode_error_text("bad node")), "bad node");
+  const std::string huge(2 * kMaxErrorTextBytes, 'e');
+  const std::string back = decode_error_text(encode_error_text(huge));
+  EXPECT_EQ(back.size(), kMaxErrorTextBytes);
+}
+
+}  // namespace
+}  // namespace csm::net

@@ -1,0 +1,280 @@
+// Daemon lifecycle under concurrency: a real FleetServer thread serving
+// loopback clients that push, drain and add nodes at the same time. The
+// whole exchange is bit-for-bit deterministic — every drained signature
+// sequence must equal a single-threaded reference engine fed the same
+// columns — and the test runs under ThreadSanitizer in the tsan preset,
+// making it the data-race probe for the transport + server + engine stack.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/model_codec.hpp"
+#include "core/stream_engine.hpp"
+#include "net/loopback.hpp"
+#include "net/message.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
+
+namespace csm::net {
+namespace {
+
+common::Matrix node_matrix(std::size_t n, std::size_t t,
+                           std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) {
+      s(r, c) = std::sin(0.07 * static_cast<double>(c) +
+                         0.4 * static_cast<double>(r)) +
+                0.05 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+core::StreamOptions engine_options() {
+  core::StreamOptions opts;
+  opts.window_length = 20;
+  opts.window_step = 10;
+  opts.cs.blocks = 4;
+  return opts;
+}
+
+std::shared_ptr<const core::SignatureMethod> fit_method(
+    const common::Matrix& s) {
+  return baselines::default_registry().create("cs:blocks=4")->fit(s);
+}
+
+Frame node_add_frame(const std::string& name,
+                     const core::SignatureMethod& method) {
+  NodeAdd add;
+  add.source = NodeAddSource::kInlineRecord;
+  add.record = core::codec::encode_binary(method);
+  Frame frame;
+  frame.type = FrameType::kNodeAdd;
+  frame.node = name;
+  frame.payload = encode_node_add(add);
+  return frame;
+}
+
+Frame batch_frame(const std::string& name, const common::Matrix& cols) {
+  Frame frame;
+  frame.type = FrameType::kSampleBatch;
+  frame.node = name;
+  frame.payload = encode_sample_batch(cols);
+  return frame;
+}
+
+DrainResponse drain_node(Connection& conn, FrameReader& reader,
+                         const std::string& name) {
+  Frame request;
+  request.type = FrameType::kDrainRequest;
+  request.node = name;
+  const Frame response = call(conn, reader, request, 30000);
+  EXPECT_EQ(response.type, FrameType::kDrainResponse);
+  return decode_drain_response(response.payload);
+}
+
+TEST(FleetServerSoak, ConcurrentPushDrainAndLiveAddMatchReference) {
+  constexpr std::size_t kSensors = 5;
+  constexpr std::size_t kCols = 400;
+  const std::array<common::Matrix, 3> data = {
+      node_matrix(kSensors, kCols, 101),
+      node_matrix(kSensors, kCols, 202),
+      node_matrix(kSensors, kCols, 303),
+  };
+  const std::array<std::string, 3> names = {"node0", "node1", "late"};
+  std::array<std::shared_ptr<const core::SignatureMethod>, 3> methods;
+  for (std::size_t i = 0; i < 3; ++i) methods[i] = fit_method(data[i]);
+
+  core::StreamEngine engine(engine_options());
+  LoopbackHub hub;
+  FleetServerOptions options;
+  options.server_version = "soak";
+  options.registry = &baselines::default_registry();
+  options.poll_timeout_ms = 10;
+  FleetServer server(hub.listen(), engine, std::move(options));
+  std::thread server_thread([&] { server.run(); });
+
+  // Shared drain ledger: the drainer thread and the final sweep both
+  // append here, per node, in drain order (FIFO queues make the
+  // concatenation equal to the uninterrupted sequence).
+  std::mutex ledger_mutex;
+  std::array<std::vector<std::vector<double>>, 3> drained;
+  std::array<std::atomic<bool>, 3> registered = {false, false, false};
+  std::atomic<bool> drainer_stop{false};
+
+  // Pusher i registers its node, then streams its columns in awkward
+  // chunk sizes. Pusher 0 additionally registers the third node halfway
+  // through — a live fleet-grow while everyone else keeps pushing.
+  const auto pusher = [&](std::size_t i) {
+    auto conn = hub.connect();
+    FrameReader reader;
+    const Frame ack = call(*conn, reader, node_add_frame(names[i],
+                                                        *methods[i]));
+    ASSERT_EQ(ack.type, FrameType::kOk);
+    registered[i].store(true);
+
+    const std::array<std::size_t, 4> chunks = {13, 29, 7, 41};
+    std::size_t at = 0;
+    std::size_t round = 0;
+    while (at < kCols) {
+      const std::size_t take = std::min(chunks[round++ % chunks.size()],
+                                        kCols - at);
+      write_frame(*conn, batch_frame(names[i], data[i].sub_cols(at, take)));
+      at += take;
+      if (i == 0 && round == 8) {
+        const Frame late_ack =
+            call(*conn, reader, node_add_frame(names[2], *methods[2]));
+        ASSERT_EQ(late_ack.type, FrameType::kOk);
+        registered[2].store(true);
+        std::size_t late_at = 0;
+        while (late_at < kCols) {
+          const std::size_t late_take = std::min<std::size_t>(
+              37, kCols - late_at);
+          write_frame(*conn, batch_frame(names[2],
+                                         data[2].sub_cols(late_at,
+                                                          late_take)));
+          late_at += late_take;
+        }
+      }
+    }
+    // Sync point: a stats roundtrip proves the daemon has processed every
+    // frame this connection sent. Draining stays single-consumer (the
+    // drainer thread, then the final sweep) so the ledger's append order
+    // matches the server's response order.
+    Frame sync;
+    sync.type = FrameType::kStatsRequest;
+    EXPECT_EQ(call(*conn, reader, sync).type, FrameType::kStatsResponse);
+  };
+
+  // The draining client races the pushers, so signatures leave the daemon
+  // while columns are still arriving.
+  std::thread drainer([&] {
+    auto conn = hub.connect();
+    FrameReader reader;
+    while (!drainer_stop.load()) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        if (!registered[i].load()) continue;
+        DrainResponse part = drain_node(*conn, reader, names[i]);
+        EXPECT_EQ(part.dropped, 0u);
+        std::lock_guard<std::mutex> lock(ledger_mutex);
+        for (auto& sig : part.signatures) {
+          drained[i].push_back(std::move(sig));
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread pusher0([&] { pusher(0); });
+  std::thread pusher1([&] { pusher(1); });
+  pusher0.join();
+  pusher1.join();
+  drainer_stop.store(true);
+  drainer.join();
+
+  // Final sweep for anything queued after the drainer stopped; the
+  // pushers' stats sync guarantees every column is already ingested.
+  {
+    auto conn = hub.connect();
+    FrameReader reader;
+    for (std::size_t i = 0; i < 3; ++i) {
+      DrainResponse rest = drain_node(*conn, reader, names[i]);
+      for (auto& sig : rest.signatures) {
+        drained[i].push_back(std::move(sig));
+      }
+    }
+  }
+
+  server.stop();
+  server_thread.join();
+
+  // Bit-for-bit: the interleaved, multi-client run must equal one
+  // single-threaded engine fed the same columns in one call each.
+  core::StreamEngine reference(engine_options());
+  for (std::size_t i = 0; i < 3; ++i) {
+    reference.add_node(names[i], methods[i], kSensors);
+    reference.ingest(i, data[i]);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto expected = reference.drain(i);
+    ASSERT_EQ(drained[i].size(), expected.size()) << names[i];
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(drained[i][k], expected[k])
+          << names[i] << " signature " << k;
+    }
+  }
+
+  const core::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.samples, 3 * kCols);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.nodes, 3u);
+}
+
+TEST(FleetServerSoak, DisconnectAndReconnectMidStreamLosesNothing) {
+  constexpr std::size_t kSensors = 4;
+  constexpr std::size_t kCols = 240;
+  const common::Matrix s = node_matrix(kSensors, kCols, 77);
+  const auto method = fit_method(s);
+
+  core::StreamEngine engine(engine_options());
+  LoopbackHub hub;
+  FleetServerOptions options;
+  options.server_version = "soak";
+  options.registry = &baselines::default_registry();
+  options.poll_timeout_ms = 10;
+  FleetServer server(hub.listen(), engine, std::move(options));
+  std::thread server_thread([&] { server.run(); });
+
+  std::vector<std::vector<double>> drained;
+  {
+    auto conn = hub.connect();
+    FrameReader reader;
+    ASSERT_EQ(call(*conn, reader, node_add_frame("n0", *method)).type,
+              FrameType::kOk);
+    write_frame(*conn, batch_frame("n0", s.sub_cols(0, kCols / 2)));
+    // Drain = sync point: the daemon has ingested everything this
+    // connection sent before it goes away.
+    DrainResponse half = drain_node(*conn, reader, "n0");
+    drained = std::move(half.signatures);
+    conn->close();
+  }
+  {
+    // A brand-new connection picks the same node back up mid-stream.
+    auto conn = hub.connect();
+    FrameReader reader;
+    write_frame(*conn, batch_frame("n0", s.sub_cols(kCols / 2,
+                                                    kCols - kCols / 2)));
+    DrainResponse rest = drain_node(*conn, reader, "n0");
+    for (auto& sig : rest.signatures) drained.push_back(std::move(sig));
+  }
+
+  server.stop();
+  server_thread.join();
+
+  core::StreamEngine reference(engine_options());
+  reference.add_node("n0", method, kSensors);
+  reference.ingest(0, s);
+  const auto expected = reference.drain(0);
+  ASSERT_EQ(drained.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    ASSERT_EQ(drained[k], expected[k]) << "signature " << k;
+  }
+  EXPECT_EQ(engine.stats().samples, kCols);
+}
+
+}  // namespace
+}  // namespace csm::net

@@ -101,5 +101,70 @@ TEST(Histogram, ExactBoundsAreInRangeNotClamped) {
   EXPECT_EQ(h.count(3), 1u);
 }
 
+TEST(Histogram, RestoreRoundTripsCapturedState) {
+  Histogram h(8, 0.0, 16.0);
+  const std::vector<double> samples = {0.5, 3.0, 3.1, 15.9, 100.0, -2.0};
+  h.add(samples);
+
+  std::vector<std::uint64_t> counts;
+  for (std::size_t b = 0; b < h.bins(); ++b) counts.push_back(h.count(b));
+  const Histogram back(h.lo(), h.hi(), counts, h.underflow(), h.overflow());
+
+  EXPECT_EQ(back.bins(), h.bins());
+  EXPECT_EQ(back.lo(), h.lo());
+  EXPECT_EQ(back.hi(), h.hi());
+  EXPECT_EQ(back.total(), h.total());  // Recomputed from the counts.
+  EXPECT_EQ(back.underflow(), h.underflow());
+  EXPECT_EQ(back.overflow(), h.overflow());
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_EQ(back.count(b), h.count(b)) << "bin " << b;
+  }
+  EXPECT_EQ(back.pmf(), h.pmf());
+}
+
+TEST(Histogram, RestoreValidates) {
+  EXPECT_THROW(Histogram(0.0, 1.0, {}, 0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, {1, 2}, 0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, MergeAccumulatesCountsAndClampTallies) {
+  Histogram a(4, 0.0, 1.0);
+  const std::vector<double> into_a = {0.1, 0.6, 2.0};  // One overflow.
+  a.add(into_a);
+  Histogram b(4, 0.0, 1.0);
+  const std::vector<double> into_b = {0.1, -1.0};  // One underflow.
+  b.add(into_b);
+
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.count(0), 3u);  // 0.1 twice + the clamped -1.0.
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.count(3), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  // The source histogram is untouched.
+  EXPECT_EQ(b.total(), 2u);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(4, 0.0, 1.0);
+  EXPECT_THROW(a.merge(Histogram(8, 0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(4, 0.0, 2.0)), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileIsConservativeUpperBinEdge) {
+  Histogram h(4, 0.0, 8.0);  // Bins: [0,2) [2,4) [4,6) [6,8].
+  const std::vector<double> samples = {1.0, 1.0, 3.0, 7.0};
+  h.add(samples);
+
+  EXPECT_EQ(h.quantile(0.0), 2.0);   // Target is at least one sample.
+  EXPECT_EQ(h.quantile(0.5), 2.0);   // Two of four samples in bin 0.
+  EXPECT_EQ(h.quantile(0.75), 4.0);  // Three of four by bin 1's edge.
+  EXPECT_EQ(h.quantile(1.0), 8.0);
+  EXPECT_EQ(h.quantile(2.0), 8.0);  // q clamps to [0, 1].
+
+  EXPECT_EQ(Histogram(4, 0.0, 8.0).quantile(0.99), 0.0);  // Empty -> lo.
+}
+
 }  // namespace
 }  // namespace csm::stats

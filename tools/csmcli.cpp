@@ -48,14 +48,37 @@
 //
 //   csmcli stream  <segment> [--method SPEC] [--scale S] [--blocks L]
 //           [--window WL] [--step WS] [--history H] [--retrain N]
-//           [--batch B] [--pack FILE] [--dump-models DIR]
+//           [--batch B] [--pack FILE] [--dump-models DIR] [--sig-out FILE]
 //       Replay a synthetic HPC-ODA segment (fault, application, power,
 //       infrastructure, cross-arch) through a StreamEngine — one
 //       MethodStream per component, fitted per node — in batches of B
 //       columns, and report per-node signature counts plus aggregate
-//       ingestion throughput. --pack skips the training pass and loads the
-//       per-node models lazily from a model pack; --dump-models writes the
-//       fitted per-node models to a directory (feed it to `csmcli pack`).
+//       ingestion throughput and latency. --pack skips the training pass
+//       and loads the per-node models lazily from a model pack;
+//       --dump-models writes the fitted per-node models to a directory
+//       (feed it to `csmcli pack`); --sig-out drains every node and writes
+//       the signatures as "node v0 v1 ..." lines (byte-comparable with
+//       `csmcli push --sig-out` against a daemon).
+//
+//   csmcli serve --socket PATH [--window WL] [--step WS] [--history H]
+//           [--retrain N] [--max-pending N] [--pack FILE]
+//       Run the fleet daemon loop in-process (same engine-behind-a-socket
+//       as the standalone csmd binary) until SIGINT/SIGTERM.
+//
+//   csmcli push <segment> --socket PATH [--method SPEC] [--scale S]
+//           [--blocks L] [--batch B] [--sig-out FILE]
+//       Client counterpart of stream: fit the per-node methods locally,
+//       register each node with the daemon (model shipped inline as a CSMB
+//       record), push the segment's columns as CSMF sample batches, then
+//       drain every node's signatures back over the wire.
+//
+//   csmcli fleet-stats --socket PATH
+//       Scrape a running daemon's EngineStats: fleet counters, ingest
+//       throughput, the merged ingest-latency histogram (p50/p99) and the
+//       server's build sha.
+//
+//   csmcli version
+//       Print this build's git sha.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
@@ -74,6 +97,7 @@
 
 #include "baselines/registry.hpp"
 #include "benchkit/args.hpp"
+#include "benchkit/benchkit.hpp"
 #include "core/method_registry.hpp"
 #include "core/model_codec.hpp"
 #include "core/model_pack.hpp"
@@ -85,6 +109,11 @@
 #include "data/feature_csv.hpp"
 #include "harness/heatmap.hpp"
 #include "hpcoda/generator.hpp"
+#include "net/daemon.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "net/unix_socket.hpp"
+#include "stats/histogram.hpp"
 
 namespace {
 
@@ -108,6 +137,9 @@ struct Options {
   std::string format = "text";  // --format text|binary for model writes.
   std::string pack_file;        // --pack FILE (stream: load models from it).
   std::string dump_dir;         // --dump-models DIR (stream: save models).
+  std::string socket;           // --socket PATH (serve/push/fleet-stats).
+  std::string sig_out;          // --sig-out FILE (stream/push: drained sigs).
+  std::size_t max_pending = 0;  // --max-pending N (serve: queue bound).
 };
 
 core::codec::ModelFormat parse_format(const std::string& value) {
@@ -142,8 +174,17 @@ void usage(std::ostream& out) {
       << "                 [--blocks L] [--window WL] [--step WS]\n"
       << "                 [--history H] [--retrain N] [--batch B]\n"
       << "                 [--pack FILE] [--dump-models DIR]\n"
+      << "                 [--sig-out FILE]\n"
       << "                 (segment: fault | application | power |\n"
       << "                  infrastructure | cross-arch)\n"
+      << "  csmcli serve   --socket PATH [--window WL] [--step WS]\n"
+      << "                 [--history H] [--retrain N] [--max-pending N]\n"
+      << "                 [--pack FILE]\n"
+      << "  csmcli push    <segment> --socket PATH [--method SPEC]\n"
+      << "                 [--scale S] [--blocks L] [--batch B]\n"
+      << "                 [--sig-out FILE]\n"
+      << "  csmcli fleet-stats --socket PATH\n"
+      << "  csmcli version\n"
       << "\n"
       << "method specs look like \"cs:blocks=20,real-only\" or\n"
       << "\"pca:components=8\"; run `csmcli methods` for the full list.\n";
@@ -192,6 +233,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.pack_file = next_value("--pack");
     } else if (arg == "--dump-models") {
       opts.dump_dir = next_value("--dump-models");
+    } else if (arg == "--socket") {
+      opts.socket = next_value("--socket");
+    } else if (arg == "--sig-out") {
+      opts.sig_out = next_value("--sig-out");
+    } else if (arg == "--max-pending") {
+      opts.max_pending = benchkit::parse_size_t("--max-pending",
+                                                next_value("--max-pending"));
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -552,6 +600,41 @@ hpcoda::Segment make_segment(const std::string& name, double scale) {
   throw std::runtime_error("unknown segment: " + name);
 }
 
+// The CS spec synthesized from the legacy flags when --method is absent —
+// shared by stream and push so both fit bit-identical models from the same
+// flags (the loopback/daemon equivalence tests depend on that).
+std::string synthesize_spec(const Options& opts) {
+  if (!opts.method.empty()) return opts.method;
+  std::string spec = "cs:blocks=" + std::to_string(opts.blocks);
+  if (opts.real_only) spec += ",real-only";
+  return spec;
+}
+
+// One signature per line, "node v0 v1 ...", doubles printed with %.17g so
+// the file round-trips exactly. stream and push write the same bytes for
+// the same replay — the end-to-end daemon equivalence check is a cmp of
+// two such files.
+void write_signature_lines(std::ostream& out, const std::string& node,
+                           const std::vector<std::vector<double>>& sigs) {
+  char buf[40];
+  for (const std::vector<double>& sig : sigs) {
+    out << node;
+    for (double v : sig) {
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+}
+
+void print_latency(const stats::Histogram& lat) {
+  std::printf("ingest latency: p50 %.1f us, p99 %.1f us "
+              "(%llu calls, %llu beyond %g us)\n",
+              lat.quantile(0.5), lat.quantile(0.99),
+              static_cast<unsigned long long>(lat.total()),
+              static_cast<unsigned long long>(lat.overflow()), lat.hi());
+}
+
 int cmd_stream(const Options& opts) {
   if (opts.positional.size() != 1) {
     usage(std::cerr);
@@ -579,11 +662,7 @@ int cmd_stream(const Options& opts) {
   // through the registry and dump/pack see one code path); --pack skips
   // training entirely and lazily deserialises each node from a model pack.
   const core::MethodRegistry& registry = baselines::default_registry();
-  std::string spec = opts.method;
-  if (spec.empty()) {
-    spec = "cs:blocks=" + std::to_string(opts.blocks);
-    if (opts.real_only) spec += ",real-only";
-  }
+  const std::string spec = synthesize_spec(opts);
   core::StreamEngine engine(stream_opts);
   if (!opts.pack_file.empty()) {
     const core::ModelPack pack = core::ModelPack::open(opts.pack_file);
@@ -653,6 +732,185 @@ int cmd_stream(const Options& opts) {
               static_cast<unsigned long long>(stats.samples),
               static_cast<unsigned long long>(stats.signatures),
               stats.ingest_seconds, stats.samples_per_second());
+  print_latency(stats.ingest_latency_us);
+
+  if (!opts.sig_out.empty()) {
+    std::ofstream out(opts.sig_out);
+    if (!out) throw std::runtime_error("cannot open " + opts.sig_out);
+    std::size_t written = 0;
+    for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+      const auto sigs = engine.drain(b);
+      written += sigs.size();
+      write_signature_lines(out, engine.node_name(b), sigs);
+    }
+    std::cout << "wrote " << written << " drained signatures to "
+              << opts.sig_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_serve(const Options& opts) {
+  if (!opts.positional.empty() || opts.socket.empty()) {
+    if (opts.socket.empty()) std::cerr << "serve: --socket PATH required\n";
+    usage(std::cerr);
+    return 1;
+  }
+  net::DaemonOptions daemon;
+  daemon.socket_path = opts.socket;
+  daemon.stream.window_length = opts.window;
+  daemon.stream.window_step = opts.step;
+  daemon.stream.history_length = opts.history;
+  daemon.stream.retrain_interval = opts.retrain;
+  daemon.stream.max_pending = opts.max_pending;
+  daemon.stream.validate();
+  daemon.pack_path = opts.pack_file;
+  daemon.version = benchkit::git_sha();
+  daemon.registry = &baselines::default_registry();
+  return net::run_daemon(daemon);
+}
+
+int cmd_push(const Options& opts) {
+  if (opts.positional.size() != 1 || opts.socket.empty()) {
+    if (opts.socket.empty()) std::cerr << "push: --socket PATH required\n";
+    usage(std::cerr);
+    return 1;
+  }
+  const hpcoda::Segment seg = make_segment(opts.positional[0], opts.scale);
+  const core::MethodRegistry& registry = baselines::default_registry();
+  const std::string spec = synthesize_spec(opts);
+
+  auto conn = net::connect_unix(opts.socket);
+  net::FrameReader reader;
+
+  // Per-node out-of-band training happens client-side (same spec synthesis
+  // as `stream`, so the models are bit-identical); the trained model ships
+  // inline as a CSMB record in the node-add frame.
+  for (const hpcoda::ComponentBlock& block : seg.blocks) {
+    const auto method = registry.create(spec)->fit(block.sensors);
+    net::NodeAdd add;
+    add.source = net::NodeAddSource::kInlineRecord;
+    add.n_sensors = static_cast<std::uint32_t>(block.sensors.rows());
+    add.record = core::codec::encode_binary(*method);
+    net::Frame request;
+    request.type = net::FrameType::kNodeAdd;
+    request.node = block.name;
+    request.payload = net::encode_node_add(add);
+    net::call(*conn, reader, request);
+  }
+  std::cout << "registered " << seg.n_blocks() << " nodes with "
+            << conn->peer_name() << " (spec " << spec << ")\n";
+
+  // Replay the shared timeline in --batch column chunks, one sample-batch
+  // frame per node per chunk. Pushes are one-way; the drain below is the
+  // sync point.
+  const std::size_t batch = opts.batch == 0 ? seg.length() : opts.batch;
+  for (std::size_t start = 0; start < seg.length(); start += batch) {
+    const std::size_t len = std::min(batch, seg.length() - start);
+    for (const hpcoda::ComponentBlock& block : seg.blocks) {
+      net::Frame frame;
+      frame.type = net::FrameType::kSampleBatch;
+      frame.node = block.name;
+      frame.payload =
+          net::encode_sample_batch(block.sensors.sub_cols(start, len));
+      net::write_frame(*conn, frame);
+    }
+  }
+
+  std::ofstream sig_out;
+  if (!opts.sig_out.empty()) {
+    sig_out.open(opts.sig_out);
+    if (!sig_out) throw std::runtime_error("cannot open " + opts.sig_out);
+  }
+  std::uint64_t total_signatures = 0;
+  for (const hpcoda::ComponentBlock& block : seg.blocks) {
+    net::Frame request;
+    request.type = net::FrameType::kDrainRequest;
+    request.node = block.name;
+    const net::Frame response = net::call(*conn, reader, request);
+    if (response.type != net::FrameType::kDrainResponse) {
+      throw std::runtime_error(std::string("push: expected drain-response, "
+                                           "got ") +
+                               net::frame_type_name(response.type));
+    }
+    const net::DrainResponse drained =
+        net::decode_drain_response(response.payload);
+    total_signatures += drained.signatures.size();
+    std::printf("  %-12s %5zu signatures drained, %llu dropped\n",
+                block.name.c_str(), drained.signatures.size(),
+                static_cast<unsigned long long>(drained.dropped));
+    if (sig_out.is_open()) {
+      write_signature_lines(sig_out, block.name, drained.signatures);
+    }
+  }
+  if (sig_out.is_open()) {
+    std::cout << "wrote " << total_signatures << " drained signatures to "
+              << opts.sig_out << '\n';
+  }
+
+  net::Frame stats_request;
+  stats_request.type = net::FrameType::kStatsRequest;
+  const net::Frame stats_frame = net::call(*conn, reader, stats_request);
+  const net::StatsResponse stats =
+      net::decode_stats_response(stats_frame.payload);
+  std::printf("daemon totals: %llu samples ingested, %llu signatures "
+              "emitted, %llu dropped across %llu nodes\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.nodes));
+  print_latency(stats.ingest_latency_us);
+  std::cout << "server build: " << stats.server_version << " (client "
+            << benchkit::git_sha() << ")\n";
+  return 0;
+}
+
+int cmd_fleet_stats(const Options& opts) {
+  if (!opts.positional.empty() || opts.socket.empty()) {
+    if (opts.socket.empty()) {
+      std::cerr << "fleet-stats: --socket PATH required\n";
+    }
+    usage(std::cerr);
+    return 1;
+  }
+  auto conn = net::connect_unix(opts.socket);
+  net::FrameReader reader;
+  net::Frame request;
+  request.type = net::FrameType::kStatsRequest;
+  const net::Frame response = net::call(*conn, reader, request);
+  if (response.type != net::FrameType::kStatsResponse) {
+    throw std::runtime_error(std::string("fleet-stats: expected "
+                                         "stats-response, got ") +
+                             net::frame_type_name(response.type));
+  }
+  const net::StatsResponse stats =
+      net::decode_stats_response(response.payload);
+  std::cout << "fleet stats from unix:" << opts.socket << ":\n";
+  std::printf("  nodes:      %llu live\n",
+              static_cast<unsigned long long>(stats.nodes));
+  std::printf("  samples:    %llu ingested\n",
+              static_cast<unsigned long long>(stats.samples));
+  std::printf("  signatures: %llu emitted (%llu dropped by backpressure)\n",
+              static_cast<unsigned long long>(stats.signatures),
+              static_cast<unsigned long long>(stats.dropped));
+  std::printf("  retrains:   %llu\n",
+              static_cast<unsigned long long>(stats.retrains));
+  std::printf("  ingest:     %.3f s total (%.0f samples/s)\n",
+              stats.ingest_seconds,
+              stats.ingest_seconds > 0.0
+                  ? static_cast<double>(stats.samples) / stats.ingest_seconds
+                  : 0.0);
+  print_latency(stats.ingest_latency_us);
+  std::cout << "server build: " << stats.server_version << " (client "
+            << benchkit::git_sha() << ")\n";
+  return 0;
+}
+
+int cmd_version(const Options& opts) {
+  if (!opts.positional.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+  std::cout << "csmcli " << benchkit::git_sha() << '\n';
   return 0;
 }
 
@@ -692,6 +950,10 @@ int main(int argc, char** argv) {
     if (command == "extract") return cmd_extract(opts);
     if (command == "sort") return cmd_sort(opts);
     if (command == "stream") return cmd_stream(opts);
+    if (command == "serve") return cmd_serve(opts);
+    if (command == "push") return cmd_push(opts);
+    if (command == "fleet-stats") return cmd_fleet_stats(opts);
+    if (command == "version") return cmd_version(opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

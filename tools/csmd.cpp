@@ -1,0 +1,105 @@
+// csmd — the fleet monitoring daemon.
+//
+// Hosts one core::StreamEngine behind a unix-domain socket speaking the
+// CSMF frame protocol (docs/PROTOCOL.md): collector clients push sensor
+// sample batches at named nodes, add and remove nodes live (models inline
+// or resolved from a mmap-able model pack), drain per-node signature
+// queues and scrape fleet-wide stats. `csmcli push` / `csmcli fleet-stats`
+// are the matching clients.
+//
+//   csmd --socket PATH [--window WL] [--step WS] [--history H]
+//        [--retrain N] [--max-pending N] [--pack FILE]
+//   csmd --version
+//
+// --max-pending bounds each node's undrained signature queue (drop-oldest
+// with a per-node counter; 0 = unbounded). SIGINT/SIGTERM shut the daemon
+// down cleanly: the socket file is unlinked and engine totals printed.
+//
+// Exit status: 0 on clean shutdown, 1 on usage errors, 2 on runtime
+// failures (e.g. a live daemon already owns the socket).
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "benchkit/args.hpp"
+#include "benchkit/benchkit.hpp"
+#include "net/daemon.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: csmd --socket PATH [--window WL] [--step WS]\n"
+      << "            [--history H] [--retrain N] [--max-pending N]\n"
+      << "            [--pack FILE]\n"
+      << "       csmd --version\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csm;
+
+  net::DaemonOptions options;
+  options.stream.window_length = 60;
+  options.stream.window_step = 10;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(std::string(flag) + ": missing value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (arg == "--version") {
+        std::cout << "csmd " << benchkit::git_sha() << '\n';
+        return 0;
+      } else if (arg == "--socket") {
+        options.socket_path = next_value("--socket");
+      } else if (arg == "--window") {
+        options.stream.window_length =
+            benchkit::parse_size_t("--window", next_value("--window"));
+      } else if (arg == "--step") {
+        options.stream.window_step =
+            benchkit::parse_size_t("--step", next_value("--step"));
+      } else if (arg == "--history") {
+        options.stream.history_length =
+            benchkit::parse_size_t("--history", next_value("--history"));
+      } else if (arg == "--retrain") {
+        options.stream.retrain_interval =
+            benchkit::parse_size_t("--retrain", next_value("--retrain"));
+      } else if (arg == "--max-pending") {
+        options.stream.max_pending = benchkit::parse_size_t(
+            "--max-pending", next_value("--max-pending"));
+      } else if (arg == "--pack") {
+        options.pack_path = next_value("--pack");
+      } else {
+        std::cerr << "unknown option: " << arg << '\n';
+        usage(std::cerr);
+        return 1;
+      }
+    }
+    if (options.socket_path.empty()) {
+      std::cerr << "error: --socket PATH is required\n";
+      usage(std::cerr);
+      return 1;
+    }
+    options.stream.validate();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  options.version = benchkit::git_sha();
+  options.registry = &baselines::default_registry();
+  try {
+    return net::run_daemon(options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
