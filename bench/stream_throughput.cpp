@@ -31,13 +31,25 @@
 // emit identical signatures on identical input, and the driver fails if the
 // pack path is not at least 2x faster (it measures far higher in practice).
 //
+// The train-kernel table prices the retrain fit itself: the cache-tiled
+// shifted-correlation pass against the scalar reference it replaced, with a
+// bit-identity probe (the driver fails on a single differing byte) and a 2x
+// speedup floor at n=1024. The retrain-policy table then pushes the same
+// single-node stream under no retraining, inline (sync) retraining and
+// shadow-fit (async) retraining, recording per-push wall times: the sync
+// stall surfaces in the p99/max columns, and the driver fails if async
+// ingest p99 with retrains firing exceeds 5x the no-retrain baseline.
+//
 // Runs under the shared benchkit CLI (see --help). Naive and ring cases at
 // one sweep point share the same derived data seed — the before/after
 // comparison requires identical input — while distinct sweep points get
 // distinct seeds, all recorded in the JSON output.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -54,6 +66,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/method_registry.hpp"
+#include "core/method_stream.hpp"
 #include "core/model_codec.hpp"
 #include "core/model_pack.hpp"
 #include "core/smoothing.hpp"
@@ -64,6 +77,7 @@
 #include "net/message.hpp"
 #include "net/server.hpp"
 #include "net/transport.hpp"
+#include "stats/correlation.hpp"
 #include "stats/finite_diff.hpp"
 
 namespace {
@@ -237,6 +251,47 @@ bool engine_matches_per_node_streams(const core::StreamOptions& opts,
     }
   }
   return true;
+}
+
+// One retrain-policy run: the whole batch pushed column by column through a
+// MethodStream with per-push wall time recorded, so the retrain tables can
+// quote ingest latency quantiles rather than throughput alone.
+struct RetrainRun {
+  std::size_t signatures = 0;
+  std::size_t swaps = 0;
+  std::size_t aborts = 0;
+  std::vector<double> push_us;  ///< One wall-clock entry per push.
+};
+
+RetrainRun run_retrain_policy(
+    const std::shared_ptr<const core::SignatureMethod>& method,
+    const core::StreamOptions& opts, const common::Matrix& data) {
+  RetrainRun out;
+  out.push_us.reserve(data.cols());
+  core::MethodStream stream(method, opts);
+  std::vector<double> column(data.rows());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    for (std::size_t r = 0; r < data.rows(); ++r) column[r] = data(r, c);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (stream.push(column)) ++out.signatures;
+    const auto t1 = std::chrono::steady_clock::now();
+    out.push_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  out.swaps = stream.retrain_swaps();
+  out.aborts = stream.retrain_aborts();
+  return out;
+}
+
+double quantile_us(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const std::size_t k = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(k),
+                   samples.end());
+  return samples[k];
 }
 
 }  // namespace
@@ -684,6 +739,183 @@ int bench_run(Runner& run) {
   fs::remove_all(model_dir);
   fs::remove(pack_file);
   if (!run.opts().out_dir) fs::remove_all(work_dir);
+
+  // Training kernel: the cache-tiled shifted-correlation pass against the
+  // scalar reference it replaced. The tiled path must be bit-identical (the
+  // async retrain swap depends on it — a swapped-in shadow model must equal
+  // the model a sync fit would have produced) and at least 2x faster at the
+  // fleet-scale sensor count, where the reference rereads every row ~n
+  // times with no cache blocking.
+  {
+    const std::size_t kernel_t = quick ? 512 : 2048;
+    std::printf("\n== Training kernel: tiled shifted-correlation vs scalar "
+                "reference (%zu samples) ==\n", kernel_t);
+    std::printf("%8s %9s %16s %16s %9s\n", "sensors", "samples",
+                "ref (coef/s)", "tiled (coef/s)", "speedup");
+    for (const std::size_t n : {64u, 256u, 1024u}) {
+      const std::string point = "n=" + std::to_string(n);
+      // Shared seed: both kernels must consume identical input.
+      const std::uint64_t seed = run.derive_seed("train-kernel/" + point);
+      const common::Matrix s = synthetic_stream(n, kernel_t, seed);
+      const common::MatrixView view{s};
+      const double coefficients = static_cast<double>(n * n);
+
+      common::Matrix ref_out;
+      common::Matrix tiled_out;
+      CaseResult& ref =
+          run.measure("train-kernel-ref/" + point, coefficients,
+                      [&] { ref_out = stats::shifted_correlation_matrix_reference(view); });
+      stats::CorrelationWorkspace ws;
+      CaseResult& tiled =
+          run.measure("train-kernel/" + point, coefficients,
+                      [&] { tiled_out = stats::shifted_correlation_matrix(view, ws); });
+      for (CaseResult* c : {&ref, &tiled}) {
+        c->seed = seed;
+        c->param("sensors", std::to_string(n));
+        c->param("samples", std::to_string(kernel_t));
+      }
+      if (tiled_out.rows() != ref_out.rows() ||
+          tiled_out.cols() != ref_out.cols() ||
+          std::memcmp(tiled_out.data(), ref_out.data(),
+                      ref_out.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: tiled correlation kernel is not bit-identical "
+                     "to the reference at %s\n", point.c_str());
+        return 1;
+      }
+      const double speedup = tiled.items_per_sec / ref.items_per_sec;
+      tiled.metric("speedup_vs_reference", speedup);
+      std::printf("%8zu %9zu %16.0f %16.0f %8.1fx\n", n, kernel_t,
+                  ref.items_per_sec, tiled.items_per_sec, speedup);
+      // The acceptance floor: >=2x at the largest sweep point. Loose on
+      // purpose (shared runners); measures far higher in practice.
+      if (n == 1024 && speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: tiled kernel only %.2fx faster than the scalar "
+                     "reference at n=1024\n", speedup);
+        return 1;
+      }
+    }
+  }
+
+  // Retrain policies: the same single-node ingest under no retraining, the
+  // historical inline (sync) retrain, and the shadow-fit async retrain.
+  // Per-push wall times are recorded so the table can quote ingest latency
+  // quantiles: the sync stall shows up as a p99/max blow-up, and the async
+  // pin — ingest p99 with retrains firing within 5x of the no-retrain
+  // baseline — is the invariant the shadow-fit pipeline exists for.
+  {
+    const std::size_t rt_sensors = 32;
+    const std::size_t rt_t = quick ? 8192 : 16384;
+    core::StreamOptions rt_opts;
+    rt_opts.window_length = 60;
+    rt_opts.window_step = 10;
+    rt_opts.history_length = 256;
+    rt_opts.cs.blocks = 8;
+    rt_opts.retrain_threads = 2;
+    // Rare enough that a single-core runner's scheduler noise around each
+    // fit stays below the p99 index (pushes affected per fit << 1% of the
+    // run), frequent enough that every run exercises dozens of swaps.
+    const std::size_t rt_interval = 512;
+    const std::string rt_point = "n=" + std::to_string(rt_sensors) +
+                                 "/interval=" + std::to_string(rt_interval);
+    const std::uint64_t rt_seed = run.derive_seed("retrain/" + rt_point);
+    std::printf("\n== Retrain policies: ingest latency with retrains firing "
+                "every %zu samples (%zu sensors, %zu samples) ==\n",
+                rt_interval, rt_sensors, rt_t);
+
+    const common::Matrix rt_data =
+        synthetic_stream(rt_sensors, rt_t, rt_seed);
+    const std::shared_ptr<const core::SignatureMethod> rt_method =
+        baselines::default_registry()
+            .create("cs:blocks=8")
+            ->fit(rt_data.sub_cols(0, 2000));
+
+    struct PolicyCase {
+      const char* label;
+      std::size_t interval;
+      core::RetrainPolicy policy;
+    };
+    const PolicyCase policies[] = {
+        {"retrain-off", 0, core::RetrainPolicy::kSync},
+        {"retrain-sync", rt_interval, core::RetrainPolicy::kSync},
+        {"retrain-async", rt_interval, core::RetrainPolicy::kAsync},
+    };
+    std::printf("%14s %13s %10s %10s %10s %7s %7s\n", "policy", "smp/s",
+                "p50 (us)", "p99 (us)", "max (us)", "swaps", "aborts");
+    double off_p99 = 0.0;
+    double async_p99 = 0.0;
+    std::size_t off_signatures = 0;
+    for (const PolicyCase& pc : policies) {
+      core::StreamOptions opts_for = rt_opts;
+      opts_for.retrain_interval = pc.interval;
+      opts_for.retrain_policy = pc.policy;
+      RetrainRun rr;
+      CaseResult& result = run.measure(
+          std::string(pc.label) + "/" + rt_point, static_cast<double>(rt_t),
+          [&] { rr = run_retrain_policy(rt_method, opts_for, rt_data); });
+      const double p50 = quantile_us(rr.push_us, 0.50);
+      const double p99 = quantile_us(rr.push_us, 0.99);
+      const double max_us =
+          *std::max_element(rr.push_us.begin(), rr.push_us.end());
+      result.seed = rt_seed;
+      result.param("sensors", std::to_string(rt_sensors));
+      result.param("samples", std::to_string(rt_t));
+      result.param("history", std::to_string(rt_opts.history_length));
+      result.param("retrain_interval", std::to_string(pc.interval));
+      result.metric("ingest_p50_us", p50);
+      result.metric("ingest_p99_us", p99);
+      result.metric("ingest_max_us", max_us);
+      result.metric("signatures", static_cast<double>(rr.signatures));
+      result.metric("retrain_swaps", static_cast<double>(rr.swaps));
+      result.metric("retrain_aborts", static_cast<double>(rr.aborts));
+      std::printf("%14s %13.0f %10.1f %10.1f %10.1f %7zu %7zu\n", pc.label,
+                  result.items_per_sec, p50, p99, max_us, rr.swaps,
+                  rr.aborts);
+
+      // The emission cadence is retrain-policy-independent: every policy
+      // must emit exactly as many signatures as the no-retrain baseline.
+      if (pc.interval == 0) {
+        off_signatures = rr.signatures;
+        off_p99 = p99;
+      } else if (rr.signatures != off_signatures) {
+        std::fprintf(stderr,
+                     "FAIL: %s emitted %zu signatures, baseline emitted "
+                     "%zu\n", pc.label, rr.signatures, off_signatures);
+        return 1;
+      }
+      if (pc.policy == core::RetrainPolicy::kAsync && pc.interval != 0) {
+        async_p99 = p99;
+        // Every fired retrain must be accounted exactly once — swapped in
+        // or aborted — except a single fit still in flight at teardown.
+        const std::size_t triggers = rt_t / rt_interval;
+        if (rr.swaps + rr.aborts + 1 < triggers ||
+            rr.swaps + rr.aborts > triggers) {
+          std::fprintf(stderr,
+                       "FAIL: async retrain accounting off (%zu swaps + "
+                       "%zu aborts vs %zu triggers)\n",
+                       rr.swaps, rr.aborts, triggers);
+          return 1;
+        }
+        if (rr.swaps == 0) {
+          std::fprintf(stderr,
+                       "FAIL: no async retrain ever completed and swapped "
+                       "in\n");
+          return 1;
+        }
+        result.metric("p99_vs_no_retrain", p99 / off_p99);
+      }
+    }
+    // The pin the shadow-fit pipeline exists for: retraining in the
+    // background must leave ingest tail latency within 5x of never
+    // retraining at all (sync, measured above, stalls for the full fit).
+    if (async_p99 > 5.0 * off_p99) {
+      std::fprintf(stderr,
+                   "FAIL: async retrain ingest p99 %.1f us exceeds 5x the "
+                   "no-retrain baseline %.1f us\n", async_p99, off_p99);
+      return 1;
+    }
+  }
 
   std::printf("\n== StreamEngine vs per-node CsStream equivalence ==\n");
   opts.history_length = 1024;

@@ -192,6 +192,28 @@ int main(int argc, char** argv) {
     stats.type = FrameType::kStatsRequest;
     dump("stats-request.csmf", stats);
 
+    Frame node_stats_request;
+    node_stats_request.type = FrameType::kNodeStatsRequest;
+    dump("node-stats-request.csmf", node_stats_request);
+
+    Frame node_stats;
+    node_stats.type = FrameType::kNodeStatsResponse;
+    csm::net::NodeStatsResponse rows;
+    csm::core::NodeStats row;
+    row.name = "node-07";
+    row.samples = 4096;
+    row.signatures = 404;
+    row.retrains = 3;
+    row.retrain_aborts = 1;
+    row.dropped = 12;
+    row.ingest_latency_us.add(2.5);
+    row.ingest_latency_us.add(40.0);
+    row.retrain_latency_us.add(1.25e5);
+    rows.nodes.push_back(row);
+    rows.nodes.emplace_back();  // A fresh node: all counters zero.
+    node_stats.payload = csm::net::encode_node_stats_response(rows);
+    dump("node-stats-response.csmf", node_stats);
+
     Frame error;
     error.type = FrameType::kError;
     error.payload = csm::net::encode_error_text("unknown node \"ghost\"");

@@ -1,0 +1,56 @@
+// Cooperative cancellation for long-running work (model retrains).
+//
+// A CancelToken is a cheap shared handle to one atomic flag: the party that
+// wants the work stopped keeps a copy and calls cancel(); the worker polls
+// cancelled() at natural checkpoints (between pipeline stages, per tile of a
+// kernel) and unwinds by throwing OperationCancelled. Copies share the flag,
+// so a token handed into a background job stays connected to its requester.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace csm::common {
+
+/// Thrown by cancellable work when its token fires. Callers that launched the
+/// work treat this as "superseded", not as failure.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+  explicit OperationCancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Shared cancellation flag. Copyable; all copies observe the same cancel().
+/// A default-constructed token owns a fresh flag and never reports cancelled
+/// until someone holding a copy fires it.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent, safe from any thread.
+  void cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  /// Checkpoint helper: unwinds with OperationCancelled once fired.
+  void throw_if_cancelled() const {
+    if (cancelled()) throw OperationCancelled();
+  }
+
+  /// Raw flag pointer for kernels that poll inside no-throw parallel bodies.
+  /// Valid for the lifetime of any token copy sharing this flag.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept {
+    return flag_.get();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace csm::common

@@ -1,13 +1,39 @@
 #include "core/method_stream.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "common/cancel.hpp"
+#include "common/timer.hpp"
+#include "core/retrain_executor.hpp"
 
 namespace csm::core {
 
+// Co-owned by the stream and the worker job, so either side may outlive the
+// other: a stream torn down mid-fit just cancels and walks away, an executor
+// torn down with the job still queued simply never runs it. The worker writes
+// result/error/fit_seconds under `mu` and flips `done` last; once the ingest
+// thread has observed done under `mu`, the fields are frozen.
+struct MethodStream::ShadowFit {
+  std::mutex mu;
+  bool done = false;
+  bool cancelled = false;
+  std::shared_ptr<const SignatureMethod> result;
+  std::exception_ptr error;
+  double fit_seconds = 0.0;
+
+  std::shared_ptr<TrainContext> ctx;  ///< Workspace + this fit's token.
+  common::Matrix snapshot;            ///< History copy the fit reads.
+  std::shared_ptr<const SignatureMethod> base;  ///< Method being refitted.
+};
+
 MethodStream::MethodStream(std::shared_ptr<const SignatureMethod> method,
-                           StreamOptions options, std::size_t n_sensors)
-    : method_(std::move(method)), options_(options) {
+                           StreamOptions options, std::size_t n_sensors,
+                           RetrainExecutor* executor)
+    : method_(std::move(method)), options_(options), executor_(executor) {
   options_.validate();
   if (!method_) {
     throw std::invalid_argument("MethodStream: null method");
@@ -29,6 +55,12 @@ MethodStream::MethodStream(std::shared_ptr<const SignatureMethod> method,
   }
   history_ = common::RingMatrix(n_sensors_, options_.history_length);
   next_emit_at_ = options_.window_length;
+}
+
+MethodStream::~MethodStream() {
+  // A still-running shadow fit unwinds at its next cancellation checkpoint;
+  // it only touches the ShadowFit state it co-owns, never this stream.
+  if (shadow_) shadow_->ctx->cancel.cancel();
 }
 
 std::optional<std::vector<double>> MethodStream::push(
@@ -69,6 +101,11 @@ std::optional<std::vector<double>> MethodStream::emit_if_due() {
   if (samples_seen_ < next_emit_at_) return std::nullopt;
   next_emit_at_ += options_.window_step;
 
+  // The emit boundary is where a finished shadow fit becomes visible: one
+  // shared_ptr store, so every signature is computed by exactly one model
+  // generation (never a half-swapped state). No-op under kSync.
+  apply_pending_swap();
+
   // Hand the newest wl columns to the method as a zero-copy view over the
   // ring segments, plus a span over the raw column preceding the window
   // when one exists; the method decides what to do with the seed (CS feeds
@@ -87,10 +124,125 @@ void MethodStream::maybe_retrain() {
   if (options_.retrain_interval == 0) return;
   if (samples_seen_ % options_.retrain_interval != 0) return;
   if (history_.size() < options_.window_length + 1) return;
-  // The whole retained history flows to fit() as a view — no to_matrix().
-  method_ = std::shared_ptr<const SignatureMethod>(
-      method_->fit(history_.history_view()));
+  switch (options_.retrain_policy) {
+    case RetrainPolicy::kSync: {
+      // Inline on the ingest thread, as it always was; the whole retained
+      // history flows to fit() as a view — no to_matrix(). The context only
+      // recycles scratch buffers, so results stay byte-identical.
+      if (!spare_context_) spare_context_ = std::make_shared<TrainContext>();
+      const common::Timer timer;
+      method_ = std::shared_ptr<const SignatureMethod>(
+          method_->fit(history_.history_view(), *spare_context_));
+      ++retrain_count_;
+      retrain_latency_us_.add(timer.seconds() * 1e6);
+      break;
+    }
+    case RetrainPolicy::kAsync:
+      launch_shadow_fit(/*supersede=*/true);
+      break;
+    case RetrainPolicy::kSkipIfBusy:
+      launch_shadow_fit(/*supersede=*/false);
+      break;
+  }
+}
+
+void MethodStream::launch_shadow_fit(bool supersede) {
+  if (shadow_) {
+    bool done = false;
+    {
+      const std::lock_guard<std::mutex> lock(shadow_->mu);
+      done = shadow_->done;
+    }
+    if (!done) {
+      if (!supersede) {
+        // kSkipIfBusy: leave the in-flight fit alone, skip this retrain.
+        ++retrain_aborts_;
+        return;
+      }
+      // kAsync: supersede. The cancelled job keeps its context (it may be
+      // mid-kernel in the workspace); a fresh one is minted below.
+      shadow_->ctx->cancel.cancel();
+      ++retrain_aborts_;
+      shadow_.reset();
+    } else {
+      // Finished, but no emit boundary swapped it in yet. Its result is
+      // stale relative to the history this retrain is about to snapshot.
+      const std::exception_ptr error = shadow_->error;
+      if (shadow_->result) ++retrain_aborts_;
+      reclaim_context(std::move(shadow_->ctx));
+      shadow_.reset();
+      // Surface a failed fit on the ingest thread, where kSync would have.
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  auto state = std::make_shared<ShadowFit>();
+  if (spare_context_) {
+    state->ctx = std::move(spare_context_);
+    state->ctx->cancel = common::CancelToken();  // Fresh, unfired token.
+  } else {
+    state->ctx = std::make_shared<TrainContext>();
+  }
+  state->snapshot = history_.to_matrix();
+  state->base = method_;
+  shadow_ = state;
+
+  executor().submit([state] {
+    const common::Timer timer;
+    try {
+      auto fitted =
+          state->base->fit(common::MatrixView(state->snapshot), *state->ctx);
+      const double seconds = timer.seconds();
+      const std::lock_guard<std::mutex> lock(state->mu);
+      state->fit_seconds = seconds;
+      state->result = std::move(fitted);
+      state->done = true;
+    } catch (const common::OperationCancelled&) {
+      const std::lock_guard<std::mutex> lock(state->mu);
+      state->cancelled = true;
+      state->done = true;
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(state->mu);
+      state->error = std::current_exception();
+      state->done = true;
+    }
+  });
+}
+
+void MethodStream::apply_pending_swap() {
+  if (!shadow_) return;
+  {
+    const std::lock_guard<std::mutex> lock(shadow_->mu);
+    if (!shadow_->done) return;  // Still fitting; keep serving the old model.
+  }
+  const std::shared_ptr<ShadowFit> state = std::move(shadow_);
+  if (state->error) {
+    reclaim_context(std::move(state->ctx));
+    std::rethrow_exception(state->error);
+  }
+  if (state->cancelled || !state->result) {
+    reclaim_context(std::move(state->ctx));
+    return;
+  }
+  method_ = state->result;
   ++retrain_count_;
+  retrain_latency_us_.add(state->fit_seconds * 1e6);
+  reclaim_context(std::move(state->ctx));
+}
+
+RetrainExecutor& MethodStream::executor() {
+  if (executor_ != nullptr) return *executor_;
+  if (!own_executor_) {
+    own_executor_ =
+        std::make_unique<RetrainExecutor>(options_.retrain_threads);
+  }
+  return *own_executor_;
+}
+
+void MethodStream::reclaim_context(std::shared_ptr<TrainContext> ctx) {
+  // Only reached once the fit thread that used `ctx` is provably done with
+  // it (done observed under the ShadowFit mutex, or it never launched).
+  if (!spare_context_) spare_context_ = std::move(ctx);
 }
 
 }  // namespace csm::core

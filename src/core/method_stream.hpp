@@ -8,10 +8,18 @@
 // SignatureMethod::compute_streaming as a common::MatrixView over the ring
 // segments (two segments when the window straddles the wrap point) together
 // with a span over the raw column preceding the window — CS seeds its
-// derivative channel with it, stateless methods ignore it. Retraining passes
-// RingMatrix::history_view() to fit(), so neither path materialises a
-// matrix. This single loop serves the whole method fleet: CsStream is a thin
-// typed wrapper over it, and StreamEngine fans it out across nodes.
+// derivative channel with it, stateless methods ignore it.
+//
+// Retraining follows the StreamOptions::retrain_policy seam. kSync fits
+// inline over RingMatrix::history_view() (no materialisation), exactly the
+// historical behaviour. The async policies snapshot the history, fit a
+// *shadow* method on a RetrainExecutor worker, and swap the finished method
+// in — one shared_ptr store — at the next emit boundary; emits keep serving
+// the old model mid-fit and the ingest thread never waits on a fit. A fit
+// superseded by a newer retrain is cancelled through its TrainContext token
+// and counted in retrain_aborts(). This single loop serves the whole method
+// fleet: CsStream is a thin typed wrapper over it, and StreamEngine fans it
+// out across nodes (sharing one executor between them).
 #pragma once
 
 #include <cstddef>
@@ -22,20 +30,46 @@
 
 #include "common/matrix.hpp"
 #include "common/ring_matrix.hpp"
+// Complete type needed: MethodStream's defaulted moves destroy the
+// unique_ptr fallback pool in every TU that moves a stream.
+#include "core/retrain_executor.hpp"
 #include "core/signature_method.hpp"
 #include "core/streaming.hpp"
+#include "core/training.hpp"
+#include "stats/histogram.hpp"
 
 namespace csm::core {
+
+/// Shape of the retrain-latency histograms (method streams, EngineStats and
+/// the wire schema must agree so Histogram::merge works). Retrains run
+/// milliseconds to seconds — a much coarser range than ingest latency.
+inline constexpr std::size_t kRetrainLatencyBins = 128;
+inline constexpr double kRetrainLatencyMaxUs = 16.0e6;  // 16 s.
+
+inline stats::Histogram make_retrain_latency_histogram() {
+  return stats::Histogram(kRetrainLatencyBins, 0.0, kRetrainLatencyMaxUs);
+}
 
 /// Push-based feature-vector stream over one monitored component.
 class MethodStream {
  public:
   /// `n_sensors` may be 0 when the method is bound to a sensor count (CS,
   /// PCA); sensor-count-agnostic methods (Tuncer, Bodik, Lan) require it.
+  /// `executor`, when given, runs this stream's async-policy shadow fits
+  /// (StreamEngine passes its shared pool); without one, a stream whose
+  /// policy is async lazily spins up a private pool of
+  /// options.retrain_threads workers. The executor must outlive the stream.
   /// Throws std::invalid_argument on a null or untrained method, a
   /// zero/contradictory sensor count, or bad options.
   MethodStream(std::shared_ptr<const SignatureMethod> method,
-               StreamOptions options, std::size_t n_sensors = 0);
+               StreamOptions options, std::size_t n_sensors = 0,
+               RetrainExecutor* executor = nullptr);
+
+  /// Cancels any in-flight shadow fit (the worker unwinds on its own; the
+  /// fit only touches state the job co-owns, never the dead stream).
+  ~MethodStream();
+  MethodStream(MethodStream&&) noexcept = default;
+  MethodStream& operator=(MethodStream&&) noexcept = default;
 
   std::size_t n_sensors() const noexcept { return n_sensors_; }
   const SignatureMethod& method() const noexcept { return *method_; }
@@ -44,7 +78,19 @@ class MethodStream {
   std::size_t signatures_emitted() const noexcept {
     return signatures_emitted_;
   }
+  /// Retrained models actually swapped in (under kSync every fired retrain;
+  /// under the async policies, fits that completed and reached an emit
+  /// boundary). retrain_swaps() is the explicit alias.
   std::size_t retrain_count() const noexcept { return retrain_count_; }
+  std::size_t retrain_swaps() const noexcept { return retrain_count_; }
+  /// Retrains that fired but never produced a swap: superseded (cancelled)
+  /// fits, skip-if-busy suppressions, and discarded stale results.
+  std::size_t retrain_aborts() const noexcept { return retrain_aborts_; }
+  /// Wall-clock fit latency of every swapped-in retrain, in microseconds
+  /// (shape: make_retrain_latency_histogram()).
+  const stats::Histogram& retrain_latency_us() const noexcept {
+    return retrain_latency_us_;
+  }
 
   /// Feeds one column of sensor readings (length must equal n_sensors()).
   /// Returns a feature vector when a window completes, otherwise
@@ -56,8 +102,23 @@ class MethodStream {
   std::vector<std::vector<double>> push_all(const common::Matrix& columns);
 
  private:
+  /// Everything a background shadow fit touches, co-owned by the job and
+  /// the stream so either side may die first. The worker writes result /
+  /// error under `mu` and flips `done` last; the ingest thread reads under
+  /// `mu` at emit boundaries.
+  struct ShadowFit;
+
   void maybe_retrain();
+  void launch_shadow_fit(bool supersede);
+  /// Applies a finished shadow fit (called at emit boundaries): swaps the
+  /// method shared_ptr, bumps the counters, rethrows a fit failure on the
+  /// ingest thread (where a kSync fit would have thrown).
+  void apply_pending_swap();
   std::optional<std::vector<double>> emit_if_due();
+  RetrainExecutor& executor();
+  /// Hands the context back for reuse once its fit thread is provably done
+  /// with the workspace.
+  void reclaim_context(std::shared_ptr<TrainContext> ctx);
 
   std::shared_ptr<const SignatureMethod> method_;
   StreamOptions options_;
@@ -67,6 +128,14 @@ class MethodStream {
   std::size_t next_emit_at_ = 0;
   std::size_t signatures_emitted_ = 0;
   std::size_t retrain_count_ = 0;
+  std::size_t retrain_aborts_ = 0;
+  stats::Histogram retrain_latency_us_ = make_retrain_latency_histogram();
+  /// Correlation workspace recycled across retrains (fresh one minted when
+  /// a superseded fit still owns it).
+  std::shared_ptr<TrainContext> spare_context_;
+  std::shared_ptr<ShadowFit> shadow_;   ///< In-flight / unswapped async fit.
+  RetrainExecutor* executor_ = nullptr;  ///< Borrowed (engine) pool, if any.
+  std::unique_ptr<RetrainExecutor> own_executor_;  ///< Standalone fallback.
 };
 
 }  // namespace csm::core

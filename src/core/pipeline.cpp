@@ -110,6 +110,13 @@ std::unique_ptr<SignatureMethod> CsSignatureMethod::fit(
   return std::make_unique<CsSignatureMethod>(std::move(pipeline), name_);
 }
 
+std::unique_ptr<SignatureMethod> CsSignatureMethod::fit(
+    const common::MatrixView& train_data, TrainContext& ctx) const {
+  auto pipeline =
+      std::make_shared<const CsPipeline>(train(train_data, ctx), options_);
+  return std::make_unique<CsSignatureMethod>(std::move(pipeline), name_);
+}
+
 void CsSignatureMethod::save(codec::Sink& sink) const {
   if (!pipeline_) {
     throw std::logic_error("CsSignatureMethod: serialize() before fit()");

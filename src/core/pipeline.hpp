@@ -101,6 +101,10 @@ class CsSignatureMethod final : public SignatureMethod {
   /// Trains Algorithm 1 + bounds on `train` under this method's options.
   std::unique_ptr<SignatureMethod> fit(
       const common::MatrixView& train) const override;
+  /// fit() reusing the context's correlation workspace, aborting with
+  /// common::OperationCancelled when its token fires mid-train.
+  std::unique_ptr<SignatureMethod> fit(const common::MatrixView& train,
+                                       TrainContext& ctx) const override;
   std::string codec_key() const override { return "cs"; }
   /// Fields: blocks, real-only, perm, lo, hi (the embedded CsModel).
   void save(codec::Sink& sink) const override;

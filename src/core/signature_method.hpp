@@ -42,6 +42,8 @@ class Sink;
 class Source;
 }
 
+struct TrainContext;  // core/training.hpp: reusable workspace + cancel token.
+
 /// Abstract signature extractor.
 class SignatureMethod {
  public:
@@ -87,6 +89,17 @@ class SignatureMethod {
   /// Thin offline overload of fit().
   std::unique_ptr<SignatureMethod> fit(const common::Matrix& train) const {
     return fit(common::MatrixView(train));
+  }
+
+  /// fit() with caller-owned training state: methods whose training is
+  /// expensive (CS) reuse ctx.workspace across retrains and poll ctx.cancel,
+  /// throwing common::OperationCancelled when a superseded retrain should
+  /// abort. The default ignores the context (stateless baselines train in
+  /// O(1); cancellation between fits is handled by the caller).
+  virtual std::unique_ptr<SignatureMethod> fit(const common::MatrixView& train,
+                                               TrainContext& ctx) const {
+    (void)ctx;
+    return fit(train);
   }
 
   // --- model codec ---------------------------------------------------------

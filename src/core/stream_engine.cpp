@@ -75,7 +75,8 @@ std::size_t StreamEngine::add_node(
   // Construct (and let MethodStream validate) outside the exclusive lock so
   // a bad method never stalls concurrent ingestion.
   auto node = std::make_unique<Node>(
-      std::move(name), MethodStream(std::move(method), options_, n_sensors));
+      std::move(name), MethodStream(std::move(method), options_, n_sensors,
+                                    retrain_pool_.get()));
   std::unique_lock lock(nodes_mutex_);
   nodes_.push_back(std::move(node));
   return nodes_.size() - 1;
@@ -135,8 +136,10 @@ std::vector<std::vector<double>> StreamEngine::remove_node(std::size_t node) {
   retired_.samples += n.stream->samples_seen();
   retired_.signatures += n.stream->signatures_emitted();
   retired_.retrains += n.stream->retrain_count();
+  retired_.retrain_aborts += n.stream->retrain_aborts();
   retired_.dropped += n.dropped;
   retired_.latency_us.merge(n.latency_us);
+  retired_.retrain_latency_us.merge(n.stream->retrain_latency_us());
   n.stream.reset();  // Frees the ring history; the tombstone stays.
   std::vector<std::vector<double>> remaining(
       std::make_move_iterator(n.queue.begin()),
@@ -229,8 +232,10 @@ EngineStats StreamEngine::stats() const {
   s.samples = retired_.samples;
   s.signatures = retired_.signatures;
   s.retrains = retired_.retrains;
+  s.retrain_aborts = retired_.retrain_aborts;
   s.dropped = retired_.dropped;
   s.ingest_latency_us.merge(retired_.latency_us);
+  s.retrain_latency_us.merge(retired_.retrain_latency_us);
   for (const auto& n : nodes_) {
     std::lock_guard node_lock(n->mutex);
     if (!n->stream.has_value()) continue;
@@ -238,10 +243,33 @@ EngineStats StreamEngine::stats() const {
     s.samples += n->stream->samples_seen();
     s.signatures += n->stream->signatures_emitted();
     s.retrains += n->stream->retrain_count();
+    s.retrain_aborts += n->stream->retrain_aborts();
     s.dropped += n->dropped;
     s.ingest_latency_us.merge(n->latency_us);
+    s.retrain_latency_us.merge(n->stream->retrain_latency_us());
   }
   return s;
+}
+
+std::vector<NodeStats> StreamEngine::node_stats() const {
+  std::shared_lock lock(nodes_mutex_);
+  std::vector<NodeStats> rows;
+  rows.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    std::lock_guard node_lock(n->mutex);
+    if (!n->stream.has_value()) continue;  // Tombstone: folded into stats().
+    NodeStats row;
+    row.name = n->name;
+    row.samples = n->stream->samples_seen();
+    row.signatures = n->stream->signatures_emitted();
+    row.retrains = n->stream->retrain_count();
+    row.retrain_aborts = n->stream->retrain_aborts();
+    row.dropped = n->dropped;
+    row.ingest_latency_us = n->latency_us;
+    row.retrain_latency_us = n->stream->retrain_latency_us();
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace csm::core

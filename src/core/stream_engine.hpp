@@ -75,10 +75,16 @@ struct EngineStats {
   std::uint64_t retrains = 0;    ///< Retraining passes, summed over nodes.
   std::uint64_t dropped = 0;     ///< Signatures shed by queue backpressure.
   std::uint64_t nodes = 0;       ///< Live (non-removed) nodes.
+  /// Retrains that fired but never swapped a model in: superseded or
+  /// skip-if-busy fits under the async policies (always 0 under kSync).
+  std::uint64_t retrain_aborts = 0;
   double ingest_seconds = 0.0;   ///< Wall time spent inside ingestion calls.
   /// Fleet-wide ingest-latency distribution: per-node histograms merged
   /// (one sample per ingest call per node).
   stats::Histogram ingest_latency_us = make_latency_histogram();
+  /// Fleet-wide retrain fit latency (one sample per swapped-in retrain;
+  /// shape: make_retrain_latency_histogram()).
+  stats::Histogram retrain_latency_us = make_retrain_latency_histogram();
 
   /// Samples per second over the accumulated ingestion time (0 if no time
   /// has been accumulated yet).
@@ -89,14 +95,33 @@ struct EngineStats {
   }
 };
 
+/// Per-node counters for the per-node stats scrape (`csmcli fleet-stats`).
+/// Live nodes only: tombstones fold into the fleet-wide EngineStats instead.
+struct NodeStats {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::uint64_t signatures = 0;
+  std::uint64_t retrains = 0;        ///< Retrained models swapped in.
+  std::uint64_t retrain_aborts = 0;  ///< Superseded / skipped retrains.
+  std::uint64_t dropped = 0;
+  stats::Histogram ingest_latency_us = make_latency_histogram();
+  stats::Histogram retrain_latency_us = make_retrain_latency_histogram();
+};
+
 /// Multi-node streaming front end over per-node MethodStreams.
 class StreamEngine {
  public:
   /// All nodes share the same windowing/retrain configuration; methods are
-  /// per node. Throws (via StreamOptions/MethodStream validation) on bad
-  /// options or bad methods.
+  /// per node. Under an async retrain policy the engine owns the bounded
+  /// retrain worker pool (options.retrain_threads workers) its nodes'
+  /// shadow fits run on. Throws (via StreamOptions/MethodStream
+  /// validation) on bad options or bad methods.
   explicit StreamEngine(StreamOptions options) : options_(options) {
     options_.validate();
+    if (options_.retrain_policy != RetrainPolicy::kSync) {
+      retrain_pool_ =
+          std::make_unique<RetrainExecutor>(options_.retrain_threads);
+    }
   }
 
   /// Registers a node driven by any trained signature method and returns
@@ -166,8 +191,14 @@ class StreamEngine {
   stats::Histogram latency_histogram(std::size_t node) const;
 
   /// Aggregate counters summed over all nodes (including removed ones),
-  /// plus accumulated wall time and the merged latency histogram.
+  /// plus accumulated wall time and the merged latency histograms.
   EngineStats stats() const;
+
+  /// Per-node counter snapshot of every LIVE node, in node-index order
+  /// (tombstones are skipped — their totals live on in stats()). Safe to
+  /// call concurrently with ingestion; each row is internally consistent
+  /// (taken under that node's mutex).
+  std::vector<NodeStats> node_stats() const;
 
  private:
   struct Node {
@@ -194,8 +225,10 @@ class StreamEngine {
     std::uint64_t samples = 0;
     std::uint64_t signatures = 0;
     std::uint64_t retrains = 0;
+    std::uint64_t retrain_aborts = 0;
     std::uint64_t dropped = 0;
     stats::Histogram latency_us = make_latency_histogram();
+    stats::Histogram retrain_latency_us = make_retrain_latency_histogram();
   };
 
   /// Looks a node up under the table lock; throws std::out_of_range for a
@@ -210,6 +243,10 @@ class StreamEngine {
   void ingest_locked(Node& n, const common::Matrix& columns);
 
   StreamOptions options_;
+  /// Bounded worker pool the nodes' async shadow fits run on (null under
+  /// kSync). Declared before nodes_ so it is destroyed after them: a
+  /// stream's destructor cancels its in-flight fit, then the pool joins.
+  std::unique_ptr<RetrainExecutor> retrain_pool_;
   /// unique_ptr keeps node addresses (and their mutexes) stable while
   /// add_node grows the table under the exclusive lock.
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -25,6 +25,11 @@ void StreamOptions::validate() const {
         ") so the ring can hold one window plus the derivative seed column; "
         "anything smaller would also make retraining silently unreachable");
   }
+  if (retrain_threads == 0) {
+    throw std::invalid_argument(
+        "StreamOptions: retrain_threads must be at least 1 (the pool is only "
+        "created for async retrain policies, but its size must be sane)");
+  }
 }
 
 namespace {

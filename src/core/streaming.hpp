@@ -27,6 +27,23 @@ namespace csm::core {
 
 class MethodStream;
 
+/// How MethodStream runs the periodic retrain that retrain_interval fires.
+enum class RetrainPolicy {
+  /// Fit inline on the ingest thread — the historical behaviour,
+  /// byte-identical to streams that predate the policy seam. Ingest stalls
+  /// for the full O(n^2 t) training time.
+  kSync,
+  /// Snapshot the history, fit a shadow model on a background worker, and
+  /// swap it in atomically at the next emit boundary; emits keep serving the
+  /// old model mid-fit. A retrain firing while one is still in flight
+  /// supersedes it: the stale fit is cancelled and counted as an abort.
+  kAsync,
+  /// Like kAsync, but a retrain firing while one is in flight is skipped
+  /// (counted as an abort) instead of cancelling and relaunching — steadier
+  /// under retrain intervals shorter than the fit time.
+  kSkipIfBusy,
+};
+
 /// Streaming configuration.
 struct StreamOptions {
   std::size_t window_length = 60;  ///< wl in samples.
@@ -43,6 +60,13 @@ struct StreamOptions {
   /// and a loud counter, not an OOM. Offline replays that require every
   /// signature must leave this at 0.
   std::size_t max_pending = 0;
+  /// What a firing retrain does to the ingest thread (see RetrainPolicy).
+  RetrainPolicy retrain_policy = RetrainPolicy::kSync;
+  /// Worker count of the retrain pool the async policies fit on. Sizes the
+  /// StreamEngine-owned pool shared by all its nodes (csmd
+  /// --retrain-threads); a standalone MethodStream without an engine spins
+  /// up its own pool of this size on first use. Ignored under kSync.
+  std::size_t retrain_threads = 1;
 
   /// Rejects contradictory configurations with std::invalid_argument naming
   /// the offending field: zero window_length, zero window_step, and a

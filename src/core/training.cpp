@@ -51,17 +51,31 @@ std::vector<std::size_t> correlation_ordering(
 }
 
 CsModel train(const common::MatrixView& s) {
-  return train_with_strategy(s, OrderingStrategy::kAlgorithm1);
+  TrainContext ctx;
+  return train_with_strategy(s, OrderingStrategy::kAlgorithm1, ctx);
+}
+
+CsModel train(const common::MatrixView& s, TrainContext& ctx) {
+  return train_with_strategy(s, OrderingStrategy::kAlgorithm1, ctx);
 }
 
 CsModel train_with_strategy(const common::MatrixView& s,
                             OrderingStrategy strategy) {
+  TrainContext ctx;
+  return train_with_strategy(s, strategy, ctx);
+}
+
+CsModel train_with_strategy(const common::MatrixView& s,
+                            OrderingStrategy strategy, TrainContext& ctx) {
   if (s.empty()) throw std::invalid_argument("train: empty sensor matrix");
+  ctx.cancel.throw_if_cancelled();
   std::vector<stats::MinMaxBounds> bounds = stats::row_bounds(s);
   std::vector<std::size_t> perm;
   switch (strategy) {
     case OrderingStrategy::kAlgorithm1: {
-      const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+      const common::Matrix shifted =
+          stats::shifted_correlation_matrix(s, ctx.workspace, &ctx.cancel);
+      ctx.cancel.throw_if_cancelled();
       perm = correlation_ordering(shifted, stats::global_coefficients(shifted));
       break;
     }
@@ -71,7 +85,8 @@ CsModel train_with_strategy(const common::MatrixView& s,
       break;
     }
     case OrderingStrategy::kGlobalOnly: {
-      const common::Matrix shifted = stats::shifted_correlation_matrix(s);
+      const common::Matrix shifted =
+          stats::shifted_correlation_matrix(s, ctx.workspace, &ctx.cancel);
       const std::vector<double> global = stats::global_coefficients(shifted);
       perm.resize(s.rows());
       std::iota(perm.begin(), perm.end(), std::size_t{0});

@@ -12,11 +12,24 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/matrix.hpp"
 #include "common/matrix_view.hpp"
 #include "core/cs_model.hpp"
+#include "stats/correlation.hpp"
 
 namespace csm::core {
+
+/// Reusable state threaded through repeated trainings of the same stream:
+/// the correlation scratch workspace (so steady-state retrains stop
+/// reallocating the O(n t) staging buffers) and a cancellation token (so a
+/// superseded background retrain aborts early instead of finishing a fit
+/// nobody will swap in). A default-constructed context is inert: fresh
+/// buffers, a token that never fires unless someone holding a copy cancels.
+struct TrainContext {
+  stats::CorrelationWorkspace workspace;
+  common::CancelToken cancel;
+};
 
 /// Computes the permutation vector of Algorithm 1 from a shifted pairwise
 /// correlation matrix and the corresponding global coefficients. Exposed
@@ -34,6 +47,11 @@ std::vector<std::size_t> correlation_ordering(
 /// layouts. Throws std::invalid_argument if `s` is empty.
 CsModel train(const common::MatrixView& s);
 
+/// train() with caller-owned scratch and cancellation: the correlation pass
+/// reuses ctx.workspace and polls ctx.cancel per tile, throwing
+/// common::OperationCancelled once it fires. Bit-identical to train().
+CsModel train(const common::MatrixView& s, TrainContext& ctx);
+
 /// Alternative orderings used by the ablation benchmark.
 enum class OrderingStrategy {
   kAlgorithm1,    ///< The paper's greedy product ordering.
@@ -45,5 +63,10 @@ enum class OrderingStrategy {
 /// Trains with a specific ordering strategy (bounds are always computed).
 CsModel train_with_strategy(const common::MatrixView& s,
                             OrderingStrategy strategy);
+
+/// train_with_strategy() with caller-owned scratch and cancellation (see the
+/// TrainContext overload of train()).
+CsModel train_with_strategy(const common::MatrixView& s,
+                            OrderingStrategy strategy, TrainContext& ctx);
 
 }  // namespace csm::core

@@ -18,8 +18,10 @@ using core::codec::load_u32;
 }  // namespace
 
 bool is_known_frame_type(std::uint8_t type) noexcept {
+  // The type space is contiguous from kSampleBatch through the most
+  // recently appended type — keep this bound on the LAST enumerator.
   return type >= static_cast<std::uint8_t>(FrameType::kSampleBatch) &&
-         type <= static_cast<std::uint8_t>(FrameType::kError);
+         type <= static_cast<std::uint8_t>(FrameType::kNodeStatsResponse);
 }
 
 const char* frame_type_name(FrameType type) noexcept {
@@ -42,6 +44,10 @@ const char* frame_type_name(FrameType type) noexcept {
       return "ok";
     case FrameType::kError:
       return "error";
+    case FrameType::kNodeStatsRequest:
+      return "node-stats-request";
+    case FrameType::kNodeStatsResponse:
+      return "node-stats-response";
   }
   return "unknown";
 }

@@ -62,6 +62,8 @@ enum class FrameType : std::uint8_t {
   kStatsResponse = 7,  ///< Daemon -> client: the stats snapshot.
   kOk = 8,             ///< Daemon -> client: request succeeded (+ index).
   kError = 9,          ///< Daemon -> client: request failed (UTF-8 text).
+  kNodeStatsRequest = 10,   ///< Client -> daemon: scrape per-node stats.
+  kNodeStatsResponse = 11,  ///< Daemon -> client: one row per live node.
 };
 
 /// True for a byte value that is a defined FrameType.

@@ -18,6 +18,39 @@ void append_f64(std::vector<std::uint8_t>& out, double v) {
   append_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
+// Shared histogram wire form: f64 lo | f64 hi | u64 underflow |
+// u64 overflow | u32 bins | u64 x bins (stats-response ingest + retrain
+// histograms and every node-stats row use it).
+void append_histogram(std::vector<std::uint8_t>& out,
+                      const stats::Histogram& h) {
+  if (h.bins() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "encode_stats_response: histogram bin count exceeds u32");
+  }
+  append_f64(out, h.lo());
+  append_f64(out, h.hi());
+  append_u64(out, h.underflow());
+  append_u64(out, h.overflow());
+  append_u32(out, static_cast<std::uint32_t>(h.bins()));
+  for (std::size_t i = 0; i < h.bins(); ++i) append_u64(out, h.count(i));
+}
+
+stats::Histogram read_histogram(PayloadReader& in, const char* what) {
+  const double lo = in.f64("hist_lo");
+  const double hi = in.f64("hist_hi");
+  const std::uint64_t underflow = in.u64("hist_underflow");
+  const std::uint64_t overflow = in.u64("hist_overflow");
+  const std::uint64_t bins = in.u32("hist_bins");
+  std::vector<std::uint64_t> counts = in.u64_array("hist_counts", bins);
+  if (counts.empty() || hi < lo) {
+    throw MessageError("CSMF payload: bad histogram shape in " +
+                       std::string(what) + " (bins=" + std::to_string(bins) +
+                       ", lo=" + std::to_string(lo) +
+                       ", hi=" + std::to_string(hi) + ")");
+  }
+  return stats::Histogram(lo, hi, std::move(counts), underflow, overflow);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -268,6 +301,8 @@ StatsResponse make_stats_response(const core::EngineStats& stats,
   msg.ingest_seconds = stats.ingest_seconds;
   msg.server_version = std::move(server_version);
   msg.ingest_latency_us = stats.ingest_latency_us;
+  msg.retrain_aborts = stats.retrain_aborts;
+  msg.retrain_latency_us = stats.retrain_latency_us;
   return msg;
 }
 
@@ -276,11 +311,6 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg) {
   if (msg.server_version.size() > kU16Max) {
     throw std::invalid_argument(
         "encode_stats_response: server version string too long");
-  }
-  const stats::Histogram& h = msg.ingest_latency_us;
-  if (h.bins() > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::invalid_argument(
-        "encode_stats_response: histogram bin count exceeds u32");
   }
   std::vector<std::uint8_t> out;
   append_u64(out, msg.samples);
@@ -292,12 +322,11 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg) {
   append_u16(out, static_cast<std::uint16_t>(msg.server_version.size()));
   out.insert(out.end(), msg.server_version.begin(),
              msg.server_version.end());
-  append_f64(out, h.lo());
-  append_f64(out, h.hi());
-  append_u64(out, h.underflow());
-  append_u64(out, h.overflow());
-  append_u32(out, static_cast<std::uint32_t>(h.bins()));
-  for (std::size_t i = 0; i < h.bins(); ++i) append_u64(out, h.count(i));
+  append_histogram(out, msg.ingest_latency_us);
+  // Retrain-pressure fields, appended (never renumbered): a pre-retrain
+  // decoder stops at the ingest histogram and ignores these bytes' absence.
+  append_u64(out, msg.retrain_aborts);
+  append_histogram(out, msg.retrain_latency_us);
   return out;
 }
 
@@ -312,21 +341,80 @@ StatsResponse decode_stats_response(std::span<const std::uint8_t> payload) {
   msg.ingest_seconds = in.f64("ingest_seconds");
   const std::uint64_t version_len = in.u16("version_len");
   msg.server_version = in.text("server_version", version_len);
-  const double lo = in.f64("hist_lo");
-  const double hi = in.f64("hist_hi");
-  const std::uint64_t underflow = in.u64("hist_underflow");
-  const std::uint64_t overflow = in.u64("hist_overflow");
-  const std::uint64_t bins = in.u32("hist_bins");
-  std::vector<std::uint64_t> counts = in.u64_array("hist_counts", bins);
+  msg.ingest_latency_us = read_histogram(in, "stats-response");
+  // A payload ending here came from a peer that predates the appended
+  // retrain fields: keep their zero-valued defaults.
+  if (in.remaining() == 0) return msg;
+  msg.retrain_aborts = in.u64("retrain_aborts");
+  msg.retrain_latency_us = read_histogram(in, "stats-response retrain");
   in.finish("stats-response");
-  if (counts.empty() || hi < lo) {
-    throw MessageError(
-        "CSMF payload: bad histogram shape in stats-response (bins=" +
-        std::to_string(bins) + ", lo=" + std::to_string(lo) +
-        ", hi=" + std::to_string(hi) + ")");
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// kNodeStatsResponse
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_node_stats_response(
+    const NodeStatsResponse& msg) {
+  constexpr std::size_t kU16Max = std::numeric_limits<std::uint16_t>::max();
+  if (msg.nodes.size() > kMaxNodeStatsRows) {
+    throw std::invalid_argument(
+        "encode_node_stats_response: too many node rows for one frame "
+        "(shard the engine)");
   }
-  msg.ingest_latency_us =
-      stats::Histogram(lo, hi, std::move(counts), underflow, overflow);
+  std::vector<std::uint8_t> out;
+  append_u32(out, static_cast<std::uint32_t>(msg.nodes.size()));
+  for (const core::NodeStats& row : msg.nodes) {
+    if (row.name.size() > kU16Max) {
+      throw std::invalid_argument(
+          "encode_node_stats_response: node name too long");
+    }
+    append_u16(out, static_cast<std::uint16_t>(row.name.size()));
+    out.insert(out.end(), row.name.begin(), row.name.end());
+    append_u64(out, row.samples);
+    append_u64(out, row.signatures);
+    append_u64(out, row.retrains);
+    append_u64(out, row.retrain_aborts);
+    append_u64(out, row.dropped);
+    append_histogram(out, row.ingest_latency_us);
+    append_histogram(out, row.retrain_latency_us);
+  }
+  return out;
+}
+
+NodeStatsResponse decode_node_stats_response(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader in(payload);
+  NodeStatsResponse msg;
+  const std::uint64_t count = in.u32("node_count");
+  if (count > kMaxNodeStatsRows) {
+    throw MessageError("CSMF payload: bad node_count: " +
+                       std::to_string(count) + " rows exceed the cap of " +
+                       std::to_string(kMaxNodeStatsRows));
+  }
+  // Each row costs at least its 2-byte name length, so the count is bounded
+  // by the bytes present before the vector is sized.
+  if (count > in.remaining() / 2) {
+    throw MessageError("CSMF payload: bad node_count: " +
+                       std::to_string(count) + " rows cannot fit in " +
+                       std::to_string(in.remaining()) + " remaining bytes");
+  }
+  msg.nodes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    core::NodeStats row;
+    const std::uint64_t name_len = in.u16("node_name_len");
+    row.name = in.text("node_name", name_len);
+    row.samples = in.u64("node_samples");
+    row.signatures = in.u64("node_signatures");
+    row.retrains = in.u64("node_retrains");
+    row.retrain_aborts = in.u64("node_retrain_aborts");
+    row.dropped = in.u64("node_dropped");
+    row.ingest_latency_us = read_histogram(in, "node-stats ingest");
+    row.retrain_latency_us = read_histogram(in, "node-stats retrain");
+    msg.nodes.push_back(std::move(row));
+  }
+  in.finish("node-stats-response");
   return msg;
 }
 

@@ -125,8 +125,11 @@ DrainResponse decode_drain_response(std::span<const std::uint8_t> payload);
 // kStatsResponse: u64 samples | u64 signatures | u64 retrains | u64 dropped
 // | u64 nodes | f64 ingest_seconds | u16 version_len | version bytes |
 // f64 hist_lo | f64 hist_hi | u64 underflow | u64 overflow | u32 bins |
-// u64 x bins. The histogram restores losslessly through the
-// stats::Histogram restore constructor.
+// u64 x bins — then the fields APPENDED for retrain pressure (old peers
+// simply stop before them, and the decoder fills zero-valued defaults):
+// u64 retrain_aborts | f64 rt_lo | f64 rt_hi | u64 rt_underflow |
+// u64 rt_overflow | u32 rt_bins | u64 x rt_bins. Histograms restore
+// losslessly through the stats::Histogram restore constructor.
 // ---------------------------------------------------------------------------
 
 struct StatsResponse {
@@ -140,6 +143,10 @@ struct StatsResponse {
   /// actually running.
   std::string server_version;
   stats::Histogram ingest_latency_us = core::make_latency_histogram();
+  /// Appended fields (PROTOCOL.md: appended, never renumbered). Zero-valued
+  /// defaults when decoding a pre-retrain-pressure peer's payload.
+  std::uint64_t retrain_aborts = 0;
+  stats::Histogram retrain_latency_us = core::make_retrain_latency_histogram();
 };
 
 /// Builds the wire message from an engine snapshot + build identity.
@@ -147,6 +154,30 @@ StatsResponse make_stats_response(const core::EngineStats& stats,
                                   std::string server_version);
 std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg);
 StatsResponse decode_stats_response(std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// kNodeStatsResponse: u32 count | count x node row, each row
+// u16 name_len | name bytes | u64 samples | u64 signatures | u64 retrains |
+// u64 retrain_aborts | u64 dropped | ingest histogram | retrain histogram
+// (histograms as f64 lo | f64 hi | u64 underflow | u64 overflow | u32 bins |
+// u64 x bins). One row per LIVE engine node, in node-index order — the
+// un-merged per-node view that kStatsResponse's fleet-wide rollup loses.
+// The request (kNodeStatsRequest) is empty with an empty frame id.
+// ---------------------------------------------------------------------------
+
+struct NodeStatsResponse {
+  std::vector<core::NodeStats> nodes;
+};
+
+/// Caps a node-stats response at what one frame can carry; encode throws
+/// std::invalid_argument beyond it. 64 MiB / ~2.2 KiB per row leaves head
+/// room; a fleet bigger than this should shard engines (ROADMAP item 1).
+inline constexpr std::size_t kMaxNodeStatsRows = 16384;
+
+std::vector<std::uint8_t> encode_node_stats_response(
+    const NodeStatsResponse& msg);
+NodeStatsResponse decode_node_stats_response(
+    std::span<const std::uint8_t> payload);
 
 // ---------------------------------------------------------------------------
 // kOk: u8 has_value | u64 value. NodeAdd acks carry the new node index;

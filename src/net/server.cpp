@@ -163,6 +163,13 @@ void FleetServer::handle_frame(Client& client, Frame&& frame) {
                   engine_.stats(), options_.server_version)));
         break;
       }
+      case FrameType::kNodeStatsRequest: {
+        NodeStatsResponse response;
+        response.nodes = engine_.node_stats();
+        reply(client, FrameType::kNodeStatsResponse, "",
+              encode_node_stats_response(response));
+        break;
+      }
       default:
         throw std::invalid_argument(
             std::string("unexpected ") + frame_type_name(frame.type) +

@@ -1,7 +1,10 @@
 #include "stats/correlation.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "stats/descriptive.hpp"
@@ -18,25 +21,144 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   return covariance(x, y) / (sx * sy);
 }
 
+namespace {
+
+// Tile edge for the pairwise pass: a 32x32 pair tile touches 64 centered
+// rows, which at the longest streaming history (1024 cols = 8 KiB/row)
+// stays within a typical 512 KiB L2 slice.
+constexpr std::size_t kPairTile = 32;
+
+}  // namespace
+
+common::Matrix shifted_correlation_matrix(const common::MatrixView& s,
+                                          CorrelationWorkspace& ws,
+                                          const common::CancelToken* cancel) {
+  const std::size_t n = s.rows();
+  const std::size_t t = s.cols();
+  common::Matrix out(n, n);
+  ws.reserve(n, t);
+
+  // Hoist the mean-subtracted rows once (O(n t)): the O(n^2 t) pairwise pass
+  // below then reads contiguous centered rows regardless of the view layout
+  // (ring-segment views are gathered here, per-row order preserved). The
+  // subtraction is the same op the reference kernel performs inside its
+  // inner loop, so hoisting it keeps every coefficient bit-identical.
+  std::vector<double> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = s.row(i, scratch);
+    const double m = mean(src);
+    ws.means[i] = m;
+    ws.sds[i] = stddev(src);
+    double* y = ws.centered.data() + i * t;
+    for (std::size_t k = 0; k < t; ++k) y[k] = src[k] - m;
+  }
+  if (cancel != nullptr) cancel->throw_if_cancelled();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = 2.0;  // pearson(x, x) = 1, shifted by +1.
+  }
+  if (n < 2) return out;
+
+  const bool degenerate = t < 2;
+  // rho for a finished pair, with the identical guard/clamp sequence the
+  // reference applies. cov is only *used* under the guard, so computing it
+  // unconditionally above changes nothing.
+  const auto finish_pair = [&](std::size_t i, std::size_t j, double cov) {
+    double rho = 0.0;
+    if (!degenerate && ws.sds[i] != 0.0 && ws.sds[j] != 0.0) {
+      cov /= static_cast<double>(t);
+      rho = cov / (ws.sds[i] * ws.sds[j]);
+      // Clamp numerical overshoot so callers can rely on [-1, 1].
+      rho = std::min(1.0, std::max(-1.0, rho));
+    }
+    out(i, j) = rho + 1.0;
+    out(j, i) = rho + 1.0;
+  };
+
+  // Upper-triangular tile pairs, flattened so dynamic scheduling can balance
+  // the skewed diagonal tiles. Each tile pair owns a disjoint block of `out`
+  // (plus its mirrored block), so the parallel bodies never race.
+  const std::size_t n_tiles = (n + kPairTile - 1) / kPairTile;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  tiles.reserve(n_tiles * (n_tiles + 1) / 2);
+  for (std::size_t bi = 0; bi < n_tiles; ++bi) {
+    for (std::size_t bj = bi; bj < n_tiles; ++bj) tiles.emplace_back(bi, bj);
+  }
+
+  // Parallel bodies must not throw: a fired token makes remaining tiles
+  // no-ops, and the checkpoint after the loop unwinds.
+  const std::atomic<bool>* cancel_flag =
+      cancel != nullptr ? cancel->flag() : nullptr;
+  const double* centered = ws.centered.data();
+
+  common::parallel_for_dynamic(tiles.size(), [&](std::size_t p) {
+    if (cancel_flag != nullptr &&
+        cancel_flag->load(std::memory_order_relaxed)) {
+      return;
+    }
+    const auto [bi, bj] = tiles[p];
+    const std::size_t i1 = std::min(n, (bi + 1) * kPairTile);
+    const std::size_t j0 = bj * kPairTile;
+    const std::size_t j1 = std::min(n, (bj + 1) * kPairTile);
+    for (std::size_t i = bi * kPairTile; i < i1; ++i) {
+      const double* yi = centered + i * t;
+      std::size_t j = std::max(j0, i + 1);
+      // Register-block four pairs per sweep: four independent accumulation
+      // chains keep the FMA ports busy, while each chain remains one
+      // accumulator summed in time-ascending order — the bit-exactness pin.
+      for (; j + 4 <= j1; j += 4) {
+        const double* y0 = centered + j * t;
+        const double* y1 = y0 + t;
+        const double* y2 = y1 + t;
+        const double* y3 = y2 + t;
+        double c0 = 0.0;
+        double c1 = 0.0;
+        double c2 = 0.0;
+        double c3 = 0.0;
+        for (std::size_t k = 0; k < t; ++k) {
+          const double v = yi[k];
+          c0 += v * y0[k];
+          c1 += v * y1[k];
+          c2 += v * y2[k];
+          c3 += v * y3[k];
+        }
+        finish_pair(i, j, c0);
+        finish_pair(i, j + 1, c1);
+        finish_pair(i, j + 2, c2);
+        finish_pair(i, j + 3, c3);
+      }
+      for (; j < j1; ++j) {
+        const double* yj = centered + j * t;
+        double cov = 0.0;
+        for (std::size_t k = 0; k < t; ++k) cov += yi[k] * yj[k];
+        finish_pair(i, j, cov);
+      }
+    }
+  });
+  if (cancel != nullptr) cancel->throw_if_cancelled();
+  return out;
+}
+
 common::Matrix shifted_correlation_matrix(const common::MatrixView& s) {
+  CorrelationWorkspace ws;
+  return shifted_correlation_matrix(s, ws, nullptr);
+}
+
+common::Matrix shifted_correlation_matrix_reference(
+    const common::MatrixView& s) {
   const std::size_t n = s.rows();
   const std::size_t t = s.cols();
   common::Matrix out(n, n);
 
-  // The O(n^2 t) pairwise pass below rereads every row ~n times, so keep
-  // its inner loops on contiguous spans: a row-major view hands its rows
-  // out zero-copy, a ring-segment view is gathered once (O(n t), per-row
-  // order preserved, so results stay bit-identical to the materialised
-  // path — the same copy the pre-view code made with to_matrix(), now
-  // confined to this kernel).
+  // The pre-tiling kernel, unchanged: the oracle the property tests hold the
+  // tiled path bit-identical to. Rows of a ring-segment view are gathered
+  // once (per-row order preserved), exactly as before.
   const bool direct = s.contiguous_rows();
   const common::Matrix gathered = direct ? common::Matrix() : s.materialize();
   const auto row_of = [&](std::size_t i) {
     return direct ? s.row(i) : gathered.row(i);
   };
 
-  // Pre-compute per-row means and standard deviations once: the pairwise
-  // loop then only needs the cross terms.
   std::vector<double> means(n), sds(n);
   for (std::size_t i = 0; i < n; ++i) {
     means[i] = mean(row_of(i));

@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "baselines/bodik.hpp"
 #include "baselines/pca.hpp"
 #include "baselines/tuncer.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "core/streaming.hpp"
 #include "core/training.hpp"
@@ -149,6 +155,253 @@ TEST(MethodStream, WrongColumnLengthThrows) {
   EXPECT_THROW((void)stream.push(wrong), std::invalid_argument);
   EXPECT_THROW((void)stream.push_all(common::Matrix(3, 10)),
                std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Retrain policies. GenerationMethod makes model swaps observable: each
+// fit() bumps a generation counter that compute() emits, so a signature
+// names the model generation that produced it. Fits can be made to block
+// (released from the test) and to throw, driving the shadow-fit state
+// machine through its deterministic corners.
+// --------------------------------------------------------------------------
+
+struct FitProbe {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool block = false;     ///< Fits wait for release (or cancellation).
+  bool released = false;
+  bool fail = false;      ///< Fits throw std::runtime_error.
+  int started = 0;
+  int finished = 0;
+  int cancelled = 0;
+
+  void release() {
+    const std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+  // Awaits a counter reaching `goal` (e.g. wait_for(&FitProbe::started, 1)).
+  void await(int FitProbe::* counter, int goal) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return this->*counter >= goal; });
+  }
+};
+
+class GenerationMethod : public SignatureMethod {
+ public:
+  GenerationMethod(std::size_t n_sensors, std::shared_ptr<FitProbe> probe,
+                   int generation = 0)
+      : n_sensors_(n_sensors), probe_(std::move(probe)),
+        generation_(generation) {}
+
+  std::string name() const override { return "generation"; }
+  std::size_t signature_length(std::size_t) const override { return 1; }
+  std::size_t n_sensors() const override { return n_sensors_; }
+  std::vector<double> compute(const common::MatrixView&) const override {
+    return {static_cast<double>(generation_)};
+  }
+  std::unique_ptr<SignatureMethod> fit(
+      const common::MatrixView&) const override {
+    return std::make_unique<GenerationMethod>(n_sensors_, probe_,
+                                              generation_ + 1);
+  }
+  std::unique_ptr<SignatureMethod> fit(const common::MatrixView& train,
+                                       TrainContext& ctx) const override {
+    {
+      std::unique_lock<std::mutex> lock(probe_->mu);
+      ++probe_->started;
+      probe_->cv.notify_all();
+      while (probe_->block && !probe_->released &&
+             !ctx.cancel.cancelled()) {
+        probe_->cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      if (ctx.cancel.cancelled()) {
+        ++probe_->cancelled;
+        probe_->cv.notify_all();
+        throw common::OperationCancelled("generation: fit cancelled");
+      }
+      if (probe_->fail) {
+        probe_->cv.notify_all();
+        throw std::runtime_error("generation: fit failed");
+      }
+    }
+    auto fitted = fit(train);
+    const std::lock_guard<std::mutex> lock(probe_->mu);
+    ++probe_->finished;
+    probe_->cv.notify_all();
+    return fitted;
+  }
+
+ private:
+  std::size_t n_sensors_;
+  std::shared_ptr<FitProbe> probe_;
+  int generation_;
+};
+
+StreamOptions retrain_options(RetrainPolicy policy) {
+  StreamOptions opts = stream_options();
+  opts.retrain_interval = 40;
+  opts.history_length = 64;
+  opts.retrain_policy = policy;
+  return opts;
+}
+
+void push_columns(MethodStream& stream, std::size_t count,
+                  std::vector<std::vector<double>>* out = nullptr) {
+  const std::vector<double> column(stream.n_sensors(), 1.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (auto sig = stream.push(column)) {
+      if (out != nullptr) out->push_back(std::move(*sig));
+    }
+  }
+}
+
+TEST(MethodStreamRetrain, SyncSwapsInlineAndRecordsLatency) {
+  const auto probe = std::make_shared<FitProbe>();
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kSync));
+  std::vector<std::vector<double>> sigs;
+  push_columns(stream, 80, &sigs);
+  // Inline retrains at samples 40 and 80. A retrain precedes the
+  // same-sample emit, so the emits at 20..80 see generations
+  // 0, 0, 1, 1, 1, 1, 2.
+  EXPECT_EQ(stream.retrain_count(), 2u);
+  EXPECT_EQ(stream.retrain_swaps(), 2u);
+  EXPECT_EQ(stream.retrain_aborts(), 0u);
+  EXPECT_EQ(probe->started, 2);
+  EXPECT_EQ(probe->finished, 2);
+  EXPECT_EQ(stream.retrain_latency_us().total(), 2u);
+  ASSERT_EQ(sigs.size(), 7u);  // Emits at 20, 30, ..., 80.
+  EXPECT_EQ(sigs.front(), std::vector<double>{0.0});
+  EXPECT_EQ(sigs.back(), std::vector<double>{2.0});
+}
+
+TEST(MethodStreamRetrain, AsyncSwapLandsAtEmitBoundary) {
+  const auto probe = std::make_shared<FitProbe>();
+  // Hold the fit open: a fast worker could otherwise finish it between the
+  // sample-40 launch and that same push's emit, legally swapping already at
+  // sample 40 — blocking pins the "old model serves mid-fit" window.
+  probe->block = true;
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kAsync));
+  std::vector<std::vector<double>> sigs;
+  push_columns(stream, 40, &sigs);
+  probe->await(&FitProbe::started, 1);
+  // One more emit (sample 50) with the fit still in flight: every
+  // signature so far is from the base model and nothing has swapped.
+  push_columns(stream, 10, &sigs);
+  EXPECT_EQ(stream.retrain_swaps(), 0u);
+  for (const auto& sig : sigs) EXPECT_EQ(sig, std::vector<double>{0.0});
+
+  probe->release();
+  probe->await(&FitProbe::finished, 1);
+  // The worker flips `done` moments after bumping `finished`; keep pushing
+  // through emit boundaries (staying below sample 80, the next retrain
+  // trigger) until the swap lands.
+  for (int i = 0; i < 25 && stream.retrain_swaps() == 0; ++i) {
+    push_columns(stream, 1, &sigs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stream.retrain_swaps(), 1u);
+  EXPECT_EQ(stream.retrain_count(), 1u);
+  EXPECT_EQ(stream.retrain_aborts(), 0u);
+  EXPECT_EQ(stream.retrain_latency_us().total(), 1u);
+  EXPECT_EQ(sigs.back(), std::vector<double>{1.0});
+}
+
+TEST(MethodStreamRetrain, SkipIfBusyLeavesInFlightFitAlone) {
+  const auto probe = std::make_shared<FitProbe>();
+  probe->block = true;
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kSkipIfBusy));
+  push_columns(stream, 40);
+  probe->await(&FitProbe::started, 1);
+  // The sample-80 retrain finds the fit still running: skipped, counted.
+  push_columns(stream, 40);
+  EXPECT_EQ(stream.retrain_aborts(), 1u);
+  EXPECT_EQ(probe->started, 1);
+  EXPECT_EQ(stream.retrain_swaps(), 0u);
+
+  probe->release();
+  probe->await(&FitProbe::finished, 1);
+  std::vector<std::vector<double>> sigs;
+  for (int i = 0; i < 30 && stream.retrain_swaps() == 0; ++i) {
+    push_columns(stream, 1, &sigs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stream.retrain_swaps(), 1u);
+  EXPECT_EQ(stream.retrain_aborts(), 1u);
+  ASSERT_FALSE(sigs.empty());
+  EXPECT_EQ(sigs.back(), std::vector<double>{1.0});
+}
+
+TEST(MethodStreamRetrain, AsyncSupersedeCancelsInFlightFit) {
+  const auto probe = std::make_shared<FitProbe>();
+  probe->block = true;
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kAsync));
+  push_columns(stream, 40);
+  probe->await(&FitProbe::started, 1);
+  // The sample-80 retrain supersedes: the first fit's token fires (it
+  // unwinds via OperationCancelled) and a second fit launches.
+  push_columns(stream, 40);
+  EXPECT_EQ(stream.retrain_aborts(), 1u);
+  probe->await(&FitProbe::cancelled, 1);
+  probe->await(&FitProbe::started, 2);
+
+  probe->release();
+  probe->await(&FitProbe::finished, 1);
+  std::vector<std::vector<double>> sigs;
+  for (int i = 0; i < 30 && stream.retrain_swaps() == 0; ++i) {
+    push_columns(stream, 1, &sigs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Exactly one model generation made it in: the superseding fit (refit
+  // from the base model, so generation 1).
+  EXPECT_EQ(stream.retrain_swaps(), 1u);
+  EXPECT_EQ(stream.retrain_count(), 1u);
+  ASSERT_FALSE(sigs.empty());
+  EXPECT_EQ(sigs.back(), std::vector<double>{1.0});
+}
+
+TEST(MethodStreamRetrain, AsyncFitErrorSurfacesOnIngestThread) {
+  const auto probe = std::make_shared<FitProbe>();
+  probe->fail = true;
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kAsync));
+  // The failed fit's error is rethrown on the ingest thread at the next
+  // boundary that inspects the shadow state (emit or retrain launch) —
+  // possibly already the emit of the triggering push itself, when the
+  // worker fails fast enough, so the trigger sits inside the try too.
+  bool threw = false;
+  try {
+    push_columns(stream, 40);
+    probe->await(&FitProbe::started, 1);
+    for (int i = 0; i < 200; ++i) {
+      push_columns(stream, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "generation: fit failed");
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(stream.retrain_swaps(), 0u);
+}
+
+TEST(MethodStreamRetrain, DestructorCancelsInFlightFit) {
+  const auto probe = std::make_shared<FitProbe>();
+  probe->block = true;
+  {
+    MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                        retrain_options(RetrainPolicy::kAsync));
+    push_columns(stream, 40);
+    probe->await(&FitProbe::started, 1);
+    // Stream destroyed with the fit still blocked: the destructor fires the
+    // token and the worker unwinds without touching the dead stream.
+  }
+  probe->await(&FitProbe::cancelled, 1);
+  EXPECT_EQ(probe->finished, 0);
 }
 
 }  // namespace

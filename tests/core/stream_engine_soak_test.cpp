@@ -206,5 +206,162 @@ TEST(StreamEngineSoak, IngestBatchRacesDrain) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Retrain-under-race soaks. Sync policy must stay bit-for-bit equal to a
+// single-threaded replay whatever the drain/stats interleaving; async policy
+// keeps the emission cadence (signature counts are deterministic — only
+// which model generation computed a signature varies) while shadow fits race
+// ingest, drain, stats scrapes and fleet growth. Both run under the `tsan`
+// preset.
+// --------------------------------------------------------------------------
+
+StreamOptions retrain_soak_options(RetrainPolicy policy) {
+  StreamOptions opts = soak_options();
+  opts.retrain_interval = 150;
+  opts.history_length = 128;
+  opts.retrain_policy = policy;
+  opts.retrain_threads = 2;
+  return opts;
+}
+
+// Per producer node: 1440 samples -> retrain triggers at 150, 300, ..., 1350.
+constexpr std::size_t kRetrainTriggers =
+    kBatchesPerNode * kColsPerBatch / 150;
+
+TEST(StreamEngineSoak, SyncRetrainRacesBitIdenticalToReference) {
+  StreamEngine engine(retrain_soak_options(RetrainPolicy::kSync));
+  for (std::size_t i = 0; i < kProducerNodes; ++i) {
+    engine.add_node("node" + std::to_string(i),
+                    train(node_matrix(kSensors, 80, 500 + i)));
+  }
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::vector<std::vector<double>>> drained(kProducerNodes);
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < 2; ++p) {
+    threads.emplace_back([&engine, &producers_done, p] {
+      for (std::size_t node = p; node < kProducerNodes; node += 2) {
+        for (const common::Matrix& batch : batches_for(node)) {
+          engine.ingest(node, batch);
+        }
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  threads.emplace_back([&engine, &producers_done, &drained] {
+    bool final_pass = false;
+    while (true) {
+      const bool done_before = producers_done.load() == 2;
+      for (std::size_t node = 0; node < kProducerNodes; ++node) {
+        auto sigs = engine.drain(node);
+        for (auto& sig : sigs) drained[node].push_back(std::move(sig));
+      }
+      (void)engine.stats();
+      (void)engine.node_stats();
+      if (final_pass) break;
+      if (done_before) final_pass = true;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  StreamEngine reference(retrain_soak_options(RetrainPolicy::kSync));
+  for (std::size_t node = 0; node < kProducerNodes; ++node) {
+    reference.add_node("ref" + std::to_string(node),
+                       train(node_matrix(kSensors, 80, 500 + node)));
+    for (const common::Matrix& batch : batches_for(node)) {
+      reference.ingest(node, batch);
+    }
+    const auto expected = reference.drain(node);
+    ASSERT_EQ(drained[node].size(), expected.size()) << "node " << node;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(drained[node][k], expected[k])
+          << "node " << node << " signature " << k;
+    }
+  }
+  const auto rows = engine.node_stats();
+  const auto ref_rows = reference.node_stats();
+  ASSERT_EQ(rows.size(), ref_rows.size());
+  for (std::size_t node = 0; node < rows.size(); ++node) {
+    EXPECT_EQ(rows[node].samples, ref_rows[node].samples);
+    EXPECT_EQ(rows[node].signatures, ref_rows[node].signatures);
+    EXPECT_EQ(rows[node].retrains, kRetrainTriggers) << "node " << node;
+    EXPECT_EQ(rows[node].retrain_aborts, 0u);
+  }
+}
+
+TEST(StreamEngineSoak, AsyncRetrainRacesIngestDrainAndGrowth) {
+  StreamEngine engine(retrain_soak_options(RetrainPolicy::kAsync));
+  for (std::size_t i = 0; i < kProducerNodes; ++i) {
+    engine.add_node("node" + std::to_string(i),
+                    train(node_matrix(kSensors, 80, 500 + i)));
+  }
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::vector<std::vector<double>>> drained(kProducerNodes);
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < 2; ++p) {
+    threads.emplace_back([&engine, &producers_done, p] {
+      for (std::size_t node = p; node < kProducerNodes; node += 2) {
+        for (const common::Matrix& batch : batches_for(node)) {
+          engine.ingest(node, batch);
+        }
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  threads.emplace_back([&engine, &producers_done, &drained] {
+    bool final_pass = false;
+    while (true) {
+      const bool done_before = producers_done.load() == 2;
+      for (std::size_t node = 0; node < kProducerNodes; ++node) {
+        auto sigs = engine.drain(node);
+        for (auto& sig : sigs) drained[node].push_back(std::move(sig));
+      }
+      (void)engine.stats();
+      (void)engine.node_stats();
+      if (final_pass) break;
+      if (done_before) final_pass = true;
+      std::this_thread::yield();
+    }
+  });
+  // Grower: the fleet expands while shadow fits are in flight elsewhere.
+  threads.emplace_back([&engine] {
+    const std::size_t node =
+        engine.add_node("late", train(node_matrix(kSensors, 80, 8100)));
+    engine.ingest(node, node_matrix(kSensors, 200, 8200));
+  });
+  for (std::thread& t : threads) t.join();
+
+  // Emission cadence is independent of the retrain policy: exact per-node
+  // signature counts, with every signature the method's advertised length.
+  const std::size_t cols = kBatchesPerNode * kColsPerBatch;
+  const std::size_t expected_sigs = (cols - 20) / 10 + 1;
+  const std::size_t sig_len =
+      engine.stream(0).method().signature_length(kSensors);
+  ASSERT_GT(sig_len, 0u);
+  for (std::size_t node = 0; node < kProducerNodes; ++node) {
+    auto tail = engine.drain(node);
+    for (auto& sig : tail) drained[node].push_back(std::move(sig));
+    EXPECT_EQ(drained[node].size(), expected_sigs) << "node " << node;
+    for (const auto& sig : drained[node]) EXPECT_EQ(sig.size(), sig_len);
+  }
+
+  // Every launched fit is accounted at most once: swapped in, or aborted
+  // (superseded / stale); anything still in flight at teardown is neither.
+  const auto rows = engine.node_stats();
+  ASSERT_EQ(rows.size(), kProducerNodes + 1);
+  for (std::size_t node = 0; node < kProducerNodes; ++node) {
+    EXPECT_LE(rows[node].retrains + rows[node].retrain_aborts,
+              kRetrainTriggers)
+        << "node " << node;
+    EXPECT_EQ(rows[node].retrain_latency_us.total(), rows[node].retrains);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.samples, kProducerNodes * cols + 200);
+  // Engine teardown with any still-running shadow fit is exercised here:
+  // node destructors fire the cancel tokens, then the pool joins.
+}
+
 }  // namespace
 }  // namespace csm::core

@@ -181,6 +181,108 @@ TEST(StatsResponse, RejectsTruncatedHistogram) {
   EXPECT_THROW(decode_stats_response(payload), MessageError);
 }
 
+TEST(StatsResponse, RoundTripsAppendedRetrainFields) {
+  core::EngineStats stats;
+  stats.retrains = 4;
+  stats.retrain_aborts = 2;
+  stats.retrain_latency_us.add(1500.0);
+  stats.retrain_latency_us.add(2.0e7);  // Overflow sample.
+  const StatsResponse back = decode_stats_response(
+      encode_stats_response(make_stats_response(stats, "v")));
+  EXPECT_EQ(back.retrains, 4u);
+  EXPECT_EQ(back.retrain_aborts, 2u);
+  EXPECT_EQ(back.retrain_latency_us.total(),
+            stats.retrain_latency_us.total());
+  EXPECT_EQ(back.retrain_latency_us.overflow(), 1u);
+  ASSERT_EQ(back.retrain_latency_us.bins(),
+            stats.retrain_latency_us.bins());
+  for (std::size_t b = 0; b < back.retrain_latency_us.bins(); ++b) {
+    EXPECT_EQ(back.retrain_latency_us.count(b),
+              stats.retrain_latency_us.count(b))
+        << "bin " << b;
+  }
+}
+
+TEST(StatsResponse, DecodesPreRetrainPayloadWithZeroDefaults) {
+  // A pre-retrain-pressure peer's payload simply ends after the ingest
+  // histogram; the appended fields decode to zero-valued defaults instead
+  // of a MessageError (fields are appended, never renumbered).
+  core::EngineStats stats;
+  stats.retrains = 9;
+  stats.retrain_aborts = 5;
+  stats.retrain_latency_us.add(100.0);
+  const StatsResponse msg = make_stats_response(stats, "old");
+  std::vector<std::uint8_t> payload = encode_stats_response(msg);
+  const std::size_t appended =
+      8 +                                         // u64 retrain_aborts
+      (8 + 8 + 8 + 8 + 4) +                       // histogram header
+      8 * msg.retrain_latency_us.bins();          // histogram counts
+  ASSERT_GT(payload.size(), appended);
+  payload.resize(payload.size() - appended);
+
+  const StatsResponse back = decode_stats_response(payload);
+  EXPECT_EQ(back.retrains, 9u);  // Pre-existing field still carried.
+  EXPECT_EQ(back.retrain_aborts, 0u);
+  EXPECT_EQ(back.retrain_latency_us.total(), 0u);
+}
+
+TEST(NodeStatsResponse, RoundTripsRows) {
+  NodeStatsResponse msg;
+  core::NodeStats a;
+  a.name = "rack3/node07";
+  a.samples = 123456;
+  a.signatures = 789;
+  a.retrains = 11;
+  a.retrain_aborts = 3;
+  a.dropped = 2;
+  a.ingest_latency_us.add(42.0);
+  a.retrain_latency_us.add(90000.0);
+  core::NodeStats b;  // All-default row (empty name is legal on the wire).
+  msg.nodes = {a, b};
+
+  const NodeStatsResponse back =
+      decode_node_stats_response(encode_node_stats_response(msg));
+  ASSERT_EQ(back.nodes.size(), 2u);
+  EXPECT_EQ(back.nodes[0].name, a.name);
+  EXPECT_EQ(back.nodes[0].samples, a.samples);
+  EXPECT_EQ(back.nodes[0].signatures, a.signatures);
+  EXPECT_EQ(back.nodes[0].retrains, a.retrains);
+  EXPECT_EQ(back.nodes[0].retrain_aborts, a.retrain_aborts);
+  EXPECT_EQ(back.nodes[0].dropped, a.dropped);
+  EXPECT_EQ(back.nodes[0].ingest_latency_us.total(), 1u);
+  EXPECT_EQ(back.nodes[0].retrain_latency_us.total(), 1u);
+  EXPECT_EQ(back.nodes[0].retrain_latency_us.bins(),
+            a.retrain_latency_us.bins());
+  EXPECT_EQ(back.nodes[1].name, "");
+  EXPECT_EQ(back.nodes[1].samples, 0u);
+}
+
+TEST(NodeStatsResponse, RejectsCountBeyondPayload) {
+  NodeStatsResponse msg;
+  msg.nodes.emplace_back();
+  std::vector<std::uint8_t> payload = encode_node_stats_response(msg);
+  payload[0] = 0xff;  // count u32 at offset 0: claim 255+ rows.
+  payload[1] = 0xff;
+  EXPECT_THROW(decode_node_stats_response(payload), MessageError);
+}
+
+TEST(NodeStatsResponse, RejectsTruncatedRow) {
+  NodeStatsResponse msg;
+  msg.nodes.emplace_back();
+  msg.nodes.back().name = "n0";
+  std::vector<std::uint8_t> payload = encode_node_stats_response(msg);
+  payload.resize(payload.size() - 3);
+  EXPECT_THROW(decode_node_stats_response(payload), MessageError);
+}
+
+TEST(NodeStatsResponse, RejectsTrailingGarbage) {
+  NodeStatsResponse msg;
+  msg.nodes.emplace_back();
+  std::vector<std::uint8_t> payload = encode_node_stats_response(msg);
+  payload.push_back(0);
+  EXPECT_THROW(decode_node_stats_response(payload), MessageError);
+}
+
 TEST(OkMessage, RoundTripsWithAndWithoutValue) {
   EXPECT_EQ(decode_ok(encode_ok(42)), std::optional<std::uint64_t>(42));
   EXPECT_EQ(decode_ok(encode_ok(std::nullopt)), std::nullopt);

@@ -276,5 +276,196 @@ TEST(FleetServerSoak, DisconnectAndReconnectMidStreamLosesNothing) {
   EXPECT_EQ(engine.stats().samples, kCols);
 }
 
+// --------------------------------------------------------------------------
+// Retrains racing the wire. The daemon ingests on its own thread, so a sync
+// retrain stays deterministic whatever the client interleaving — drains,
+// stats scrapes and node-stats scrapes race the pushes, and the result must
+// still be bit-for-bit the single-threaded replay. The async variant pins
+// the invariants that survive nondeterministic swap timing.
+// --------------------------------------------------------------------------
+
+core::StreamOptions retrain_engine_options(core::RetrainPolicy policy) {
+  core::StreamOptions opts = engine_options();
+  opts.retrain_interval = 150;
+  opts.history_length = 128;
+  opts.retrain_policy = policy;
+  opts.retrain_threads = 2;
+  return opts;
+}
+
+NodeStatsResponse scrape_node_stats(Connection& conn, FrameReader& reader) {
+  Frame request;
+  request.type = FrameType::kNodeStatsRequest;
+  const Frame response = call(conn, reader, request, 30000);
+  EXPECT_EQ(response.type, FrameType::kNodeStatsResponse);
+  return decode_node_stats_response(response.payload);
+}
+
+TEST(FleetServerSoak, SyncRetrainsRaceScrapesBitIdenticalToReference) {
+  constexpr std::size_t kSensors = 5;
+  constexpr std::size_t kCols = 400;
+  const std::array<common::Matrix, 2> data = {
+      node_matrix(kSensors, kCols, 611),
+      node_matrix(kSensors, kCols, 622),
+  };
+  const std::array<std::string, 2> names = {"node0", "node1"};
+  std::array<std::shared_ptr<const core::SignatureMethod>, 2> methods;
+  for (std::size_t i = 0; i < 2; ++i) methods[i] = fit_method(data[i]);
+
+  core::StreamEngine engine(
+      retrain_engine_options(core::RetrainPolicy::kSync));
+  LoopbackHub hub;
+  FleetServerOptions options;
+  options.server_version = "soak";
+  options.registry = &baselines::default_registry();
+  options.poll_timeout_ms = 10;
+  FleetServer server(hub.listen(), engine, std::move(options));
+  std::thread server_thread([&] { server.run(); });
+
+  std::mutex ledger_mutex;
+  std::array<std::vector<std::vector<double>>, 2> drained;
+  std::array<std::atomic<bool>, 2> registered = {false, false};
+  std::atomic<bool> stop{false};
+
+  const auto pusher = [&](std::size_t i) {
+    auto conn = hub.connect();
+    FrameReader reader;
+    ASSERT_EQ(call(*conn, reader, node_add_frame(names[i], *methods[i])).type,
+              FrameType::kOk);
+    registered[i].store(true);
+    const std::array<std::size_t, 4> chunks = {13, 29, 7, 41};
+    std::size_t at = 0;
+    std::size_t round = 0;
+    while (at < kCols) {
+      const std::size_t take = std::min(chunks[round++ % chunks.size()],
+                                        kCols - at);
+      write_frame(*conn, batch_frame(names[i], data[i].sub_cols(at, take)));
+      at += take;
+    }
+    Frame sync;
+    sync.type = FrameType::kStatsRequest;
+    EXPECT_EQ(call(*conn, reader, sync).type, FrameType::kStatsResponse);
+  };
+
+  std::thread drainer([&] {
+    auto conn = hub.connect();
+    FrameReader reader;
+    while (!stop.load()) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (!registered[i].load()) continue;
+        DrainResponse part = drain_node(*conn, reader, names[i]);
+        std::lock_guard<std::mutex> lock(ledger_mutex);
+        for (auto& sig : part.signatures) {
+          drained[i].push_back(std::move(sig));
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Scraper: hammers the per-node stats frame while retrains and ingest
+  // are running, checking only well-formedness mid-race.
+  std::thread scraper([&] {
+    auto conn = hub.connect();
+    FrameReader reader;
+    while (!stop.load()) {
+      const NodeStatsResponse rows = scrape_node_stats(*conn, reader);
+      for (const core::NodeStats& row : rows.nodes) {
+        EXPECT_FALSE(row.name.empty());
+        EXPECT_GE(row.samples, row.signatures);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread pusher0([&] { pusher(0); });
+  std::thread pusher1([&] { pusher(1); });
+  pusher0.join();
+  pusher1.join();
+  stop.store(true);
+  drainer.join();
+  scraper.join();
+
+  {
+    auto conn = hub.connect();
+    FrameReader reader;
+    for (std::size_t i = 0; i < 2; ++i) {
+      DrainResponse rest = drain_node(*conn, reader, names[i]);
+      for (auto& sig : rest.signatures) drained[i].push_back(std::move(sig));
+    }
+    // Post-quiesce node rows: two sync retrains each (samples 150 and 300),
+    // no aborts, and the retrain histogram carries one sample per swap.
+    const NodeStatsResponse rows = scrape_node_stats(*conn, reader);
+    ASSERT_EQ(rows.nodes.size(), 2u);
+    for (const core::NodeStats& row : rows.nodes) {
+      EXPECT_EQ(row.samples, kCols);
+      EXPECT_EQ(row.retrains, 2u) << row.name;
+      EXPECT_EQ(row.retrain_aborts, 0u);
+      EXPECT_EQ(row.retrain_latency_us.total(), 2u);
+    }
+  }
+
+  server.stop();
+  server_thread.join();
+
+  core::StreamEngine reference(
+      retrain_engine_options(core::RetrainPolicy::kSync));
+  for (std::size_t i = 0; i < 2; ++i) {
+    reference.add_node(names[i], methods[i], kSensors);
+    reference.ingest(i, data[i]);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto expected = reference.drain(i);
+    ASSERT_EQ(drained[i].size(), expected.size()) << names[i];
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(drained[i][k], expected[k]) << names[i] << " signature " << k;
+    }
+  }
+}
+
+TEST(FleetServerSoak, AsyncRetrainDaemonKeepsCadenceAndCounts) {
+  constexpr std::size_t kSensors = 5;
+  constexpr std::size_t kCols = 400;
+  const common::Matrix s = node_matrix(kSensors, kCols, 733);
+  const auto method = fit_method(s);
+
+  core::StreamEngine engine(
+      retrain_engine_options(core::RetrainPolicy::kAsync));
+  LoopbackHub hub;
+  FleetServerOptions options;
+  options.server_version = "soak";
+  options.registry = &baselines::default_registry();
+  options.poll_timeout_ms = 10;
+  FleetServer server(hub.listen(), engine, std::move(options));
+  std::thread server_thread([&] { server.run(); });
+
+  auto conn = hub.connect();
+  FrameReader reader;
+  ASSERT_EQ(call(*conn, reader, node_add_frame("n0", *method)).type,
+            FrameType::kOk);
+  for (std::size_t at = 0; at < kCols; at += 23) {
+    write_frame(*conn, batch_frame("n0", s.sub_cols(
+                                             at, std::min<std::size_t>(
+                                                     23, kCols - at))));
+  }
+  const DrainResponse drained = drain_node(*conn, reader, "n0");
+  // Emission cadence is retrain-policy-independent: windows at 20..400.
+  EXPECT_EQ(drained.signatures.size(), (kCols - 20) / 10 + 1);
+  const std::size_t sig_len = method->signature_length(kSensors);
+  for (const auto& sig : drained.signatures) {
+    EXPECT_EQ(sig.size(), sig_len);
+  }
+
+  const NodeStatsResponse rows = scrape_node_stats(*conn, reader);
+  ASSERT_EQ(rows.nodes.size(), 1u);
+  // Two triggers (150, 300): each launched fit is swapped or aborted, or
+  // still in flight at scrape time — never double-counted.
+  EXPECT_LE(rows.nodes[0].retrains + rows.nodes[0].retrain_aborts, 2u);
+  EXPECT_EQ(rows.nodes[0].retrain_latency_us.total(),
+            rows.nodes[0].retrains);
+
+  server.stop();
+  server_thread.join();
+}
+
 }  // namespace
 }  // namespace csm::net

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "common/ring_matrix.hpp"
 #include "common/rng.hpp"
 
 namespace csm::stats {
@@ -111,6 +114,110 @@ TEST(GlobalCoefficients, SingleRowIsZero) {
 TEST(GlobalCoefficients, NonSquareThrows) {
   common::Matrix bad(2, 3);
   EXPECT_THROW(global_coefficients(bad), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Property tests: the tiled kernel is BIT-identical to the serial reference
+// (training must not depend on which code path ran — the streaming
+// equivalence suite compares signatures with memcmp).
+// --------------------------------------------------------------------------
+
+common::Matrix random_sensors(std::size_t n, std::size_t t,
+                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < t; ++c) s(r, c) = rng.gaussian();
+  }
+  return s;
+}
+
+// memcmp, not EXPECT_DOUBLE_EQ: "close" is not the contract, identical
+// bytes are.
+void expect_bit_identical(const common::Matrix& a, const common::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+TEST(ShiftedCorrelationProperty, TiledBitIdenticalToReference) {
+  // Sensor counts around the pair-tile boundary (32) and odd remainders for
+  // the 4-wide register block; t down to the degenerate t=1.
+  const std::size_t sensor_counts[] = {1, 2, 3, 5, 17, 31, 32, 33, 64, 70};
+  const std::size_t sample_counts[] = {1, 2, 3, 7, 64, 257};
+  std::uint64_t seed = 100;
+  for (std::size_t n : sensor_counts) {
+    for (std::size_t t : sample_counts) {
+      const common::Matrix s = random_sensors(n, t, seed++);
+      const common::MatrixView view{s};
+      expect_bit_identical(shifted_correlation_matrix(view),
+                           shifted_correlation_matrix_reference(view));
+    }
+  }
+}
+
+TEST(ShiftedCorrelationProperty, TiledBitIdenticalOnDegenerateRows) {
+  // Constant rows (sd = 0) and near-duplicate rows exercise the guarded
+  // branch where cov is computed but must not be used.
+  common::Matrix s = random_sensors(40, 96, 7);
+  for (std::size_t c = 0; c < 96; ++c) {
+    s(3, c) = 5.0;              // Constant row.
+    s(11, c) = s(4, c);         // Exact duplicate (rho = 1, clamped).
+    s(12, c) = -2.0 * s(4, c);  // Exact negative multiple (rho = -1).
+  }
+  const common::MatrixView view{s};
+  expect_bit_identical(shifted_correlation_matrix(view),
+                       shifted_correlation_matrix_reference(view));
+}
+
+TEST(ShiftedCorrelationProperty, RingWrapStraddlingViewBitIdentical) {
+  // The retrain snapshot is a RingMatrix history view, which is two column
+  // segments once the ring has wrapped. The kernel must produce identical
+  // bytes for the wrapped view, the same view's materialised copy, and the
+  // reference path.
+  const std::size_t n = 37;
+  const std::size_t capacity = 128;
+  common::Rng rng(21);
+  common::RingMatrix ring(n, capacity);
+  std::vector<double> col(n);
+  // 128 + 77 pushes: the retained window straddles the wrap point.
+  for (std::size_t c = 0; c < capacity + 77; ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = rng.gaussian();
+    ring.push(col);
+  }
+  const common::MatrixView wrapped = ring.history_view();
+  ASSERT_EQ(wrapped.cols(), capacity);
+  const common::Matrix contiguous = ring.to_matrix();
+  const common::Matrix from_view = shifted_correlation_matrix(wrapped);
+  expect_bit_identical(from_view,
+                       shifted_correlation_matrix_reference(wrapped));
+  expect_bit_identical(from_view,
+                       shifted_correlation_matrix(common::MatrixView{
+                           contiguous}));
+}
+
+TEST(ShiftedCorrelationProperty, WorkspaceReuseDoesNotChangeResults) {
+  // One workspace across shrinking and growing problem sizes: stale scratch
+  // contents from a previous call must never leak into a result.
+  CorrelationWorkspace ws;
+  const std::size_t shapes[][2] = {{48, 200}, {8, 16}, {64, 300}, {3, 5}};
+  std::uint64_t seed = 400;
+  for (const auto& shape : shapes) {
+    const common::Matrix s = random_sensors(shape[0], shape[1], seed++);
+    const common::MatrixView view{s};
+    expect_bit_identical(shifted_correlation_matrix(view, ws),
+                         shifted_correlation_matrix_reference(view));
+  }
+}
+
+TEST(ShiftedCorrelationProperty, CancelledTokenThrows) {
+  const common::Matrix s = random_sensors(16, 64, 3);
+  CorrelationWorkspace ws;
+  common::CancelToken cancel;
+  cancel.cancel();
+  EXPECT_THROW(
+      shifted_correlation_matrix(common::MatrixView{s}, ws, &cancel),
+      common::OperationCancelled);
 }
 
 TEST(GlobalCoefficients, CorrelatedGroupScoresHigher) {

@@ -48,7 +48,8 @@
 //
 //   csmcli stream  <segment> [--method SPEC] [--scale S] [--blocks L]
 //           [--window WL] [--step WS] [--history H] [--retrain N]
-//           [--batch B] [--pack FILE] [--dump-models DIR] [--sig-out FILE]
+//           [--retrain-threads N] [--batch B] [--pack FILE]
+//           [--dump-models DIR] [--sig-out FILE]
 //       Replay a synthetic HPC-ODA segment (fault, application, power,
 //       infrastructure, cross-arch) through a StreamEngine — one
 //       MethodStream per component, fitted per node — in batches of B
@@ -58,10 +59,13 @@
 //       --dump-models writes the fitted per-node models to a directory
 //       (feed it to `csmcli pack`); --sig-out drains every node and writes
 //       the signatures as "node v0 v1 ..." lines (byte-comparable with
-//       `csmcli push --sig-out` against a daemon).
+//       `csmcli push --sig-out` against a daemon). --retrain-threads N
+//       switches --retrain to the async shadow-fit pipeline on a pool of N
+//       workers (default: synchronous in-line retrain).
 //
 //   csmcli serve --socket PATH [--window WL] [--step WS] [--history H]
-//           [--retrain N] [--max-pending N] [--pack FILE]
+//           [--retrain N] [--retrain-threads N] [--max-pending N]
+//           [--pack FILE]
 //       Run the fleet daemon loop in-process (same engine-behind-a-socket
 //       as the standalone csmd binary) until SIGINT/SIGTERM.
 //
@@ -74,8 +78,10 @@
 //
 //   csmcli fleet-stats --socket PATH
 //       Scrape a running daemon's EngineStats: fleet counters, ingest
-//       throughput, the merged ingest-latency histogram (p50/p99) and the
-//       server's build sha.
+//       throughput, the merged ingest-latency and retrain-latency
+//       histograms (p50/p99), the server's build sha — then the per-node
+//       breakdown (one row per live node, via the node-stats frame; older
+//       daemons that answer with an error simply skip the breakdown).
 //
 //   csmcli version
 //       Print this build's git sha.
@@ -140,6 +146,7 @@ struct Options {
   std::string socket;           // --socket PATH (serve/push/fleet-stats).
   std::string sig_out;          // --sig-out FILE (stream/push: drained sigs).
   std::size_t max_pending = 0;  // --max-pending N (serve: queue bound).
+  std::size_t retrain_threads = 0;  // --retrain-threads N (0 = sync retrain).
 };
 
 core::codec::ModelFormat parse_format(const std::string& value) {
@@ -173,13 +180,13 @@ void usage(std::ostream& out) {
       << "  csmcli stream  <segment> [--method SPEC] [--scale S]\n"
       << "                 [--blocks L] [--window WL] [--step WS]\n"
       << "                 [--history H] [--retrain N] [--batch B]\n"
-      << "                 [--pack FILE] [--dump-models DIR]\n"
-      << "                 [--sig-out FILE]\n"
+      << "                 [--retrain-threads N] [--pack FILE]\n"
+      << "                 [--dump-models DIR] [--sig-out FILE]\n"
       << "                 (segment: fault | application | power |\n"
       << "                  infrastructure | cross-arch)\n"
       << "  csmcli serve   --socket PATH [--window WL] [--step WS]\n"
-      << "                 [--history H] [--retrain N] [--max-pending N]\n"
-      << "                 [--pack FILE]\n"
+      << "                 [--history H] [--retrain N] [--retrain-threads N]\n"
+      << "                 [--max-pending N] [--pack FILE]\n"
       << "  csmcli push    <segment> --socket PATH [--method SPEC]\n"
       << "                 [--scale S] [--blocks L] [--batch B]\n"
       << "                 [--sig-out FILE]\n"
@@ -240,6 +247,9 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--max-pending") {
       opts.max_pending = benchkit::parse_size_t("--max-pending",
                                                 next_value("--max-pending"));
+    } else if (arg == "--retrain-threads") {
+      opts.retrain_threads = benchkit::parse_size_t(
+          "--retrain-threads", next_value("--retrain-threads"));
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -635,6 +645,29 @@ void print_latency(const stats::Histogram& lat) {
               static_cast<unsigned long long>(lat.overflow()), lat.hi());
 }
 
+// Counts swaps (models that actually replaced the live one) separately from
+// aborts (superseded, skipped-busy or discarded shadow fits) so a stall-free
+// async replay is distinguishable from one that never kept up.
+void print_retrain(const stats::Histogram& lat, std::uint64_t swaps,
+                   std::uint64_t aborts) {
+  std::printf("retrain latency: p50 %.1f us, p99 %.1f us "
+              "(%llu swaps, %llu aborted)\n",
+              lat.quantile(0.5), lat.quantile(0.99),
+              static_cast<unsigned long long>(swaps),
+              static_cast<unsigned long long>(aborts));
+}
+
+// Maps the tool-level retrain flags onto StreamOptions: --retrain-threads N
+// opts into the async shadow-fit pipeline; without it the engine keeps the
+// synchronous (bit-identical to historical behaviour) retrain path.
+void apply_retrain_flags(const Options& opts, core::StreamOptions& stream) {
+  stream.retrain_interval = opts.retrain;
+  if (opts.retrain_threads > 0) {
+    stream.retrain_policy = core::RetrainPolicy::kAsync;
+    stream.retrain_threads = opts.retrain_threads;
+  }
+}
+
 int cmd_stream(const Options& opts) {
   if (opts.positional.size() != 1) {
     usage(std::cerr);
@@ -648,7 +681,7 @@ int cmd_stream(const Options& opts) {
   stream_opts.cs.blocks = opts.blocks;
   stream_opts.cs.real_only = opts.real_only;
   stream_opts.history_length = opts.history;
-  stream_opts.retrain_interval = opts.retrain;
+  apply_retrain_flags(opts, stream_opts);
 
   std::cout << "segment " << seg.name << ": " << seg.n_blocks()
             << " components, " << seg.length() << " samples @"
@@ -733,6 +766,8 @@ int cmd_stream(const Options& opts) {
               static_cast<unsigned long long>(stats.signatures),
               stats.ingest_seconds, stats.samples_per_second());
   print_latency(stats.ingest_latency_us);
+  print_retrain(stats.retrain_latency_us, stats.retrains,
+                stats.retrain_aborts);
 
   if (!opts.sig_out.empty()) {
     std::ofstream out(opts.sig_out);
@@ -760,7 +795,7 @@ int cmd_serve(const Options& opts) {
   daemon.stream.window_length = opts.window;
   daemon.stream.window_step = opts.step;
   daemon.stream.history_length = opts.history;
-  daemon.stream.retrain_interval = opts.retrain;
+  apply_retrain_flags(opts, daemon.stream);
   daemon.stream.max_pending = opts.max_pending;
   daemon.stream.validate();
   daemon.pack_path = opts.pack_file;
@@ -892,16 +927,57 @@ int cmd_fleet_stats(const Options& opts) {
   std::printf("  signatures: %llu emitted (%llu dropped by backpressure)\n",
               static_cast<unsigned long long>(stats.signatures),
               static_cast<unsigned long long>(stats.dropped));
-  std::printf("  retrains:   %llu\n",
-              static_cast<unsigned long long>(stats.retrains));
+  std::printf("  retrains:   %llu (%llu aborted)\n",
+              static_cast<unsigned long long>(stats.retrains),
+              static_cast<unsigned long long>(stats.retrain_aborts));
   std::printf("  ingest:     %.3f s total (%.0f samples/s)\n",
               stats.ingest_seconds,
               stats.ingest_seconds > 0.0
                   ? static_cast<double>(stats.samples) / stats.ingest_seconds
                   : 0.0);
   print_latency(stats.ingest_latency_us);
+  print_retrain(stats.retrain_latency_us, stats.retrains,
+                stats.retrain_aborts);
   std::cout << "server build: " << stats.server_version << " (client "
             << benchkit::git_sha() << ")\n";
+
+  // Per-node breakdown over the node-stats frame. A pre-node-stats daemon
+  // rejects the unknown frame type (an error frame, then it hangs up) —
+  // degrade to the fleet-wide rollup above instead of failing the scrape.
+  net::Frame node_request;
+  node_request.type = net::FrameType::kNodeStatsRequest;
+  net::Frame node_frame;
+  try {
+    node_frame = net::call(*conn, reader, node_request);
+  } catch (const std::exception&) {
+    std::cout << "per-node stats unavailable (server predates the "
+                 "node-stats frame)\n";
+    return 0;
+  }
+  if (node_frame.type != net::FrameType::kNodeStatsResponse) {
+    std::cout << "per-node stats unavailable (server answered "
+              << net::frame_type_name(node_frame.type) << ")\n";
+    return 0;
+  }
+  const net::NodeStatsResponse node_stats =
+      net::decode_node_stats_response(node_frame.payload);
+  std::cout << "per-node (" << node_stats.nodes.size() << " live):\n";
+  for (const core::NodeStats& node : node_stats.nodes) {
+    std::printf("  %-12s %8llu samples -> %6llu signatures, "
+                "%llu retrains (%llu aborted), %llu dropped\n",
+                node.name.c_str(),
+                static_cast<unsigned long long>(node.samples),
+                static_cast<unsigned long long>(node.signatures),
+                static_cast<unsigned long long>(node.retrains),
+                static_cast<unsigned long long>(node.retrain_aborts),
+                static_cast<unsigned long long>(node.dropped));
+    std::printf("               ingest p50 %.1f us / p99 %.1f us, "
+                "retrain p50 %.1f us / p99 %.1f us\n",
+                node.ingest_latency_us.quantile(0.5),
+                node.ingest_latency_us.quantile(0.99),
+                node.retrain_latency_us.quantile(0.5),
+                node.retrain_latency_us.quantile(0.99));
+  }
   return 0;
 }
 

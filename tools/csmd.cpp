@@ -8,12 +8,16 @@
 // are the matching clients.
 //
 //   csmd --socket PATH [--window WL] [--step WS] [--history H]
-//        [--retrain N] [--max-pending N] [--pack FILE]
+//        [--retrain N] [--retrain-threads N] [--max-pending N]
+//        [--pack FILE]
 //   csmd --version
 //
 // --max-pending bounds each node's undrained signature queue (drop-oldest
-// with a per-node counter; 0 = unbounded). SIGINT/SIGTERM shut the daemon
-// down cleanly: the socket file is unlinked and engine totals printed.
+// with a per-node counter; 0 = unbounded). --retrain-threads N switches
+// retraining to the async shadow-fit pipeline backed by a pool of N worker
+// threads (the default, without the flag, is the synchronous in-line
+// retrain). SIGINT/SIGTERM shut the daemon down cleanly: the socket file
+// is unlinked and engine totals printed.
 //
 // Exit status: 0 on clean shutdown, 1 on usage errors, 2 on runtime
 // failures (e.g. a live daemon already owns the socket).
@@ -30,8 +34,8 @@ namespace {
 
 void usage(std::ostream& out) {
   out << "usage: csmd --socket PATH [--window WL] [--step WS]\n"
-      << "            [--history H] [--retrain N] [--max-pending N]\n"
-      << "            [--pack FILE]\n"
+      << "            [--history H] [--retrain N] [--retrain-threads N]\n"
+      << "            [--max-pending N] [--pack FILE]\n"
       << "       csmd --version\n";
 }
 
@@ -72,6 +76,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--retrain") {
         options.stream.retrain_interval =
             benchkit::parse_size_t("--retrain", next_value("--retrain"));
+      } else if (arg == "--retrain-threads") {
+        options.stream.retrain_threads = benchkit::parse_size_t(
+            "--retrain-threads", next_value("--retrain-threads"));
+        options.stream.retrain_policy = core::RetrainPolicy::kAsync;
       } else if (arg == "--max-pending") {
         options.stream.max_pending = benchkit::parse_size_t(
             "--max-pending", next_value("--max-pending"));
