@@ -25,6 +25,7 @@
 #include "core/signature_method.hpp"
 #include "net/frame.hpp"
 #include "net/message.hpp"
+#include "replay/recording.hpp"
 
 namespace {
 
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
   const fs::path root = argv[1];
   for (const char* harness : {"model-codec", "model-text", "model-pack",
                               "method-spec", "json", "sensor-csv",
-                              "frame"}) {
+                              "frame", "recording"}) {
     fs::create_directories(root / harness);
   }
 
@@ -227,6 +228,52 @@ int main(int argc, char** argv) {
     }
     write_bytes(root / "frame" / "three-frames.csmf", stream.data(),
                 stream.size());
+  }
+
+  // --- recording: CSMR ingest captures -------------------------------------
+  {
+    const auto dump = [&](const char* name, const csm::replay::Recorder& r) {
+      const std::vector<std::uint8_t> bytes = r.bytes();
+      write_bytes(root / "recording" / name, bytes.data(), bytes.size());
+    };
+
+    // A two-node fleet capture with interleaved multi-column batches, the
+    // shape `csmcli stream --record` produces.
+    {
+      csm::replay::Recorder rec;
+      const std::uint32_t a = rec.add_node("node-07", 4);
+      const std::uint32_t b = rec.add_node("node-03", 3);
+      rec.record(a, training_matrix(4, 6));
+      rec.record(b, training_matrix(3, 5));
+      rec.record(a, training_matrix(4, 2));
+      rec.finish();
+      dump("two-nodes.csmr", rec);
+    }
+
+    // Single node, one single-column batch (the per-push capture shape).
+    {
+      csm::replay::Recorder rec;
+      rec.record(rec.add_node("n", 2), training_matrix(2, 1));
+      rec.finish();
+      dump("one-column.csmr", rec);
+    }
+
+    // Declared but never-fed node, plus an explicit timestamp batch.
+    {
+      csm::replay::Recorder rec;
+      const std::uint32_t a = rec.add_node("fed", 2);
+      (void)rec.add_node("silent", 8);
+      rec.record(a, training_matrix(2, 3), 1000);
+      rec.finish();
+      dump("silent-node.csmr", rec);
+    }
+
+    // The degenerate-but-valid empty capture: header + table + CRC only.
+    {
+      csm::replay::Recorder rec;
+      rec.finish();
+      dump("empty.csmr", rec);
+    }
   }
 
   // --- sensor-csv ----------------------------------------------------------

@@ -112,6 +112,12 @@ std::optional<std::vector<double>> MethodStream::emit_if_due() {
   // its derivative channel, others ignore it).
   const std::size_t wl = options_.window_length;
   const common::MatrixView window = history_.latest_view(wl);
+  // Score (and possibly retrain on) the window BEFORE computing it, so the
+  // first signature after a detected regime change already comes from the
+  // refitted model.
+  if (options_.retrain_policy == RetrainPolicy::kOnDrift) {
+    maybe_drift_retrain(window);
+  }
   ++signatures_emitted_;
   if (history_.size() > wl) {
     const std::span<const double> seed = history_.newest(wl);
@@ -143,7 +149,43 @@ void MethodStream::maybe_retrain() {
     case RetrainPolicy::kSkipIfBusy:
       launch_shadow_fit(/*supersede=*/false);
       break;
+    case RetrainPolicy::kOnDrift:
+      // Unreachable: validate() forces retrain_interval == 0 under
+      // kOnDrift, so the early return above already fired. The drift
+      // check runs at emit boundaries (maybe_drift_retrain), not here.
+      break;
   }
+}
+
+void MethodStream::maybe_drift_retrain(const common::MatrixView& window) {
+  if (drift_ref_.empty()) {
+    // First emitted window: presumed in-regime (the method was trained on
+    // data like it), so it becomes the reference rather than being scored.
+    drift_ref_ = stats::make_drift_reference(window, options_.drift_pairs);
+    return;
+  }
+  ++drift_windows_;
+  last_drift_score_ = stats::drift_score(window, drift_ref_);
+  if (last_drift_score_ < options_.drift_threshold) {
+    drift_streak_ = 0;
+    return;
+  }
+  ++drift_flags_;
+  if (++drift_streak_ < options_.drift_patience) return;
+  drift_streak_ = 0;
+  if (history_.size() < options_.window_length + 1) return;
+  // Inline sync fit over the whole buffered history — deterministic, like
+  // kSync, which is what lets the tests pin "exactly one retrain".
+  if (!spare_context_) spare_context_ = std::make_shared<TrainContext>();
+  const common::Timer timer;
+  method_ = std::shared_ptr<const SignatureMethod>(
+      method_->fit(history_.history_view(), *spare_context_));
+  ++retrain_count_;
+  ++drift_retrains_;
+  retrain_latency_us_.add(timer.seconds() * 1e6);
+  // The stream now tracks the new regime: rebuild the reference from the
+  // window that triggered the retrain so a completed shift scores clean.
+  drift_ref_ = stats::make_drift_reference(window, options_.drift_pairs);
 }
 
 void MethodStream::launch_shadow_fit(bool supersede) {

@@ -36,6 +36,7 @@
 #include "core/signature_method.hpp"
 #include "core/streaming.hpp"
 #include "core/training.hpp"
+#include "stats/drift.hpp"
 #include "stats/histogram.hpp"
 
 namespace csm::core {
@@ -91,6 +92,17 @@ class MethodStream {
   const stats::Histogram& retrain_latency_us() const noexcept {
     return retrain_latency_us_;
   }
+  /// kOnDrift bookkeeping (all 0 under the other policies). Windows scored
+  /// against the drift reference — every emitted window except the one that
+  /// built the reference.
+  std::size_t drift_windows() const noexcept { return drift_windows_; }
+  /// Scored windows whose drift score reached drift_threshold.
+  std::size_t drift_flags() const noexcept { return drift_flags_; }
+  /// Retrains the drift detector actually fired (a subset of
+  /// retrain_count(): flags only convert once the patience streak fills).
+  std::size_t drift_retrains() const noexcept { return drift_retrains_; }
+  /// Score of the most recently scored window (0 before any scoring).
+  double last_drift_score() const noexcept { return last_drift_score_; }
 
   /// Feeds one column of sensor readings (length must equal n_sensors()).
   /// Returns a feature vector when a window completes, otherwise
@@ -109,6 +121,10 @@ class MethodStream {
   struct ShadowFit;
 
   void maybe_retrain();
+  /// kOnDrift per-window check, run at each emit boundary on the window
+  /// about to be computed: builds the reference on first sight, scores
+  /// later windows, and refits inline once the patience streak fills.
+  void maybe_drift_retrain(const common::MatrixView& window);
   void launch_shadow_fit(bool supersede);
   /// Applies a finished shadow fit (called at emit boundaries): swaps the
   /// method shared_ptr, bumps the counters, rethrows a fit failure on the
@@ -129,6 +145,13 @@ class MethodStream {
   std::size_t signatures_emitted_ = 0;
   std::size_t retrain_count_ = 0;
   std::size_t retrain_aborts_ = 0;
+  std::size_t drift_windows_ = 0;
+  std::size_t drift_flags_ = 0;
+  std::size_t drift_retrains_ = 0;
+  std::size_t drift_streak_ = 0;  ///< Consecutive flagged windows so far.
+  double last_drift_score_ = 0.0;
+  /// kOnDrift regime reference; empty until the first emitted window.
+  stats::DriftReference drift_ref_;
   stats::Histogram retrain_latency_us_ = make_retrain_latency_histogram();
   /// Correlation workspace recycled across retrains (fresh one minted when
   /// a superseded fit still owns it).

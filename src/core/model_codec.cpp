@@ -181,6 +181,10 @@ std::size_t clamped_reserve(std::uint64_t count) {
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32(data, 0);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t prior) {
   // Slicing-by-8: eight derived tables let the hot loop fold 8 input bytes
   // per iteration instead of one, which matters when every ModelPack record
   // load CRC-checks its bytes. The wire CRC is unchanged — table 0 is the
@@ -201,7 +205,9 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
     }
     return t;
   }();
-  std::uint32_t crc = 0xFFFFFFFFu;
+  // prior == 0 yields the classic ~0 initial state; any other prior value
+  // un-finalises so feeding the next chunk continues the same checksum.
+  std::uint32_t crc = prior ^ 0xFFFFFFFFu;
   std::size_t i = 0;
   for (; i + 8 <= data.size(); i += 8) {
     const std::uint32_t lo = crc ^ load_u32(data.data() + i);

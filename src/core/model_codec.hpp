@@ -43,6 +43,12 @@ inline std::string text_header(std::string_view key) {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
+/// Incremental form: extends a prior crc32() result with further bytes, so
+/// crc32(b, crc32(a)) == crc32(a ++ b). A prior of 0 (== crc32({})) starts a
+/// fresh checksum; streaming writers (replay::Recorder) fold each chunk in
+/// as it is written instead of buffering the whole stream.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t prior);
+
 /// Little-endian wire primitives, shared by the binary model codec, the
 /// model pack and the src/net frame codec: append_* pushes the value onto a
 /// byte buffer, load_* reads one from `p` (the caller guarantees the bytes

@@ -54,7 +54,8 @@ void StreamEngine::enqueue(Node& n, std::vector<std::vector<double>>&& sigs) {
   }
 }
 
-void StreamEngine::ingest_locked(Node& n, const common::Matrix& columns) {
+void StreamEngine::ingest_locked(std::size_t index, Node& n,
+                                 const common::Matrix& columns) {
   // Caller holds n.mutex. The timer covers processing only (push_all +
   // queue append), not lock wait — that is the per-call ingest latency the
   // histogram records.
@@ -67,6 +68,22 @@ void StreamEngine::ingest_locked(Node& n, const common::Matrix& columns) {
   const double seconds = timer.seconds();
   n.latency_us.add(seconds * 1e6);
   add_ingest_seconds(seconds);
+  if (columns.cols() == 0) return;
+  // Tap AFTER the push, still under the node mutex: a recorder sees each
+  // node's batches in exactly the order the node's stream consumed them.
+  std::shared_ptr<const IngestTap> tap;
+  {
+    const std::lock_guard<std::mutex> tap_lock(tap_mutex_);
+    tap = tap_;
+  }
+  if (tap) (*tap)(index, columns);
+}
+
+void StreamEngine::set_tap(IngestTap tap) {
+  auto next = tap ? std::make_shared<const IngestTap>(std::move(tap))
+                  : std::shared_ptr<const IngestTap>();
+  const std::lock_guard<std::mutex> tap_lock(tap_mutex_);
+  tap_ = std::move(next);
 }
 
 std::size_t StreamEngine::add_node(
@@ -137,6 +154,9 @@ std::vector<std::vector<double>> StreamEngine::remove_node(std::size_t node) {
   retired_.signatures += n.stream->signatures_emitted();
   retired_.retrains += n.stream->retrain_count();
   retired_.retrain_aborts += n.stream->retrain_aborts();
+  retired_.drift_windows += n.stream->drift_windows();
+  retired_.drift_flags += n.stream->drift_flags();
+  retired_.drift_retrains += n.stream->drift_retrains();
   retired_.dropped += n.dropped;
   retired_.latency_us.merge(n.latency_us);
   retired_.retrain_latency_us.merge(n.stream->retrain_latency_us());
@@ -152,7 +172,7 @@ std::vector<std::vector<double>> StreamEngine::remove_node(std::size_t node) {
 void StreamEngine::ingest(std::size_t node, const common::Matrix& columns) {
   Node& n = node_at(node);
   std::lock_guard node_lock(n.mutex);
-  ingest_locked(n, columns);
+  ingest_locked(node, n, columns);
 }
 
 void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
@@ -187,7 +207,7 @@ void StreamEngine::ingest_batch(std::span<const common::Matrix> batches) {
       Node& n = *nodes_[i];
       std::lock_guard node_lock(n.mutex);
       if (!n.stream.has_value()) return;  // Tombstone, empty batch: no-op.
-      ingest_locked(n, batches[i]);
+      ingest_locked(i, n, batches[i]);
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -233,6 +253,9 @@ EngineStats StreamEngine::stats() const {
   s.signatures = retired_.signatures;
   s.retrains = retired_.retrains;
   s.retrain_aborts = retired_.retrain_aborts;
+  s.drift_windows = retired_.drift_windows;
+  s.drift_flags = retired_.drift_flags;
+  s.drift_retrains = retired_.drift_retrains;
   s.dropped = retired_.dropped;
   s.ingest_latency_us.merge(retired_.latency_us);
   s.retrain_latency_us.merge(retired_.retrain_latency_us);
@@ -244,6 +267,9 @@ EngineStats StreamEngine::stats() const {
     s.signatures += n->stream->signatures_emitted();
     s.retrains += n->stream->retrain_count();
     s.retrain_aborts += n->stream->retrain_aborts();
+    s.drift_windows += n->stream->drift_windows();
+    s.drift_flags += n->stream->drift_flags();
+    s.drift_retrains += n->stream->drift_retrains();
     s.dropped += n->dropped;
     s.ingest_latency_us.merge(n->latency_us);
     s.retrain_latency_us.merge(n->stream->retrain_latency_us());
@@ -264,6 +290,9 @@ std::vector<NodeStats> StreamEngine::node_stats() const {
     row.signatures = n->stream->signatures_emitted();
     row.retrains = n->stream->retrain_count();
     row.retrain_aborts = n->stream->retrain_aborts();
+    row.drift_windows = n->stream->drift_windows();
+    row.drift_flags = n->stream->drift_flags();
+    row.drift_retrains = n->stream->drift_retrains();
     row.dropped = n->dropped;
     row.ingest_latency_us = n->latency_us;
     row.retrain_latency_us = n->stream->retrain_latency_us();

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -78,6 +79,12 @@ struct EngineStats {
   /// Retrains that fired but never swapped a model in: superseded or
   /// skip-if-busy fits under the async policies (always 0 under kSync).
   std::uint64_t retrain_aborts = 0;
+  /// kOnDrift drift-detector totals, summed over nodes (0 under the other
+  /// policies): windows scored, windows whose score reached the threshold,
+  /// and retrains the detector fired.
+  std::uint64_t drift_windows = 0;
+  std::uint64_t drift_flags = 0;
+  std::uint64_t drift_retrains = 0;
   double ingest_seconds = 0.0;   ///< Wall time spent inside ingestion calls.
   /// Fleet-wide ingest-latency distribution: per-node histograms merged
   /// (one sample per ingest call per node).
@@ -104,6 +111,13 @@ struct NodeStats {
   std::uint64_t retrains = 0;        ///< Retrained models swapped in.
   std::uint64_t retrain_aborts = 0;  ///< Superseded / skipped retrains.
   std::uint64_t dropped = 0;
+  /// kOnDrift per-node drift-detector counters (see EngineStats). NOTE:
+  /// these are NOT carried by the node-stats wire rows — that row format
+  /// has no extension seam (appending per-row fields breaks decoding in
+  /// both directions) — only by the appended kStatsResponse fields.
+  std::uint64_t drift_windows = 0;
+  std::uint64_t drift_flags = 0;
+  std::uint64_t drift_retrains = 0;
   stats::Histogram ingest_latency_us = make_latency_histogram();
   stats::Histogram retrain_latency_us = make_retrain_latency_histogram();
 };
@@ -111,6 +125,14 @@ struct NodeStats {
 /// Multi-node streaming front end over per-node MethodStreams.
 class StreamEngine {
  public:
+  /// Ingest observer: invoked once per non-empty batch actually fed to a
+  /// node, under that node's mutex, AFTER the batch was pushed — so per-node
+  /// call order equals per-node ingest order even when ingest_batch fans
+  /// nodes out in parallel (replay::Recorder relies on exactly this). The
+  /// tap must not call back into the engine (the node mutex is held) and
+  /// must tolerate concurrent invocations for different nodes.
+  using IngestTap =
+      std::function<void(std::size_t node, const common::Matrix& columns)>;
   /// All nodes share the same windowing/retrain configuration; methods are
   /// per node. Under an async retrain policy the engine owns the bounded
   /// retrain worker pool (options.retrain_threads workers) its nodes'
@@ -118,7 +140,10 @@ class StreamEngine {
   /// validation) on bad options or bad methods.
   explicit StreamEngine(StreamOptions options) : options_(options) {
     options_.validate();
-    if (options_.retrain_policy != RetrainPolicy::kSync) {
+    // kOnDrift fits inline like kSync, so only the async policies get a
+    // worker pool.
+    if (options_.retrain_policy == RetrainPolicy::kAsync ||
+        options_.retrain_policy == RetrainPolicy::kSkipIfBusy) {
       retrain_pool_ =
           std::make_unique<RetrainExecutor>(options_.retrain_threads);
     }
@@ -200,6 +225,11 @@ class StreamEngine {
   /// (taken under that node's mutex).
   std::vector<NodeStats> node_stats() const;
 
+  /// Installs (or, with an empty function, removes) the ingest tap. Safe to
+  /// call concurrently with ingestion: in-flight ingest calls finish with
+  /// whichever tap they loaded, subsequent ones see the new tap.
+  void set_tap(IngestTap tap);
+
  private:
   struct Node {
     std::string name;  ///< Immutable after construction.
@@ -226,6 +256,9 @@ class StreamEngine {
     std::uint64_t signatures = 0;
     std::uint64_t retrains = 0;
     std::uint64_t retrain_aborts = 0;
+    std::uint64_t drift_windows = 0;
+    std::uint64_t drift_flags = 0;
+    std::uint64_t drift_retrains = 0;
     std::uint64_t dropped = 0;
     stats::Histogram latency_us = make_latency_histogram();
     stats::Histogram retrain_latency_us = make_retrain_latency_histogram();
@@ -239,8 +272,10 @@ class StreamEngine {
   /// Appends signatures to a node's queue and applies the max_pending
   /// drop-oldest policy. Caller holds the node mutex.
   void enqueue(Node& n, std::vector<std::vector<double>>&& sigs);
-  /// Runs one node's ingest under its mutex and records its latency.
-  void ingest_locked(Node& n, const common::Matrix& columns);
+  /// Runs one node's ingest under its mutex and records its latency;
+  /// `index` is the node's table index (the tap reports it).
+  void ingest_locked(std::size_t index, Node& n,
+                     const common::Matrix& columns);
 
   StreamOptions options_;
   /// Bounded worker pool the nodes' async shadow fits run on (null under
@@ -253,6 +288,11 @@ class StreamEngine {
   mutable std::shared_mutex nodes_mutex_;  ///< Guards the nodes_ table.
   Retired retired_;
   std::atomic<double> ingest_seconds_{0.0};
+  /// Ingest tap behind a shared_ptr so a concurrent set_tap never frees a
+  /// function an in-flight ingest is still calling. Guarded by tap_mutex_
+  /// (read: one lock per ingest call, trivial next to push_all).
+  std::shared_ptr<const IngestTap> tap_;
+  mutable std::mutex tap_mutex_;
 };
 
 }  // namespace csm::core

@@ -30,6 +30,31 @@ void StreamOptions::validate() const {
         "StreamOptions: retrain_threads must be at least 1 (the pool is only "
         "created for async retrain policies, but its size must be sane)");
   }
+  if (retrain_policy == RetrainPolicy::kOnDrift) {
+    if (!(drift_threshold > 0.0)) {
+      throw std::invalid_argument(
+          "StreamOptions: drift_threshold must be positive under kOnDrift "
+          "(it is the score at which a window counts as drifted)");
+    }
+    if (retrain_interval != 0) {
+      throw std::invalid_argument(
+          "StreamOptions: retrain_interval must be 0 under kOnDrift — the "
+          "drift detector replaces the periodic schedule, it does not "
+          "augment it");
+    }
+    if (drift_patience == 0) {
+      throw std::invalid_argument(
+          "StreamOptions: drift_patience must be at least 1");
+    }
+    if (drift_pairs == 0) {
+      throw std::invalid_argument(
+          "StreamOptions: drift_pairs must be at least 1");
+    }
+  } else if (drift_threshold != 0.0) {
+    throw std::invalid_argument(
+        "StreamOptions: drift_threshold is only meaningful under kOnDrift "
+        "(set retrain_policy accordingly)");
+  }
 }
 
 namespace {

@@ -42,6 +42,14 @@ enum class RetrainPolicy {
   /// (counted as an abort) instead of cancelling and relaunching — steadier
   /// under retrain intervals shorter than the fit time.
   kSkipIfBusy,
+  /// Adaptive: no periodic interval at all. Every emitted window is scored
+  /// with the stats::drift statistic against a reference built from the
+  /// first emitted window (and rebuilt after every retrain); once the score
+  /// stays at or above StreamOptions::drift_threshold for drift_patience
+  /// consecutive windows, the stream refits inline over the buffered
+  /// history — synchronously, like kSync, so the post-drift model is
+  /// deterministic. Requires drift_threshold > 0 and retrain_interval == 0.
+  kOnDrift,
 };
 
 /// Streaming configuration.
@@ -67,6 +75,18 @@ struct StreamOptions {
   /// --retrain-threads); a standalone MethodStream without an engine spins
   /// up its own pool of this size on first use. Ignored under kSync.
   std::size_t retrain_threads = 1;
+  /// kOnDrift only: drift score at or above which an emitted window counts
+  /// as drifted (see stats::drift_score for the scale; a stationary stream
+  /// scores around 1/sqrt(window_length)). Must be > 0 under kOnDrift and
+  /// 0 under every other policy.
+  double drift_threshold = 0.0;
+  /// kOnDrift only: consecutive drifted windows required before the stream
+  /// actually retrains — patience > 1 trades detection latency for immunity
+  /// to single-window flukes. Must be >= 1.
+  std::size_t drift_patience = 1;
+  /// kOnDrift only: sensor-pair sample size of the drift reference
+  /// (stats::make_drift_reference cap). Must be >= 1.
+  std::size_t drift_pairs = 64;
 
   /// Rejects contradictory configurations with std::invalid_argument naming
   /// the offending field: zero window_length, zero window_step, and a

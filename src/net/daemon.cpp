@@ -25,6 +25,7 @@ int run_daemon(const DaemonOptions& options) {
     throw std::invalid_argument("run_daemon: a method registry is required");
   }
   core::StreamEngine engine(options.stream);
+  if (options.engine_hook) options.engine_hook(engine);
   std::optional<core::ModelPack> pack;
   if (!options.pack_path.empty()) {
     pack = core::ModelPack::open(options.pack_path);
@@ -34,6 +35,7 @@ int run_daemon(const DaemonOptions& options) {
   server_options.server_version = options.version;
   server_options.registry = options.registry;
   server_options.pack = pack.has_value() ? &*pack : nullptr;
+  server_options.on_node_add = options.on_node_add;
   FleetServer server(listen_unix(options.socket_path), engine,
                      std::move(server_options));
 

@@ -4,13 +4,17 @@
 // argument parsers over run_daemon(), so they cannot drift apart.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/streaming.hpp"
 
 namespace csm::core {
 class MethodRegistry;
-}
+class StreamEngine;
+}  // namespace csm::core
 
 namespace csm::net {
 
@@ -21,6 +25,15 @@ struct DaemonOptions {
   std::string version;         ///< Build identity reported in stats.
   /// Decodes inline model records in node-add frames (required).
   const core::MethodRegistry* registry = nullptr;
+  /// Called with the engine right after construction, before the socket
+  /// binds — the seam csmd --record uses to install an ingest tap without
+  /// the net layer depending on the replay layer.
+  std::function<void(core::StreamEngine&)> engine_hook;
+  /// Forwarded to FleetServerOptions::on_node_add (fires on every
+  /// successful kNodeAdd with the engine index, name and sensor count).
+  std::function<void(std::size_t index, const std::string& name,
+                     std::uint32_t n_sensors)>
+      on_node_add;
 };
 
 /// Runs the daemon loop on the calling thread until SIGINT or SIGTERM.

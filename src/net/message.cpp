@@ -303,6 +303,9 @@ StatsResponse make_stats_response(const core::EngineStats& stats,
   msg.ingest_latency_us = stats.ingest_latency_us;
   msg.retrain_aborts = stats.retrain_aborts;
   msg.retrain_latency_us = stats.retrain_latency_us;
+  msg.drift_windows = stats.drift_windows;
+  msg.drift_flags = stats.drift_flags;
+  msg.drift_retrains = stats.drift_retrains;
   return msg;
 }
 
@@ -327,6 +330,11 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg) {
   // decoder stops at the ingest histogram and ignores these bytes' absence.
   append_u64(out, msg.retrain_aborts);
   append_histogram(out, msg.retrain_latency_us);
+  // Drift-detector fields, appended after the retrain block under the same
+  // rule: a pre-drift decoder stops at the retrain histogram.
+  append_u64(out, msg.drift_windows);
+  append_u64(out, msg.drift_flags);
+  append_u64(out, msg.drift_retrains);
   return out;
 }
 
@@ -347,6 +355,12 @@ StatsResponse decode_stats_response(std::span<const std::uint8_t> payload) {
   if (in.remaining() == 0) return msg;
   msg.retrain_aborts = in.u64("retrain_aborts");
   msg.retrain_latency_us = read_histogram(in, "stats-response retrain");
+  // A payload ending here came from a peer that predates the appended
+  // drift-detector fields: keep their zero-valued defaults.
+  if (in.remaining() == 0) return msg;
+  msg.drift_windows = in.u64("drift_windows");
+  msg.drift_flags = in.u64("drift_flags");
+  msg.drift_retrains = in.u64("drift_retrains");
   in.finish("stats-response");
   return msg;
 }

@@ -128,8 +128,11 @@ DrainResponse decode_drain_response(std::span<const std::uint8_t> payload);
 // u64 x bins — then the fields APPENDED for retrain pressure (old peers
 // simply stop before them, and the decoder fills zero-valued defaults):
 // u64 retrain_aborts | f64 rt_lo | f64 rt_hi | u64 rt_underflow |
-// u64 rt_overflow | u32 rt_bins | u64 x rt_bins. Histograms restore
-// losslessly through the stats::Histogram restore constructor.
+// u64 rt_overflow | u32 rt_bins | u64 x rt_bins — and then the fields
+// APPENDED for the kOnDrift drift detector (same rule: old peers stop
+// before them): u64 drift_windows | u64 drift_flags | u64 drift_retrains.
+// Histograms restore losslessly through the stats::Histogram restore
+// constructor.
 // ---------------------------------------------------------------------------
 
 struct StatsResponse {
@@ -147,6 +150,11 @@ struct StatsResponse {
   /// defaults when decoding a pre-retrain-pressure peer's payload.
   std::uint64_t retrain_aborts = 0;
   stats::Histogram retrain_latency_us = core::make_retrain_latency_histogram();
+  /// Second appended block: kOnDrift drift-detector totals. Zero-valued
+  /// defaults when the peer predates the drift detector.
+  std::uint64_t drift_windows = 0;
+  std::uint64_t drift_flags = 0;
+  std::uint64_t drift_retrains = 0;
 };
 
 /// Builds the wire message from an engine snapshot + build identity.

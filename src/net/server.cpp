@@ -209,6 +209,9 @@ void FleetServer::handle_node_add(Client& client, const Frame& frame) {
   const std::size_t index =
       engine_.add_node(frame.node, std::move(method), msg.n_sensors);
   nodes_.emplace(frame.node, index);
+  if (options_.on_node_add) {
+    options_.on_node_add(index, frame.node, msg.n_sensors);
+  }
   reply(client, FrameType::kOk, frame.node, encode_ok(index));
 }
 

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -61,6 +62,13 @@ struct FleetServerOptions {
   int poll_timeout_ms = 100;
   /// Per-frame payload cap handed to each connection's FrameReader.
   std::size_t max_frame_payload = kMaxFramePayload;
+  /// Called after every successful kNodeAdd with the new node's engine
+  /// index, name and sensor count — how a capture sink (replay::
+  /// EngineRecorder) learns the node table without the net layer depending
+  /// on it. Runs on the server thread; must not call back into the server.
+  std::function<void(std::size_t index, const std::string& name,
+                     std::uint32_t n_sensors)>
+      on_node_add;
 };
 
 class FleetServer {

@@ -1,0 +1,164 @@
+#include "stats/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace csm::stats {
+namespace {
+
+// Floor on the reference stddev when standardizing mean shifts: a sensor
+// that was perfectly flat in the reference window would otherwise turn any
+// noise into an infinite score.
+constexpr double kSdFloor = 1e-9;
+
+struct Moments {
+  double mean = 0.0;
+  double sd = 0.0;
+  std::size_t finite = 0;
+};
+
+// Mean / population stddev of one sensor row, over finite samples only.
+Moments row_moments(const common::MatrixView& m, std::size_t r) {
+  Moments out;
+  double sum = 0.0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double v = m(r, c);
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    ++out.finite;
+  }
+  if (out.finite == 0) return out;
+  out.mean = sum / static_cast<double>(out.finite);
+  double ss = 0.0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double v = m(r, c);
+    if (!std::isfinite(v)) continue;
+    const double d = v - out.mean;
+    ss += d * d;
+  }
+  out.sd = std::sqrt(ss / static_cast<double>(out.finite));
+  return out;
+}
+
+// Pearson over the columns where BOTH sensors are finite; 0 when fewer than
+// three such columns survive or either masked row is flat (the same "no
+// linear information" convention as stats::pearson).
+double masked_pearson(const common::MatrixView& m, std::size_t i,
+                      std::size_t j) {
+  double sx = 0.0, sy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double x = m(i, c);
+    const double y = m(j, c);
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    sx += x;
+    sy += y;
+    ++n;
+  }
+  if (n < 3) return 0.0;
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double x = m(i, c);
+    const double y = m(j, c);
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    const double dx = x - mx;
+    const double dy = y - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  const double denom = std::sqrt(sxx) * std::sqrt(syy);
+  if (denom == 0.0 || !std::isfinite(denom)) return 0.0;
+  return std::clamp(sxy / denom, -1.0, 1.0);
+}
+
+}  // namespace
+
+DriftReference make_drift_reference(const common::MatrixView& window,
+                                    std::size_t max_pairs,
+                                    std::uint64_t seed) {
+  if (window.empty()) {
+    throw std::invalid_argument("make_drift_reference: empty window");
+  }
+  if (max_pairs == 0) {
+    throw std::invalid_argument("make_drift_reference: max_pairs must be > 0");
+  }
+  const std::size_t n = window.rows();
+  DriftReference ref;
+  ref.mean.resize(n);
+  ref.sd.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Moments m = row_moments(window, r);
+    ref.mean[r] = m.mean;
+    ref.sd[r] = m.sd;
+  }
+
+  if (n < 2) return ref;  // No pairs to watch; mean shifts still score.
+  const std::size_t all_pairs = n * (n - 1) / 2;
+  if (all_pairs <= max_pairs) {
+    ref.pairs.reserve(all_pairs);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        ref.pairs.push_back({static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j), 0.0});
+      }
+    }
+  } else {
+    // Seeded rejection sample of distinct pairs: the same seed watches the
+    // same pairs run-to-run, which the determinism tests pin.
+    common::Rng rng(seed);
+    std::vector<std::uint64_t> taken;
+    taken.reserve(max_pairs);
+    while (ref.pairs.size() < max_pairs) {
+      std::size_t i = static_cast<std::size_t>(rng.uniform_int(n));
+      std::size_t j = static_cast<std::size_t>(rng.uniform_int(n));
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      const std::uint64_t key = static_cast<std::uint64_t>(i) << 32 | j;
+      if (std::find(taken.begin(), taken.end(), key) != taken.end()) continue;
+      taken.push_back(key);
+      ref.pairs.push_back({static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j), 0.0});
+    }
+  }
+  for (DriftReference::Pair& p : ref.pairs) {
+    p.r = masked_pearson(window, p.i, p.j);
+  }
+  return ref;
+}
+
+double drift_score(const common::MatrixView& window,
+                   const DriftReference& ref) {
+  if (ref.empty()) {
+    throw std::invalid_argument("drift_score: empty reference");
+  }
+  if (window.rows() != ref.n_sensors()) {
+    throw std::invalid_argument(
+        "drift_score: window sensor count does not match the reference");
+  }
+  double mean_part = 0.0;
+  std::size_t mean_terms = 0;
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const Moments m = row_moments(window, r);
+    if (m.finite == 0) continue;  // All-NaN sensor: no level evidence.
+    mean_part += std::abs(m.mean - ref.mean[r]) / std::max(ref.sd[r], kSdFloor);
+    ++mean_terms;
+  }
+  if (mean_terms > 0) mean_part /= static_cast<double>(mean_terms);
+
+  if (ref.pairs.empty()) return mean_part;
+  double corr_part = 0.0;
+  for (const DriftReference::Pair& p : ref.pairs) {
+    corr_part += std::abs(masked_pearson(window, p.i, p.j) - p.r);
+  }
+  corr_part /= static_cast<double>(ref.pairs.size());
+  return 0.5 * (mean_part + corr_part);
+}
+
+}  // namespace csm::stats

@@ -1,0 +1,69 @@
+// Cheap per-window correlation-drift statistic for adaptive retraining.
+//
+// Section III-C2 of the paper observes that component correlations drift
+// over time and prescribes "repeat training whenever required"; the open
+// question is *when* it is required. A full refit-and-compare is O(n^2 t) —
+// far too heavy to run per emitted window — so this header provides a
+// two-part surrogate that costs O(n t + p t) per window for p sampled
+// sensor pairs:
+//
+//   * per-sensor standardized mean shift against the reference window
+//     (catches level changes and dead/railed sensors), and
+//   * mean absolute Pearson shift over a seeded sample of sensor pairs
+//     (catches re-mixed correlation structure even when levels are stable).
+//
+// A stationary stream scores around sampling noise (~1/sqrt(wl)); a regime
+// change scores well above it. core::MethodStream's RetrainPolicy::kOnDrift
+// compares the score against StreamOptions::drift_threshold. Both halves
+// skip non-finite samples so the adversarial scenarios (NaN gaps, dropouts)
+// degrade the estimate instead of poisoning it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix_view.hpp"
+
+namespace csm::stats {
+
+/// Default cap on sampled sensor pairs in a DriftReference.
+inline constexpr std::size_t kDefaultDriftPairs = 64;
+
+/// Frozen summary of an in-regime window: per-sensor moments plus the
+/// reference correlation of a seeded pair sample. Rebuilt after every
+/// drift-triggered retrain so the stream tracks the new regime.
+struct DriftReference {
+  /// One sampled sensor pair and its reference Pearson coefficient.
+  struct Pair {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    double r = 0.0;
+  };
+
+  std::vector<double> mean;  ///< Per-sensor mean over the reference window.
+  std::vector<double> sd;    ///< Per-sensor population stddev (same window).
+  std::vector<Pair> pairs;   ///< Seeded pair sample with reference Pearson.
+
+  bool empty() const noexcept { return mean.empty(); }
+  std::size_t n_sensors() const noexcept { return mean.size(); }
+};
+
+/// Summarises `window` (n_sensors x wl, any MatrixView layout) into a
+/// DriftReference. At most `max_pairs` distinct sensor pairs are sampled
+/// with an Rng seeded by `seed` (all n*(n-1)/2 pairs when they fit the
+/// cap), so the same seed always watches the same pairs. Non-finite
+/// samples are skipped; a sensor with no finite samples gets mean 0 / sd 0.
+/// Throws std::invalid_argument on an empty window or max_pairs == 0.
+DriftReference make_drift_reference(const common::MatrixView& window,
+                                    std::size_t max_pairs = kDefaultDriftPairs,
+                                    std::uint64_t seed = 0);
+
+/// Drift score of `window` against `ref`: the average of
+///   (1/n) sum_s |mean_s(window) - ref.mean[s]| / max(ref.sd[s], eps)  and
+///   (1/p) sum_(i,j) |pearson_ij(window) - ref.pairs[k].r|.
+/// Dimensionless and >= 0. The window's sensor count must match the
+/// reference's (std::invalid_argument otherwise); ref must not be empty.
+double drift_score(const common::MatrixView& window, const DriftReference& ref);
+
+}  // namespace csm::stats

@@ -404,5 +404,150 @@ TEST(MethodStreamRetrain, DestructorCancelsInFlightFit) {
   EXPECT_EQ(probe->finished, 0);
 }
 
+// --------------------------------------------------------------------------
+// kOnDrift: drift-triggered adaptive retraining. GenerationMethod again
+// makes the swap observable — a signature names the model generation that
+// produced it — while the drift detector scores the real window data.
+// --------------------------------------------------------------------------
+
+// Two-factor stream that switches regime at `shift_at`: sensor levels jump,
+// the factor loadings remix, and the factor gain grows — a compound drift
+// the detector scores far above anything a stationary window produces.
+// Window-stationary on both sides of the switch. At wl=20 the clean score
+// tops out near 0.5 while every post-shift window scores above 1.1, so the
+// 0.8 threshold below separates the regimes with margin on both sides.
+common::Matrix regime_matrix(std::size_t n, std::size_t t,
+                             std::size_t shift_at, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t c = 0; c < t; ++c) {
+    const double z1 = rng.gaussian();
+    const double z2 = rng.gaussian();
+    const bool shifted = c >= shift_at;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double x = static_cast<double>(r);
+      const double a = shifted ? std::cos(0.4 * x + 1.3) : std::cos(0.4 * x);
+      const double b = shifted ? std::sin(2.99 * x) : std::sin(0.4 * x);
+      const double gain = shifted ? 1.6 : 1.0;
+      const double level = 0.5 * x + (shifted ? 2.0 : 0.0);
+      s(r, c) = level + gain * (a * z1 + b * z2) + 0.2 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+StreamOptions drift_options() {
+  StreamOptions opts = stream_options();  // wl=20, ws=10.
+  opts.history_length = 64;
+  opts.retrain_policy = RetrainPolicy::kOnDrift;
+  opts.drift_threshold = 0.8;
+  opts.drift_patience = 2;
+  return opts;
+}
+
+TEST(MethodStreamDrift, RegimeShiftFiresExactlyOneRetrain) {
+  const std::size_t t = 600;
+  const std::size_t shift_at = 300;
+  const common::Matrix data = regime_matrix(6, t, shift_at, 51);
+  const auto probe = std::make_shared<FitProbe>();
+  MethodStream stream(std::make_shared<const GenerationMethod>(6, probe),
+                      drift_options());
+
+  std::vector<double> column(6);
+  std::size_t first_retrain_at = 0;
+  std::vector<std::vector<double>> signatures;
+  for (std::size_t c = 0; c < t; ++c) {
+    for (std::size_t r = 0; r < 6; ++r) column[r] = data(r, c);
+    if (auto sig = stream.push(column)) signatures.push_back(std::move(*sig));
+    if (first_retrain_at == 0 && stream.drift_retrains() > 0) {
+      first_retrain_at = c + 1;
+    }
+  }
+
+  // Exactly one retrain: the detector fires on the regime change, the
+  // reference is rebuilt from the post-shift window, and the new regime —
+  // stationary again — never re-triggers.
+  EXPECT_EQ(stream.drift_retrains(), 1u);
+  EXPECT_EQ(stream.retrain_count(), 1u);
+  EXPECT_GT(first_retrain_at, shift_at);
+  EXPECT_LE(first_retrain_at, shift_at + 100);  // Detection latency bound.
+  // Every window after the first is scored; flags at least fill patience.
+  EXPECT_EQ(stream.drift_windows(), stream.signatures_emitted() - 1);
+  EXPECT_GE(stream.drift_flags(), stream.options().drift_patience);
+  // Signatures name the generation: 0 before the swap, 1 at the end.
+  EXPECT_EQ(signatures.front()[0], 0.0);
+  EXPECT_EQ(signatures.back()[0], 1.0);
+}
+
+TEST(MethodStreamDrift, StationaryStreamNeverRetrains) {
+  const std::size_t t = 600;
+  // shift_at == t: the switch never happens, the stream stays in-regime.
+  const common::Matrix data = regime_matrix(6, t, t, 53);
+  const auto probe = std::make_shared<FitProbe>();
+  MethodStream stream(std::make_shared<const GenerationMethod>(6, probe),
+                      drift_options());
+  const auto signatures = stream.push_all(data);
+
+  EXPECT_EQ(stream.drift_retrains(), 0u);
+  EXPECT_EQ(stream.retrain_count(), 0u);
+  EXPECT_EQ(stream.drift_windows(), signatures.size() - 1);
+  EXPECT_EQ(stream.drift_flags(), 0u);
+  for (const auto& sig : signatures) {
+    EXPECT_EQ(sig[0], 0.0);  // The deployed model, never swapped.
+  }
+}
+
+TEST(MethodStreamDrift, PatienceHoldsBackPersistentFlags) {
+  // With patience far above the number of post-shift windows, the shift is
+  // flagged but never converts into a retrain.
+  const std::size_t t = 600;
+  const common::Matrix data = regime_matrix(6, t, 300, 51);
+  StreamOptions opts = drift_options();
+  opts.drift_patience = 1000;
+  const auto probe = std::make_shared<FitProbe>();
+  MethodStream stream(std::make_shared<const GenerationMethod>(6, probe),
+                      opts);
+  stream.push_all(data);
+  EXPECT_GT(stream.drift_flags(), 0u);
+  EXPECT_EQ(stream.drift_retrains(), 0u);
+  EXPECT_EQ(stream.retrain_count(), 0u);
+}
+
+TEST(MethodStreamDrift, CountersStayZeroUnderOtherPolicies) {
+  const auto probe = std::make_shared<FitProbe>();
+  MethodStream stream(std::make_shared<const GenerationMethod>(4, probe),
+                      retrain_options(RetrainPolicy::kSync));
+  push_columns(stream, 100);
+  EXPECT_GT(stream.retrain_count(), 0u);  // Periodic retrains fired...
+  EXPECT_EQ(stream.drift_windows(), 0u);  // ...but nothing was scored.
+  EXPECT_EQ(stream.drift_flags(), 0u);
+  EXPECT_EQ(stream.drift_retrains(), 0u);
+  EXPECT_EQ(stream.last_drift_score(), 0.0);
+}
+
+TEST(MethodStreamDrift, OptionValidation) {
+  StreamOptions opts = drift_options();
+  opts.drift_threshold = 0.0;  // kOnDrift needs a positive threshold.
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = drift_options();
+  opts.retrain_interval = 40;  // The detector replaces the schedule.
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = drift_options();
+  opts.drift_patience = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = drift_options();
+  opts.drift_pairs = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = stream_options();
+  opts.drift_threshold = 0.5;  // Meaningless outside kOnDrift.
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(drift_options().validate());
+}
+
 }  // namespace
 }  // namespace csm::core

@@ -282,5 +282,55 @@ TEST(StreamEngine, LatencyHistogramCountsIngestCalls) {
   EXPECT_EQ(stats.ingest_latency_us.hi(), kLatencyMaxUs);
 }
 
+TEST(StreamEngine, IngestTapSeesEveryNonEmptyBatch) {
+  StreamEngine engine(engine_options());
+  const common::Matrix data0 = node_matrix(6, 90, 300);
+  const common::Matrix data1 = node_matrix(6, 90, 301);
+  const std::size_t a = engine.add_node("a", train(data0));
+  const std::size_t b = engine.add_node("b", train(data1));
+
+  std::vector<std::pair<std::size_t, common::Matrix>> seen;
+  engine.set_tap([&seen](std::size_t node, const common::Matrix& columns) {
+    seen.emplace_back(node, columns);
+  });
+
+  // Single-node ingest, then a fleet batch with an empty placeholder: the
+  // tap fires once per NON-empty batch, with exactly the ingested bytes.
+  engine.ingest(a, data0.sub_cols(0, 30));
+  std::vector<common::Matrix> batch(2);
+  batch[a] = common::Matrix(6, 0);  // Empty slot: no tap call.
+  batch[b] = data1.sub_cols(10, 25);
+  engine.ingest_batch(batch);
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, a);
+  EXPECT_EQ(seen[0].second, data0.sub_cols(0, 30));
+  EXPECT_EQ(seen[1].first, b);
+  EXPECT_EQ(seen[1].second, data1.sub_cols(10, 25));
+
+  // Clearing the tap stops the calls; ingest continues untapped.
+  engine.set_tap(nullptr);
+  engine.ingest(a, data0.sub_cols(30, 10));
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(engine.stats().samples, 30u + 25u + 10u);
+}
+
+TEST(StreamEngine, TapDoesNotPerturbSignatures) {
+  const common::Matrix data = node_matrix(6, 90, 310);
+  const CsModel model = train(data);
+
+  StreamEngine tapped(engine_options());
+  StreamEngine untapped(engine_options());
+  tapped.add_node("n", model);
+  untapped.add_node("n", model);
+  std::size_t calls = 0;
+  tapped.set_tap([&calls](std::size_t, const common::Matrix&) { ++calls; });
+
+  tapped.ingest(0, data);
+  untapped.ingest(0, data);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(tapped.drain(0), untapped.drain(0));
+}
+
 }  // namespace
 }  // namespace csm::core

@@ -216,7 +216,8 @@ TEST(StatsResponse, DecodesPreRetrainPayloadWithZeroDefaults) {
   const std::size_t appended =
       8 +                                         // u64 retrain_aborts
       (8 + 8 + 8 + 8 + 4) +                       // histogram header
-      8 * msg.retrain_latency_us.bins();          // histogram counts
+      8 * msg.retrain_latency_us.bins() +         // histogram counts
+      3 * 8;                                      // drift counter block
   ASSERT_GT(payload.size(), appended);
   payload.resize(payload.size() - appended);
 
@@ -224,6 +225,45 @@ TEST(StatsResponse, DecodesPreRetrainPayloadWithZeroDefaults) {
   EXPECT_EQ(back.retrains, 9u);  // Pre-existing field still carried.
   EXPECT_EQ(back.retrain_aborts, 0u);
   EXPECT_EQ(back.retrain_latency_us.total(), 0u);
+  EXPECT_EQ(back.drift_windows, 0u);
+  EXPECT_EQ(back.drift_flags, 0u);
+  EXPECT_EQ(back.drift_retrains, 0u);
+}
+
+TEST(StatsResponse, DecodesPreDriftPayloadWithZeroDefaults) {
+  // A peer from before the kOnDrift counters ends after the retrain
+  // histogram; the drift block decodes to zeros, the retrain fields survive.
+  core::EngineStats stats;
+  stats.retrains = 9;
+  stats.retrain_aborts = 5;
+  stats.retrain_latency_us.add(100.0);
+  stats.drift_windows = 40;
+  stats.drift_flags = 4;
+  stats.drift_retrains = 2;
+  const StatsResponse msg = make_stats_response(stats, "old");
+  std::vector<std::uint8_t> payload = encode_stats_response(msg);
+  payload.resize(payload.size() - 3 * 8);  // Strip only the drift block.
+
+  const StatsResponse back = decode_stats_response(payload);
+  EXPECT_EQ(back.retrains, 9u);
+  EXPECT_EQ(back.retrain_aborts, 5u);
+  EXPECT_EQ(back.retrain_latency_us.total(), 1u);
+  EXPECT_EQ(back.drift_windows, 0u);
+  EXPECT_EQ(back.drift_flags, 0u);
+  EXPECT_EQ(back.drift_retrains, 0u);
+}
+
+TEST(StatsResponse, RoundTripsDriftCounters) {
+  core::EngineStats stats;
+  stats.drift_windows = 1234;
+  stats.drift_flags = 56;
+  stats.drift_retrains = 7;
+  const StatsResponse msg = make_stats_response(stats, "drifty");
+  const StatsResponse back =
+      decode_stats_response(encode_stats_response(msg));
+  EXPECT_EQ(back.drift_windows, 1234u);
+  EXPECT_EQ(back.drift_flags, 56u);
+  EXPECT_EQ(back.drift_retrains, 7u);
 }
 
 TEST(NodeStatsResponse, RoundTripsRows) {

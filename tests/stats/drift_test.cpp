@@ -1,0 +1,169 @@
+#include "stats/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace csm::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Window-stationary two-factor stream: per-window means and pair
+// correlations are constant up to sampling noise, so two disjoint windows
+// of the same process must score near zero against each other.
+common::Matrix factor_matrix(std::size_t n, std::size_t t,
+                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Matrix s(n, t);
+  for (std::size_t c = 0; c < t; ++c) {
+    const double z1 = rng.gaussian();
+    const double z2 = rng.gaussian();
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = std::cos(0.4 * static_cast<double>(r));
+      const double b = std::sin(0.4 * static_cast<double>(r));
+      s(r, c) = 1.0 + 0.25 * static_cast<double>(r) + a * z1 + b * z2 +
+                0.3 * rng.gaussian();
+    }
+  }
+  return s;
+}
+
+TEST(DriftReference, SummarisesMomentsAndSamplesPairs) {
+  common::Matrix w(2, 4);
+  w(0, 0) = 1.0; w(0, 1) = 2.0; w(0, 2) = 3.0; w(0, 3) = 4.0;
+  w(1, 0) = 10.0; w(1, 1) = 10.0; w(1, 2) = 10.0; w(1, 3) = 10.0;
+  const DriftReference ref = make_drift_reference(common::MatrixView(w));
+  ASSERT_EQ(ref.n_sensors(), 2u);
+  EXPECT_DOUBLE_EQ(ref.mean[0], 2.5);
+  EXPECT_DOUBLE_EQ(ref.mean[1], 10.0);
+  EXPECT_NEAR(ref.sd[0], std::sqrt(1.25), 1e-12);  // Population stddev.
+  EXPECT_DOUBLE_EQ(ref.sd[1], 0.0);
+  // Only one distinct pair exists for n=2.
+  ASSERT_EQ(ref.pairs.size(), 1u);
+  EXPECT_NE(ref.pairs[0].i, ref.pairs[0].j);
+}
+
+TEST(DriftReference, PairSampleIsSeededAndCapped) {
+  const common::Matrix w = factor_matrix(16, 32, 7);
+  const DriftReference a = make_drift_reference(common::MatrixView(w), 10, 3);
+  const DriftReference b = make_drift_reference(common::MatrixView(w), 10, 3);
+  const DriftReference c = make_drift_reference(common::MatrixView(w), 10, 4);
+  EXPECT_LE(a.pairs.size(), 10u);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t k = 0; k < a.pairs.size(); ++k) {
+    EXPECT_EQ(a.pairs[k].i, b.pairs[k].i);
+    EXPECT_EQ(a.pairs[k].j, b.pairs[k].j);
+    EXPECT_DOUBLE_EQ(a.pairs[k].r, b.pairs[k].r);
+  }
+  // A different seed watches a different pair sample (16 choose 2 = 120
+  // pairs, 10 sampled: a collision across all ten is vanishingly unlikely).
+  bool any_difference = false;
+  for (std::size_t k = 0; k < c.pairs.size() && !any_difference; ++k) {
+    any_difference = c.pairs[k].i != a.pairs[k].i ||
+                     c.pairs[k].j != a.pairs[k].j;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DriftScore, StationaryWindowsScoreLow) {
+  const common::Matrix s = factor_matrix(12, 400, 11);
+  const common::Matrix ref_window = s.sub_cols(0, 60);
+  const DriftReference ref =
+      make_drift_reference(common::MatrixView(ref_window));
+  for (std::size_t at : {60u, 120u, 300u}) {
+    const common::Matrix w = s.sub_cols(at, 60);
+    EXPECT_LT(drift_score(common::MatrixView(w), ref), 0.35)
+        << "window at " << at;
+  }
+}
+
+TEST(DriftScore, DetectsMeanShift) {
+  const common::Matrix s = factor_matrix(12, 120, 13);
+  const common::Matrix ref_window = s.sub_cols(0, 60);
+  const DriftReference ref =
+      make_drift_reference(common::MatrixView(ref_window));
+  common::Matrix shifted = s.sub_cols(60, 60);
+  for (std::size_t r = 0; r < shifted.rows(); ++r) {
+    for (std::size_t c = 0; c < shifted.cols(); ++c) {
+      shifted(r, c) += 5.0;  // Several reference sds on every sensor.
+    }
+  }
+  EXPECT_GT(drift_score(common::MatrixView(shifted), ref), 1.0);
+}
+
+TEST(DriftScore, DetectsCorrelationShiftWithStableLevels) {
+  // Replace the correlated factor structure with independent noise matched
+  // to each sensor's reference moments: means and sds stay put, pair
+  // correlations collapse to ~0, and only the Pearson half can see it.
+  const common::Matrix s = factor_matrix(12, 60, 17);
+  const DriftReference ref = make_drift_reference(common::MatrixView(s));
+  common::Rng rng(99);
+  common::Matrix independent(12, 60);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 60; ++c) {
+      independent(r, c) = ref.mean[r] + ref.sd[r] * rng.gaussian();
+    }
+  }
+  const double score = drift_score(common::MatrixView(independent), ref);
+  // The factor model's sampled pairs carry substantial |r|; losing all of
+  // it moves the Pearson half well above stationary noise.
+  EXPECT_GT(score, 0.25);
+}
+
+TEST(DriftScore, SkipsNonFiniteSamples) {
+  const common::Matrix s = factor_matrix(8, 120, 19);
+  const common::Matrix ref_window = s.sub_cols(0, 60);
+  const DriftReference ref =
+      make_drift_reference(common::MatrixView(ref_window));
+  common::Matrix gappy = s.sub_cols(60, 60);
+  for (std::size_t c = 0; c < gappy.cols(); c += 5) {
+    gappy(2, c) = kNaN;
+    gappy(5, c) = std::numeric_limits<double>::infinity();
+  }
+  const double score = drift_score(common::MatrixView(gappy), ref);
+  EXPECT_TRUE(std::isfinite(score));
+  EXPECT_LT(score, 0.35);  // The finite samples are still in-regime.
+}
+
+TEST(DriftScore, AllNaNSensorStaysFinite) {
+  const common::Matrix s = factor_matrix(6, 120, 23);
+  const DriftReference ref =
+      make_drift_reference(common::MatrixView(s.sub_cols(0, 60)));
+  common::Matrix dead = s.sub_cols(60, 60);
+  for (std::size_t c = 0; c < dead.cols(); ++c) dead(3, c) = kNaN;
+  EXPECT_TRUE(std::isfinite(drift_score(common::MatrixView(dead), ref)));
+}
+
+TEST(DriftScore, ReferenceWithNaNWindowStaysFinite) {
+  common::Matrix w = factor_matrix(6, 60, 29);
+  for (std::size_t c = 0; c < w.cols(); ++c) w(1, c) = kNaN;
+  const DriftReference ref = make_drift_reference(common::MatrixView(w));
+  EXPECT_DOUBLE_EQ(ref.mean[1], 0.0);
+  EXPECT_DOUBLE_EQ(ref.sd[1], 0.0);
+  const common::Matrix probe = factor_matrix(6, 60, 31);
+  EXPECT_TRUE(std::isfinite(drift_score(common::MatrixView(probe), ref)));
+}
+
+TEST(DriftErrors, RejectsDegenerateInputs) {
+  const common::Matrix w = factor_matrix(4, 30, 37);
+  EXPECT_THROW(make_drift_reference(common::MatrixView(w), 0),
+               std::invalid_argument);
+  common::Matrix empty;
+  EXPECT_THROW(make_drift_reference(common::MatrixView(empty)),
+               std::invalid_argument);
+
+  const DriftReference ref = make_drift_reference(common::MatrixView(w));
+  const common::Matrix wrong = factor_matrix(5, 30, 41);
+  EXPECT_THROW(drift_score(common::MatrixView(wrong), ref),
+               std::invalid_argument);
+  EXPECT_THROW(drift_score(common::MatrixView(w), DriftReference{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csm::stats

@@ -48,8 +48,9 @@
 //
 //   csmcli stream  <segment> [--method SPEC] [--scale S] [--blocks L]
 //           [--window WL] [--step WS] [--history H] [--retrain N]
-//           [--retrain-threads N] [--batch B] [--pack FILE]
-//           [--dump-models DIR] [--sig-out FILE]
+//           [--retrain-threads N] [--drift-threshold X] [--drift-patience N]
+//           [--batch B] [--seed N] [--pack FILE] [--dump-models DIR]
+//           [--sig-out FILE] [--record FILE] [--scenario SPEC]
 //       Replay a synthetic HPC-ODA segment (fault, application, power,
 //       infrastructure, cross-arch) through a StreamEngine — one
 //       MethodStream per component, fitted per node — in batches of B
@@ -61,13 +62,41 @@
 //       the signatures as "node v0 v1 ..." lines (byte-comparable with
 //       `csmcli push --sig-out` against a daemon). --retrain-threads N
 //       switches --retrain to the async shadow-fit pipeline on a pool of N
-//       workers (default: synchronous in-line retrain).
+//       workers (default: synchronous in-line retrain). --drift-threshold X
+//       switches to the drift-triggered retrain policy instead (score every
+//       emitted window, refit after --drift-patience consecutive scores
+//       >= X). --record taps the engine and captures exactly what it
+//       ingested as a CSMR recording (docs/RECORDING.md); --scenario
+//       mutates the stream with seeded fault injectors (--seed) BEFORE
+//       ingestion — and before the tap, so a recording holds the stream
+//       the engine actually saw. Models always fit on the clean segment.
+//
+//   csmcli record  <segment> <recording> [--scale S] [--seed N]
+//           [--batch B] [--scenario SPEC]
+//       Capture a segment replay as a CSMR recording without running an
+//       engine: the same batches `stream` would ingest (post-scenario),
+//       written straight to the file.
+//
+//   csmcli replay  <recording> [--method SPEC | --pack FILE] [--window WL]
+//           [--step WS] [--history H] [--retrain N] [--retrain-threads N]
+//           [--drift-threshold X] [--drift-patience N] [--seed N]
+//           [--scenario SPEC] [--sig-out FILE]
+//       Re-drive a CSMR recording through a StreamEngine, batch for batch.
+//       Without --pack, each node's method is fitted on its recorded
+//       samples — a clean recording replayed with the same method and
+//       window flags reproduces the original `stream` run's signature file
+//       byte for byte. --scenario mutates the recorded stream on the way
+//       in (models still fit on the recording as stored), so one clean
+//       capture can be replayed under many fault scenarios.
 //
 //   csmcli serve --socket PATH [--window WL] [--step WS] [--history H]
-//           [--retrain N] [--retrain-threads N] [--max-pending N]
-//           [--pack FILE]
+//           [--retrain N] [--retrain-threads N] [--drift-threshold X]
+//           [--drift-patience N] [--max-pending N] [--pack FILE]
+//           [--record FILE]
 //       Run the fleet daemon loop in-process (same engine-behind-a-socket
-//       as the standalone csmd binary) until SIGINT/SIGTERM.
+//       as the standalone csmd binary) until SIGINT/SIGTERM. --record
+//       captures everything clients push as a CSMR recording, sealed on
+//       shutdown.
 //
 //   csmcli push <segment> --socket PATH [--method SPEC] [--scale S]
 //           [--blocks L] [--batch B] [--sig-out FILE]
@@ -79,9 +108,11 @@
 //   csmcli fleet-stats --socket PATH
 //       Scrape a running daemon's EngineStats: fleet counters, ingest
 //       throughput, the merged ingest-latency and retrain-latency
-//       histograms (p50/p99), the server's build sha — then the per-node
-//       breakdown (one row per live node, via the node-stats frame; older
-//       daemons that answer with an error simply skip the breakdown).
+//       histograms (p50/p99), the drift-detector counters, the server's
+//       build sha — then the per-node breakdown (one row per live node,
+//       via the node-stats frame; older daemons that answer with an error
+//       simply skip the breakdown, and pre-drift daemons report zeroed
+//       drift counters — appended fields decode as defaults).
 //
 //   csmcli version
 //       Print this build's git sha.
@@ -95,6 +126,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -119,6 +151,9 @@
 #include "net/message.hpp"
 #include "net/transport.hpp"
 #include "net/unix_socket.hpp"
+#include "replay/engine_recorder.hpp"
+#include "replay/recording.hpp"
+#include "replay/scenario.hpp"
 #include "stats/histogram.hpp"
 
 namespace {
@@ -147,6 +182,11 @@ struct Options {
   std::string sig_out;          // --sig-out FILE (stream/push: drained sigs).
   std::size_t max_pending = 0;  // --max-pending N (serve: queue bound).
   std::size_t retrain_threads = 0;  // --retrain-threads N (0 = sync retrain).
+  std::uint64_t seed = 2021;    // --seed N (generator + scenario master seed).
+  std::string record_file;      // --record FILE (stream/serve: CSMR capture).
+  std::string scenario;         // --scenario SPEC (fault-injection spec).
+  double drift_threshold = 0.0;     // --drift-threshold X (> 0 = kOnDrift).
+  std::size_t drift_patience = 1;   // --drift-patience N (kOnDrift streak).
 };
 
 core::codec::ModelFormat parse_format(const std::string& value) {
@@ -180,21 +220,34 @@ void usage(std::ostream& out) {
       << "  csmcli stream  <segment> [--method SPEC] [--scale S]\n"
       << "                 [--blocks L] [--window WL] [--step WS]\n"
       << "                 [--history H] [--retrain N] [--batch B]\n"
-      << "                 [--retrain-threads N] [--pack FILE]\n"
+      << "                 [--retrain-threads N] [--drift-threshold X]\n"
+      << "                 [--drift-patience N] [--seed N] [--pack FILE]\n"
       << "                 [--dump-models DIR] [--sig-out FILE]\n"
+      << "                 [--record FILE] [--scenario SPEC]\n"
       << "                 (segment: fault | application | power |\n"
       << "                  infrastructure | cross-arch)\n"
+      << "  csmcli record  <segment> <recording> [--scale S] [--seed N]\n"
+      << "                 [--batch B] [--scenario SPEC]\n"
+      << "  csmcli replay  <recording> [--method SPEC | --pack FILE]\n"
+      << "                 [--window WL] [--step WS] [--history H]\n"
+      << "                 [--retrain N] [--retrain-threads N]\n"
+      << "                 [--drift-threshold X] [--drift-patience N]\n"
+      << "                 [--seed N] [--scenario SPEC] [--sig-out FILE]\n"
       << "  csmcli serve   --socket PATH [--window WL] [--step WS]\n"
       << "                 [--history H] [--retrain N] [--retrain-threads N]\n"
-      << "                 [--max-pending N] [--pack FILE]\n"
+      << "                 [--drift-threshold X] [--drift-patience N]\n"
+      << "                 [--max-pending N] [--pack FILE] [--record FILE]\n"
       << "  csmcli push    <segment> --socket PATH [--method SPEC]\n"
-      << "                 [--scale S] [--blocks L] [--batch B]\n"
+      << "                 [--scale S] [--blocks L] [--batch B] [--seed N]\n"
       << "                 [--sig-out FILE]\n"
       << "  csmcli fleet-stats --socket PATH\n"
       << "  csmcli version\n"
       << "\n"
       << "method specs look like \"cs:blocks=20,real-only\" or\n"
-      << "\"pca:components=8\"; run `csmcli methods` for the full list.\n";
+      << "\"pca:components=8\"; run `csmcli methods` for the full list.\n"
+      << "scenario specs compose fault injectors with '+', e.g.\n"
+      << "\"dropout:p=0.02+drift:at=2000\":\n"
+      << replay::Scenario::grammar() << '\n';
 }
 
 // Numeric options go through benchkit's checked parsers: the whole value
@@ -250,6 +303,23 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--retrain-threads") {
       opts.retrain_threads = benchkit::parse_size_t(
           "--retrain-threads", next_value("--retrain-threads"));
+    } else if (arg == "--seed") {
+      opts.seed = benchkit::parse_uint64("--seed", next_value("--seed"));
+    } else if (arg == "--record") {
+      opts.record_file = next_value("--record");
+    } else if (arg == "--scenario") {
+      opts.scenario = next_value("--scenario");
+    } else if (arg == "--drift-threshold") {
+      opts.drift_threshold = benchkit::parse_double(
+          "--drift-threshold", next_value("--drift-threshold"));
+      if (opts.drift_threshold <= 0.0) {
+        throw std::invalid_argument(
+            "--drift-threshold: must be positive (got " +
+            std::to_string(opts.drift_threshold) + ")");
+      }
+    } else if (arg == "--drift-patience") {
+      opts.drift_patience = benchkit::parse_size_t(
+          "--drift-patience", next_value("--drift-patience"));
     } else if (arg == "--real-only") {
       opts.real_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -273,6 +343,15 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (!opts.pack_file.empty() && !opts.method.empty()) {
     std::cerr << "--pack conflicts with --method (the pack already fixes "
                  "each node's trained method)\n";
+    return false;
+  }
+  // The drift detector replaces the periodic schedule (and runs inline),
+  // so it cannot be combined with either periodic retrain flag.
+  if (opts.drift_threshold > 0.0 &&
+      (opts.retrain > 0 || opts.retrain_threads > 0)) {
+    std::cerr << "--drift-threshold conflicts with --retrain/"
+                 "--retrain-threads (kOnDrift replaces the periodic "
+                 "retrain schedule)\n";
     return false;
   }
   return true;
@@ -597,9 +676,11 @@ int cmd_convert(const Options& opts) {
   return 0;
 }
 
-hpcoda::Segment make_segment(const std::string& name, double scale) {
+hpcoda::Segment make_segment(const std::string& name, double scale,
+                             std::uint64_t seed) {
   hpcoda::GeneratorConfig config;
   config.scale = scale;
+  config.seed = seed;
   if (name == "fault") return hpcoda::make_fault_segment(config);
   if (name == "application") return hpcoda::make_application_segment(config);
   if (name == "power") return hpcoda::make_power_segment(config);
@@ -660,12 +741,75 @@ void print_retrain(const stats::Histogram& lat, std::uint64_t swaps,
 // Maps the tool-level retrain flags onto StreamOptions: --retrain-threads N
 // opts into the async shadow-fit pipeline; without it the engine keeps the
 // synchronous (bit-identical to historical behaviour) retrain path.
+// --drift-threshold X (exclusive with both, enforced at parse time) swaps
+// the periodic schedule for the kOnDrift detector.
 void apply_retrain_flags(const Options& opts, core::StreamOptions& stream) {
   stream.retrain_interval = opts.retrain;
   if (opts.retrain_threads > 0) {
     stream.retrain_policy = core::RetrainPolicy::kAsync;
     stream.retrain_threads = opts.retrain_threads;
   }
+  if (opts.drift_threshold > 0.0) {
+    stream.retrain_policy = core::RetrainPolicy::kOnDrift;
+    stream.drift_threshold = opts.drift_threshold;
+    stream.drift_patience = opts.drift_patience;
+  }
+}
+
+// Parses --scenario against --seed; an empty flag is the identity scenario.
+replay::Scenario make_scenario(const Options& opts) {
+  if (opts.scenario.empty()) return {};
+  return replay::Scenario::parse(opts.scenario, opts.seed);
+}
+
+void print_drift(std::uint64_t windows, std::uint64_t flags,
+                 std::uint64_t retrains) {
+  std::printf("drift detector: %llu windows scored, %llu flagged, "
+              "%llu drift retrains\n",
+              static_cast<unsigned long long>(windows),
+              static_cast<unsigned long long>(flags),
+              static_cast<unsigned long long>(retrains));
+}
+
+// The tail every engine-driving subcommand shares: per-node accounting,
+// EngineStats totals, the latency/retrain/drift lines, then the optional
+// --sig-out drain.
+int report_and_drain(core::StreamEngine& engine, const Options& opts) {
+  for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+    const core::MethodStream& stream = engine.stream(b);
+    std::printf("  %-12s %6zu samples -> %5zu signatures, %zu retrains\n",
+                engine.node_name(b).c_str(), stream.samples_seen(),
+                stream.signatures_emitted(), stream.retrain_count());
+  }
+  const core::EngineStats stats = engine.stats();
+  std::printf("engine totals: %llu samples ingested, %llu signatures "
+              "emitted, %llu retrains\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              static_cast<unsigned long long>(stats.retrains));
+  std::printf("ingested %llu samples -> %llu signatures in %.3f s "
+              "(%.0f samples/s aggregate)\n",
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.signatures),
+              stats.ingest_seconds, stats.samples_per_second());
+  print_latency(stats.ingest_latency_us);
+  print_retrain(stats.retrain_latency_us, stats.retrains,
+                stats.retrain_aborts);
+  print_drift(stats.drift_windows, stats.drift_flags, stats.drift_retrains);
+
+  if (!opts.sig_out.empty()) {
+    std::ofstream out(opts.sig_out);
+    if (!out) throw std::runtime_error("cannot open " + opts.sig_out);
+    std::size_t written = 0;
+    for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
+      const auto sigs = engine.drain(b);
+      written += sigs.size();
+      write_signature_lines(out, engine.node_name(b), sigs);
+    }
+    std::cout << "wrote " << written << " drained signatures to "
+              << opts.sig_out << '\n';
+  }
+  return 0;
 }
 
 int cmd_stream(const Options& opts) {
@@ -673,7 +817,8 @@ int cmd_stream(const Options& opts) {
     usage(std::cerr);
     return 1;
   }
-  const hpcoda::Segment seg = make_segment(opts.positional[0], opts.scale);
+  const hpcoda::Segment seg =
+      make_segment(opts.positional[0], opts.scale, opts.seed);
 
   core::StreamOptions stream_opts;
   stream_opts.window_length = opts.window_set ? opts.window : seg.window.length;
@@ -697,10 +842,24 @@ int cmd_stream(const Options& opts) {
   const core::MethodRegistry& registry = baselines::default_registry();
   const std::string spec = synthesize_spec(opts);
   core::StreamEngine engine(stream_opts);
+  // --record: the engine's ingest tap feeds a CSMR capture, so the file
+  // holds exactly what the engine saw (post-scenario), batch for batch.
+  std::optional<replay::EngineRecorder> recorder;
+  if (!opts.record_file.empty()) recorder.emplace(opts.record_file);
+  const auto register_node = [&](std::size_t index,
+                                 const hpcoda::ComponentBlock& block) {
+    if (recorder) {
+      recorder->on_node_add(
+          index, block.name,
+          static_cast<std::uint32_t>(block.sensors.rows()));
+    }
+  };
   if (!opts.pack_file.empty()) {
     const core::ModelPack pack = core::ModelPack::open(opts.pack_file);
     for (const hpcoda::ComponentBlock& block : seg.blocks) {
-      engine.add_node(pack, block.name, registry, block.sensors.rows());
+      register_node(
+          engine.add_node(pack, block.name, registry, block.sensors.rows()),
+          block);
     }
     std::cout << "models: " << pack.size() << "-model pack "
               << opts.pack_file << '\n';
@@ -708,8 +867,17 @@ int cmd_stream(const Options& opts) {
     for (const hpcoda::ComponentBlock& block : seg.blocks) {
       std::shared_ptr<const core::SignatureMethod> method =
           registry.create(spec)->fit(block.sensors);
-      engine.add_node(block.name, std::move(method), block.sensors.rows());
+      register_node(
+          engine.add_node(block.name, std::move(method),
+                          block.sensors.rows()),
+          block);
     }
+  }
+  if (recorder) {
+    engine.set_tap([&recorder](std::size_t node,
+                               const common::Matrix& columns) {
+      recorder->tap(node, columns);
+    });
   }
   if (!opts.dump_dir.empty()) {
     const auto format = parse_format(opts.format);
@@ -734,54 +902,149 @@ int cmd_stream(const Options& opts) {
   std::cout << "method: " << engine.stream(0).method().name() << '\n';
 
   // Replay the shared timeline in batches of --batch columns, the way a
-  // monitoring bus delivers one flush per node per collection round.
+  // monitoring bus delivers one flush per node per collection round. The
+  // scenario mutates each batch on this (single) thread before the engine
+  // fans the ingest out.
+  replay::Scenario scenario = make_scenario(opts);
+  if (!scenario.empty()) {
+    std::cout << "scenario: " << scenario.to_string() << " (seed "
+              << opts.seed << ")\n";
+  }
   const std::size_t batch = opts.batch == 0 ? seg.length() : opts.batch;
   std::vector<common::Matrix> batches(seg.n_blocks());
   for (std::size_t start = 0; start < seg.length(); start += batch) {
     const std::size_t len = std::min(batch, seg.length() - start);
     for (std::size_t b = 0; b < seg.n_blocks(); ++b) {
       batches[b] = seg.blocks[b].sensors.sub_cols(start, len);
+      scenario.apply(b, start, batches[b]);
     }
     engine.ingest_batch(batches);
   }
-
-  // Per-node accounting first (emitted counts and retrains straight from
-  // each MethodStream), then the aggregate EngineStats — the numbers an
-  // operator needs to debug a fleet replay at a glance.
-  for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
-    const core::MethodStream& stream = engine.stream(b);
-    std::printf("  %-12s %6zu samples -> %5zu signatures, %zu retrains\n",
-                engine.node_name(b).c_str(), stream.samples_seen(),
-                stream.signatures_emitted(), stream.retrain_count());
+  if (recorder) {
+    engine.set_tap({});
+    recorder->finish();
+    std::cout << "recorded " << recorder->batch_count() << " batches ("
+              << recorder->n_nodes() << " nodes) to " << opts.record_file
+              << '\n';
   }
-  const core::EngineStats stats = engine.stats();
-  std::printf("engine totals: %llu samples ingested, %llu signatures "
-              "emitted, %llu retrains\n",
-              static_cast<unsigned long long>(stats.samples),
-              static_cast<unsigned long long>(stats.signatures),
-              static_cast<unsigned long long>(stats.retrains));
-  std::printf("ingested %llu samples -> %llu signatures in %.3f s "
-              "(%.0f samples/s aggregate)\n",
-              static_cast<unsigned long long>(stats.samples),
-              static_cast<unsigned long long>(stats.signatures),
-              stats.ingest_seconds, stats.samples_per_second());
-  print_latency(stats.ingest_latency_us);
-  print_retrain(stats.retrain_latency_us, stats.retrains,
-                stats.retrain_aborts);
 
-  if (!opts.sig_out.empty()) {
-    std::ofstream out(opts.sig_out);
-    if (!out) throw std::runtime_error("cannot open " + opts.sig_out);
-    std::size_t written = 0;
-    for (std::size_t b = 0; b < engine.n_nodes(); ++b) {
-      const auto sigs = engine.drain(b);
-      written += sigs.size();
-      write_signature_lines(out, engine.node_name(b), sigs);
+  return report_and_drain(engine, opts);
+}
+
+int cmd_record(const Options& opts) {
+  if (opts.positional.size() != 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const hpcoda::Segment seg =
+      make_segment(opts.positional[0], opts.scale, opts.seed);
+  replay::Scenario scenario = make_scenario(opts);
+  replay::Recorder recorder(opts.positional[1]);
+  for (const hpcoda::ComponentBlock& block : seg.blocks) {
+    recorder.add_node(block.name,
+                      static_cast<std::uint32_t>(block.sensors.rows()));
+  }
+  // Same batching as `stream`, minus the engine: what this writes is what
+  // `stream --record` would have captured for the same flags.
+  const std::size_t batch = opts.batch == 0 ? seg.length() : opts.batch;
+  for (std::size_t start = 0; start < seg.length(); start += batch) {
+    const std::size_t len = std::min(batch, seg.length() - start);
+    for (std::size_t b = 0; b < seg.n_blocks(); ++b) {
+      common::Matrix columns = seg.blocks[b].sensors.sub_cols(start, len);
+      scenario.apply(b, start, columns);
+      recorder.record(static_cast<std::uint32_t>(b), columns);
     }
-    std::cout << "wrote " << written << " drained signatures to "
-              << opts.sig_out << '\n';
   }
+  recorder.finish();
+  std::cout << "recorded " << seg.n_blocks() << " nodes x " << seg.length()
+            << " samples (" << recorder.batch_count() << " batches) to "
+            << opts.positional[1] << '\n';
   return 0;
+}
+
+int cmd_replay(const Options& opts) {
+  if (opts.positional.size() != 1) {
+    usage(std::cerr);
+    return 1;
+  }
+  replay::ReplayReader reader = replay::ReplayReader::open(opts.positional[0]);
+  std::cout << "recording " << opts.positional[0] << ": " << reader.n_nodes()
+            << " nodes, " << reader.batch_count() << " batches\n";
+
+  core::StreamOptions stream_opts;
+  stream_opts.window_length = opts.window;
+  stream_opts.window_step = opts.step;
+  stream_opts.cs.blocks = opts.blocks;
+  stream_opts.cs.real_only = opts.real_only;
+  stream_opts.history_length = opts.history;
+  apply_retrain_flags(opts, stream_opts);
+
+  const core::MethodRegistry& registry = baselines::default_registry();
+  core::StreamEngine engine(stream_opts);
+  if (!opts.pack_file.empty()) {
+    const core::ModelPack pack = core::ModelPack::open(opts.pack_file);
+    for (std::size_t i = 0; i < reader.n_nodes(); ++i) {
+      const replay::RecordedNode& node = reader.node(i);
+      engine.add_node(pack, node.id, registry, node.n_sensors);
+    }
+    std::cout << "models: " << pack.size() << "-model pack "
+              << opts.pack_file << '\n';
+  } else {
+    // In-band training on the recording itself: concatenate each node's
+    // recorded batches back into its full sample matrix and fit the spec'd
+    // method on it — the same bytes `stream` fitted on for a clean capture,
+    // so the refit models (and the replayed signatures) match bit for bit.
+    std::vector<std::uint64_t> total_cols(reader.n_nodes(), 0);
+    while (const auto batch = reader.next()) {
+      total_cols[batch->node] += batch->columns.cols();
+    }
+    std::vector<common::Matrix> full(reader.n_nodes());
+    std::vector<std::size_t> filled(reader.n_nodes(), 0);
+    for (std::size_t i = 0; i < reader.n_nodes(); ++i) {
+      full[i] = common::Matrix(reader.node(i).n_sensors,
+                               static_cast<std::size_t>(total_cols[i]));
+    }
+    reader.rewind();
+    while (const auto batch = reader.next()) {
+      common::Matrix& dst = full[batch->node];
+      const std::size_t at = filled[batch->node];
+      for (std::size_t c = 0; c < batch->columns.cols(); ++c) {
+        for (std::size_t r = 0; r < batch->columns.rows(); ++r) {
+          dst(r, at + c) = batch->columns(r, c);
+        }
+      }
+      filled[batch->node] += batch->columns.cols();
+    }
+    const std::string spec = synthesize_spec(opts);
+    for (std::size_t i = 0; i < reader.n_nodes(); ++i) {
+      if (total_cols[i] == 0) {
+        throw std::runtime_error("replay: node \"" + reader.node(i).id +
+                                 "\" has no recorded samples to fit on "
+                                 "(use --pack)");
+      }
+      std::shared_ptr<const core::SignatureMethod> method =
+          registry.create(spec)->fit(full[i]);
+      engine.add_node(reader.node(i).id, std::move(method),
+                      reader.node(i).n_sensors);
+    }
+    reader.rewind();
+  }
+  std::cout << "method: " << engine.stream(0).method().name() << '\n';
+
+  // Re-drive the capture batch for batch, in file order. Recorded
+  // timestamps are per-node sample offsets, which is exactly the stream
+  // position a scenario keys its injections on.
+  replay::Scenario scenario = make_scenario(opts);
+  if (!scenario.empty()) {
+    std::cout << "scenario: " << scenario.to_string() << " (seed "
+              << opts.seed << ")\n";
+  }
+  while (auto batch = reader.next()) {
+    scenario.apply(batch->node, batch->timestamp, batch->columns);
+    engine.ingest(batch->node, batch->columns);
+  }
+
+  return report_and_drain(engine, opts);
 }
 
 int cmd_serve(const Options& opts) {
@@ -801,7 +1064,32 @@ int cmd_serve(const Options& opts) {
   daemon.pack_path = opts.pack_file;
   daemon.version = benchkit::git_sha();
   daemon.registry = &baselines::default_registry();
-  return net::run_daemon(daemon);
+  // --record: capture everything clients push. The daemon loop is single-
+  // threaded and the engine is torn down before run_daemon returns, so
+  // sealing the file afterwards needs no tap removal.
+  std::optional<replay::EngineRecorder> recorder;
+  if (!opts.record_file.empty()) {
+    recorder.emplace(opts.record_file);
+    daemon.engine_hook = [&recorder](core::StreamEngine& engine) {
+      engine.set_tap([&recorder](std::size_t node,
+                                 const common::Matrix& columns) {
+        recorder->tap(node, columns);
+      });
+    };
+    daemon.on_node_add = [&recorder](std::size_t index,
+                                     const std::string& name,
+                                     std::uint32_t n_sensors) {
+      recorder->on_node_add(index, name, n_sensors);
+    };
+  }
+  const int rc = net::run_daemon(daemon);
+  if (recorder) {
+    recorder->finish();
+    std::cout << "recorded " << recorder->batch_count() << " batches ("
+              << recorder->n_nodes() << " nodes) to " << opts.record_file
+              << '\n';
+  }
+  return rc;
 }
 
 int cmd_push(const Options& opts) {
@@ -810,7 +1098,8 @@ int cmd_push(const Options& opts) {
     usage(std::cerr);
     return 1;
   }
-  const hpcoda::Segment seg = make_segment(opts.positional[0], opts.scale);
+  const hpcoda::Segment seg =
+      make_segment(opts.positional[0], opts.scale, opts.seed);
   const core::MethodRegistry& registry = baselines::default_registry();
   const std::string spec = synthesize_spec(opts);
 
@@ -938,6 +1227,9 @@ int cmd_fleet_stats(const Options& opts) {
   print_latency(stats.ingest_latency_us);
   print_retrain(stats.retrain_latency_us, stats.retrains,
                 stats.retrain_aborts);
+  // Pre-drift daemons simply end their payload before these appended
+  // fields, which decode as zeros — the line is printed either way.
+  print_drift(stats.drift_windows, stats.drift_flags, stats.drift_retrains);
   std::cout << "server build: " << stats.server_version << " (client "
             << benchkit::git_sha() << ")\n";
 
@@ -1026,6 +1318,8 @@ int main(int argc, char** argv) {
     if (command == "extract") return cmd_extract(opts);
     if (command == "sort") return cmd_sort(opts);
     if (command == "stream") return cmd_stream(opts);
+    if (command == "record") return cmd_record(opts);
+    if (command == "replay") return cmd_replay(opts);
     if (command == "serve") return cmd_serve(opts);
     if (command == "push") return cmd_push(opts);
     if (command == "fleet-stats") return cmd_fleet_stats(opts);

@@ -8,34 +8,43 @@
 // are the matching clients.
 //
 //   csmd --socket PATH [--window WL] [--step WS] [--history H]
-//        [--retrain N] [--retrain-threads N] [--max-pending N]
-//        [--pack FILE]
+//        [--retrain N] [--retrain-threads N] [--drift-threshold X]
+//        [--drift-patience N] [--max-pending N] [--pack FILE]
+//        [--record FILE]
 //   csmd --version
 //
 // --max-pending bounds each node's undrained signature queue (drop-oldest
 // with a per-node counter; 0 = unbounded). --retrain-threads N switches
 // retraining to the async shadow-fit pipeline backed by a pool of N worker
 // threads (the default, without the flag, is the synchronous in-line
-// retrain). SIGINT/SIGTERM shut the daemon down cleanly: the socket file
-// is unlinked and engine totals printed.
+// retrain); --drift-threshold X (exclusive with both) switches to the
+// drift-triggered kOnDrift policy instead. --record FILE captures every
+// sample batch clients push as a CSMR recording (docs/RECORDING.md),
+// sealed on shutdown — feed it to `csmcli replay` to re-drive the run.
+// SIGINT/SIGTERM shut the daemon down cleanly: the socket file is
+// unlinked, engine totals printed and the recording finished.
 //
 // Exit status: 0 on clean shutdown, 1 on usage errors, 2 on runtime
 // failures (e.g. a live daemon already owns the socket).
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "baselines/registry.hpp"
 #include "benchkit/args.hpp"
 #include "benchkit/benchkit.hpp"
+#include "core/stream_engine.hpp"
 #include "net/daemon.hpp"
+#include "replay/engine_recorder.hpp"
 
 namespace {
 
 void usage(std::ostream& out) {
   out << "usage: csmd --socket PATH [--window WL] [--step WS]\n"
       << "            [--history H] [--retrain N] [--retrain-threads N]\n"
-      << "            [--max-pending N] [--pack FILE]\n"
+      << "            [--drift-threshold X] [--drift-patience N]\n"
+      << "            [--max-pending N] [--pack FILE] [--record FILE]\n"
       << "       csmd --version\n";
 }
 
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
   net::DaemonOptions options;
   options.stream.window_length = 60;
   options.stream.window_step = 10;
+  std::string record_path;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -80,11 +90,20 @@ int main(int argc, char** argv) {
         options.stream.retrain_threads = benchkit::parse_size_t(
             "--retrain-threads", next_value("--retrain-threads"));
         options.stream.retrain_policy = core::RetrainPolicy::kAsync;
+      } else if (arg == "--drift-threshold") {
+        options.stream.drift_threshold = benchkit::parse_double(
+            "--drift-threshold", next_value("--drift-threshold"));
+        options.stream.retrain_policy = core::RetrainPolicy::kOnDrift;
+      } else if (arg == "--drift-patience") {
+        options.stream.drift_patience = benchkit::parse_size_t(
+            "--drift-patience", next_value("--drift-patience"));
       } else if (arg == "--max-pending") {
         options.stream.max_pending = benchkit::parse_size_t(
             "--max-pending", next_value("--max-pending"));
       } else if (arg == "--pack") {
         options.pack_path = next_value("--pack");
+      } else if (arg == "--record") {
+        record_path = next_value("--record");
       } else {
         std::cerr << "unknown option: " << arg << '\n';
         usage(std::cerr);
@@ -105,7 +124,32 @@ int main(int argc, char** argv) {
   options.version = benchkit::git_sha();
   options.registry = &baselines::default_registry();
   try {
-    return net::run_daemon(options);
+    // --record: tap the engine into a CSMR capture. The daemon loop is
+    // single-threaded and the engine dies inside run_daemon, so the file
+    // can be sealed right after it returns.
+    std::optional<replay::EngineRecorder> recorder;
+    if (!record_path.empty()) {
+      recorder.emplace(record_path);
+      options.engine_hook = [&recorder](core::StreamEngine& engine) {
+        engine.set_tap([&recorder](std::size_t node,
+                                   const common::Matrix& columns) {
+          recorder->tap(node, columns);
+        });
+      };
+      options.on_node_add = [&recorder](std::size_t index,
+                                        const std::string& name,
+                                        std::uint32_t n_sensors) {
+        recorder->on_node_add(index, name, n_sensors);
+      };
+    }
+    const int rc = net::run_daemon(options);
+    if (recorder) {
+      recorder->finish();
+      std::cout << "csmd: recorded " << recorder->batch_count()
+                << " batches (" << recorder->n_nodes() << " nodes) to "
+                << record_path << '\n';
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
